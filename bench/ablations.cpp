@@ -1,0 +1,189 @@
+// Ablation studies for the design choices DESIGN.md §5 calls out:
+//   1. keybuffer size (incl. disabled) — the HWST128 vs HWST128_tchk gap
+//   2. metadata compression (128-bit compressed vs 256-bit raw traffic)
+//   3. SBCETS shadow organisation (two-level trie vs linear map)
+//   4. D-cache capacity sensitivity of each scheme
+// Each prints a table; all deterministic.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "compiler/codegen.hpp"
+#include "compiler/driver.hpp"
+#include "compiler/emitters.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hwst;
+using compiler::Scheme;
+using common::u64;
+
+namespace {
+
+u64 baseline_cycles(const workloads::Workload& w)
+{
+    return compiler::run(w.build(), Scheme::None).cycles;
+}
+
+double overhead_pct(u64 cycles, u64 base)
+{
+    return (static_cast<double>(cycles) / static_cast<double>(base) - 1.0) *
+           100.0;
+}
+
+sim::RunResult run_emitter(const workloads::Workload& w,
+                           compiler::SafetyEmitter& em,
+                           const std::function<void(sim::MachineConfig&)>&
+                               tweak = [](sim::MachineConfig&) {})
+{
+    // Codegen keeps a reference to the module, so keep it alive here.
+    const mir::Module module = w.build();
+    compiler::Codegen cg{module, em};
+    const auto program = cg.compile();
+    auto cfg = em.machine_config();
+    tweak(cfg);
+    sim::Machine machine{program, cfg};
+    return machine.run();
+}
+
+void keybuffer_sweep()
+{
+    std::cout << "== Ablation 1: keybuffer size (HWST128_tchk overhead %, "
+                 "Eq. 7) ==\n";
+    const std::vector<std::string> names = {"bzip2", "health", "treeadd",
+                                            "crc32"};
+    common::TextTable t{{"workload", "disabled", "1", "2", "4", "8 (paper)",
+                         "16", "sw key load (HWST128)"}};
+    for (const auto& name : names) {
+        const auto& w = workloads::workload(name);
+        const u64 base = baseline_cycles(w);
+        std::vector<std::string> row{name};
+        // tchk with keybuffer disabled / sized 1..16
+        for (const int entries : {0, 1, 2, 4, 8, 16}) {
+            const auto r = compiler::run_with_config(
+                w.build(), Scheme::Hwst128Tchk,
+                [&](sim::MachineConfig& cfg) {
+                    if (entries == 0) {
+                        cfg.keybuffer_enabled = false;
+                        cfg.keybuffer_entries = 1;
+                    } else {
+                        cfg.keybuffer_entries =
+                            static_cast<unsigned>(entries);
+                    }
+                });
+            row.push_back(common::fmt(overhead_pct(r.cycles, base), 1));
+        }
+        // the paper's HWST128 bar: software key load instead of tchk
+        const auto sw = compiler::run(w.build(), Scheme::Hwst128);
+        row.push_back(common::fmt(overhead_pct(sw.cycles, base), 1));
+        t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+void compression_ablation()
+{
+    std::cout << "== Ablation 2: metadata compression (overhead %, "
+                 "compressed 128b vs raw 256b traffic) ==\n";
+    common::TextTable t{{"workload", "compressed (paper)", "uncompressed",
+                         "extra meta ops"}};
+    for (const char* name : {"bzip2", "treeadd", "em3d", "dijkstra"}) {
+        const auto& w = workloads::workload(name);
+        const u64 base = baseline_cycles(w);
+        compiler::HwstEmitter comp{true, false};
+        compiler::HwstEmitter raw{true, true};
+        const auto rc = run_emitter(w, comp);
+        const auto rr = run_emitter(w, raw);
+        t.add_row({name, common::fmt(overhead_pct(rc.cycles, base), 1),
+                   common::fmt(overhead_pct(rr.cycles, base), 1),
+                   std::to_string(rr.mix.meta_moves - rc.mix.meta_moves)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+void trie_ablation()
+{
+    std::cout << "== Ablation 3: SBCETS shadow organisation (overhead %) "
+                 "==\n";
+    common::TextTable t{{"workload", "trie (SoftBound)", "linear map"}};
+    for (const char* name : {"bzip2", "health", "crc32", "milc"}) {
+        const auto& w = workloads::workload(name);
+        const u64 base = baseline_cycles(w);
+        compiler::SbcetsEmitter trie{};
+        compiler::SbcetsEmitter linear{
+            compiler::SbcetsEmitter::Options{.trie = false}};
+        const auto rt = run_emitter(w, trie);
+        const auto rl = run_emitter(w, linear);
+        t.add_row({name, common::fmt(overhead_pct(rt.cycles, base), 1),
+                   common::fmt(overhead_pct(rl.cycles, base), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "(the linear map is what the LMSM+SMAC give the hardware "
+                 "for free)\n\n";
+}
+
+void cache_sweep()
+{
+    std::cout << "== Ablation 4: D-cache capacity (overhead %, em3d) ==\n";
+    common::TextTable t{{"dcache", "sbcets", "hwst128_tchk"}};
+    const auto& w = workloads::workload("em3d");
+    for (const unsigned sets : {16u, 64u, 256u}) {
+        std::vector<std::string> row{
+            std::to_string(sets * 4 * 64 / 1024) + " KiB"};
+        u64 base = 0;
+        {
+            auto cp = compiler::compile(w.build(), Scheme::None);
+            cp.machine_config.dcache.sets = sets;
+            sim::Machine m{cp.program, cp.machine_config};
+            base = m.run().cycles;
+        }
+        for (const Scheme s : {Scheme::Sbcets, Scheme::Hwst128Tchk}) {
+            const auto r = compiler::run_with_config(
+                w.build(), s, [&](sim::MachineConfig& cfg) {
+                    cfg.dcache.sets = sets;
+                });
+            row.push_back(common::fmt(overhead_pct(r.cycles, base), 1));
+        }
+        t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << "(shadow traffic doubles the working set: small caches "
+                 "punish metadata-heavy schemes hardest)\n";
+}
+
+void status_decomposition()
+{
+    std::cout << "== Ablation 5: overhead decomposition via csr.status "
+                 "(HWST128_tchk) ==\n";
+    common::TextTable t{{"workload", "checks off", "spatial only",
+                         "spatial+temporal (paper)"}};
+    for (const char* name : {"bzip2", "treeadd", "dijkstra"}) {
+        const auto& w = workloads::workload(name);
+        const u64 base = baseline_cycles(w);
+        std::vector<std::string> row{name};
+        for (const u64 status : {u64{0}, u64{1}, u64{3}}) {
+            compiler::HwstEmitter em{true, false, status};
+            const auto r = run_emitter(w, em);
+            row.push_back(common::fmt(overhead_pct(r.cycles, base), 1));
+        }
+        t.add_row(row);
+    }
+    t.print(std::cout);
+    std::cout << "(even with the check units gated off, the metadata "
+                 "binding and propagation traffic remains -- the floor "
+                 "the compression and keybuffer attack)\n";
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "HWST128 design-choice ablations (DESIGN.md 5)\n\n";
+    keybuffer_sweep();
+    compression_ablation();
+    trie_ablation();
+    cache_sweep();
+    status_decomposition();
+    return 0;
+}

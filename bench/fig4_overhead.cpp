@@ -1,0 +1,63 @@
+// Figure 4 — performance overhead (Eq. 7) of SBCETS, HWST128 and
+// HWST128_tchk over the uninstrumented baseline for the MiBench, Olden
+// and SPEC suites, plus the geometric means the paper quotes
+// (SBCETS 441.45 %, HWST128 152.91 %, HWST128_tchk 94.89 %).
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "compiler/driver.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hwst;
+using compiler::Scheme;
+
+int main()
+{
+    const std::vector<Scheme> schemes = {Scheme::Sbcets, Scheme::Hwst128,
+                                         Scheme::Hwst128Tchk};
+
+    std::cout << "Figure 4: performance overhead (%) vs uninstrumented "
+                 "baseline, Eq. 7\n\n";
+    common::TextTable table{{"suite", "workload", "base cycles", "sbcets%",
+                             "hwst128%", "hwst128_tchk%"}};
+
+    std::vector<double> oh_sb, oh_hw, oh_tk;
+    for (const auto& w : workloads::all_workloads()) {
+        const auto base = compiler::run(w.build(), Scheme::None);
+        if (!base.ok() || base.exit_code != w.expected) {
+            std::cerr << "baseline failed for " << w.name << "\n";
+            return 1;
+        }
+        std::vector<std::string> row{
+            std::string{workloads::suite_name(w.suite)}, w.name,
+            std::to_string(base.cycles)};
+        for (const Scheme s : schemes) {
+            const auto r = compiler::run(w.build(), s);
+            if (!r.ok() || r.exit_code != w.expected) {
+                std::cerr << "run failed for " << w.name << " under "
+                          << compiler::scheme_name(s) << "\n";
+                return 1;
+            }
+            const double oh = (static_cast<double>(r.cycles) /
+                                   static_cast<double>(base.cycles) -
+                               1.0) *
+                              100.0;
+            row.push_back(common::fmt(oh, 1));
+            if (s == Scheme::Sbcets) oh_sb.push_back(oh);
+            if (s == Scheme::Hwst128) oh_hw.push_back(oh);
+            if (s == Scheme::Hwst128Tchk) oh_tk.push_back(oh);
+        }
+        table.add_row(row);
+    }
+    table.add_row({"", "geo. mean", "",
+                   common::fmt(common::geo_mean_overhead_pct(oh_sb), 2),
+                   common::fmt(common::geo_mean_overhead_pct(oh_hw), 2),
+                   common::fmt(common::geo_mean_overhead_pct(oh_tk), 2)});
+    table.print(std::cout);
+
+    std::cout << "\npaper (Fig. 4 geo. means): SBCETS 441.45%, "
+                 "HWST128 152.91%, HWST128_tchk 94.89%\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) for the metadata datapath: the
+// COMP/DECOMP units, the keybuffer and the SRF — host-side throughput
+// of the simulator's models, useful when profiling the simulator
+// itself.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "metadata/compress.hpp"
+#include "metadata/keybuffer.hpp"
+#include "metadata/srf.hpp"
+
+using namespace hwst;
+using metadata::Compressed;
+using metadata::CompressionConfig;
+using metadata::Metadata;
+
+namespace {
+
+Metadata random_md(common::Xoshiro256& rng)
+{
+    Metadata md;
+    md.base = rng.below(1ull << 37) & ~7ull;
+    md.bound = md.base + rng.range(8, 1ull << 30);
+    md.key = rng.below(1ull << 40);
+    md.lock = 0x40000000 + 8 * rng.below(1u << 20);
+    return md;
+}
+
+void BM_Compress(benchmark::State& state)
+{
+    const CompressionConfig cfg{35, 29, 20, 0x40000000};
+    common::Xoshiro256 rng{42};
+    std::vector<Metadata> mds;
+    for (int i = 0; i < 1024; ++i) mds.push_back(random_md(rng));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(metadata::compress(mds[i & 1023], cfg));
+        ++i;
+    }
+}
+BENCHMARK(BM_Compress);
+
+void BM_Decompress(benchmark::State& state)
+{
+    const CompressionConfig cfg{35, 29, 20, 0x40000000};
+    common::Xoshiro256 rng{43};
+    std::vector<Compressed> cs;
+    for (int i = 0; i < 1024; ++i)
+        cs.push_back(metadata::compress(random_md(rng), cfg));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(metadata::decompress(cs[i & 1023], cfg));
+        ++i;
+    }
+}
+BENCHMARK(BM_Decompress);
+
+void BM_RoundTrip(benchmark::State& state)
+{
+    const CompressionConfig cfg{35, 29, 20, 0x40000000};
+    common::Xoshiro256 rng{44};
+    Metadata md = random_md(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            metadata::decompress(metadata::compress(md, cfg), cfg));
+    }
+}
+BENCHMARK(BM_RoundTrip);
+
+void BM_KeybufferHit(benchmark::State& state)
+{
+    metadata::Keybuffer kb{static_cast<unsigned>(state.range(0))};
+    for (int i = 0; i < state.range(0); ++i)
+        kb.insert(0x40000000 + 8 * i, 100 + i);
+    common::u64 lock = 0x40000000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kb.lookup(lock));
+    }
+}
+BENCHMARK(BM_KeybufferHit)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_KeybufferChurn(benchmark::State& state)
+{
+    metadata::Keybuffer kb{8};
+    common::u64 i = 0;
+    for (auto _ : state) {
+        kb.insert(0x40000000 + 8 * (i % 64), i);
+        benchmark::DoNotOptimize(kb.lookup(0x40000000 + 8 * ((i + 32) % 64)));
+        ++i;
+    }
+}
+BENCHMARK(BM_KeybufferChurn);
+
+void BM_SrfPropagate(benchmark::State& state)
+{
+    metadata::ShadowRegFile srf;
+    srf.bind_spatial(riscv::Reg::a0, 0x12345);
+    srf.bind_temporal(riscv::Reg::a0, 0x6789A);
+    for (auto _ : state) {
+        srf.propagate(riscv::Reg::a1, riscv::Reg::a0);
+        benchmark::DoNotOptimize(srf.entry(riscv::Reg::a1));
+    }
+}
+BENCHMARK(BM_SrfPropagate);
+
+} // namespace
+
+BENCHMARK_MAIN();

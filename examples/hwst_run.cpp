@@ -1,0 +1,181 @@
+// hwst_run — the toolchain's command-line front end: compile a workload
+// (or a generated Juliet case) under any protection scheme, tweak the
+// microarchitecture, and run it or export the FPGA artifacts.
+//
+//   hwst_run --list
+//   hwst_run --workload bzip2 --scheme hwst128_tchk
+//   hwst_run --workload treeadd --scheme sbcets --keybuffer 16
+//            --dcache-kib 64  (flags combine freely)
+//   hwst_run --juliet CWE122:40 --scheme hwst128_tchk
+//   hwst_run --workload crc32 --scheme hwst128_tchk --emit-hex out.hex
+//   hwst_run --workload crc32 --listing
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "compiler/driver.hpp"
+#include "juliet/cases.hpp"
+#include "riscv/image.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hwst;
+using compiler::Scheme;
+
+namespace {
+
+struct Options {
+    std::string workload;
+    std::string juliet;
+    Scheme scheme = Scheme::Hwst128Tchk;
+    unsigned keybuffer = 8;
+    bool keybuffer_set = false;
+    unsigned dcache_kib = 0;
+    std::string emit_hex;
+    std::string emit_image;
+    bool listing = false;
+    bool list = false;
+};
+
+Scheme parse_scheme(const std::string& name)
+{
+    for (const Scheme s : compiler::kAllSchemes)
+        if (compiler::scheme_name(s) == name) return s;
+    throw common::ToolchainError{"unknown scheme: " + name +
+                                 " (try: none gcc sbcets hwst128 "
+                                 "hwst128_tchk asan bogo wdl_narrow "
+                                 "wdl_wide)"};
+}
+
+juliet::CaseSpec parse_juliet(const std::string& arg)
+{
+    const auto colon = arg.find(':');
+    if (colon == std::string::npos)
+        throw common::ToolchainError{"juliet case must be CWE<k>:<index>"};
+    const std::string cwe = arg.substr(0, colon);
+    const auto index =
+        static_cast<common::u32>(std::stoul(arg.substr(colon + 1)));
+    for (const auto& [c, count] : juliet::cwe_counts()) {
+        if (juliet::cwe_name(c) == cwe)
+            return juliet::make_spec(c, index, true);
+    }
+    throw common::ToolchainError{"unknown CWE: " + cwe};
+}
+
+Options parse(int argc, char** argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto need = [&](const char* what) -> std::string {
+            if (i + 1 >= argc)
+                throw common::ToolchainError{std::string{what} +
+                                             " needs an argument"};
+            return argv[++i];
+        };
+        if (a == "--workload") o.workload = need("--workload");
+        else if (a == "--juliet") o.juliet = need("--juliet");
+        else if (a == "--scheme") o.scheme = parse_scheme(need("--scheme"));
+        else if (a == "--keybuffer") {
+            o.keybuffer = static_cast<unsigned>(
+                std::stoul(need("--keybuffer")));
+            o.keybuffer_set = true;
+        } else if (a == "--dcache-kib")
+            o.dcache_kib = static_cast<unsigned>(
+                std::stoul(need("--dcache-kib")));
+        else if (a == "--emit-hex") o.emit_hex = need("--emit-hex");
+        else if (a == "--emit-image") o.emit_image = need("--emit-image");
+        else if (a == "--listing") o.listing = true;
+        else if (a == "--list") o.list = true;
+        else throw common::ToolchainError{"unknown flag: " + a};
+    }
+    return o;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        const Options o = parse(argc, argv);
+
+        if (o.list || (o.workload.empty() && o.juliet.empty())) {
+            std::cout << "workloads:\n";
+            for (const auto& w : workloads::all_workloads())
+                std::cout << "  " << w.name << " ("
+                          << workloads::suite_name(w.suite) << ")\n";
+            std::cout << "juliet: --juliet CWE<k>:<index>, categories:";
+            for (const auto& [c, count] : juliet::cwe_counts())
+                std::cout << ' ' << juliet::cwe_name(c);
+            std::cout << "\nschemes:";
+            for (const Scheme s : compiler::kAllSchemes)
+                std::cout << ' ' << compiler::scheme_name(s);
+            std::cout << '\n';
+            return 0;
+        }
+
+        const mir::Module module =
+            !o.juliet.empty()
+                ? juliet::build_case(parse_juliet(o.juliet))
+                : workloads::workload(o.workload).build();
+
+        auto cp = compiler::compile(module, o.scheme);
+        if (o.keybuffer_set)
+            cp.machine_config.keybuffer_entries = o.keybuffer;
+        if (o.dcache_kib)
+            cp.machine_config.dcache.sets = o.dcache_kib * 1024 / 64 / 4;
+
+        if (o.listing) {
+            std::cout << cp.program.listing();
+            return 0;
+        }
+        if (!o.emit_hex.empty()) {
+            std::ofstream f{o.emit_hex};
+            riscv::write_hex(riscv::build_image(cp.program), f);
+            std::cout << "wrote " << o.emit_hex << '\n';
+            return 0;
+        }
+        if (!o.emit_image.empty()) {
+            std::ofstream f{o.emit_image, std::ios::binary};
+            riscv::write_image(riscv::build_image(cp.program), f);
+            std::cout << "wrote " << o.emit_image << '\n';
+            return 0;
+        }
+
+        sim::Machine machine{cp.program, cp.machine_config};
+        const auto r = machine.run();
+
+        std::cout << "scheme        : " << compiler::scheme_name(o.scheme)
+                  << '\n';
+        std::cout << "result        : " << trap_name(r.trap.kind)
+                  << ", exit " << r.exit_code << '\n';
+        std::cout << "instructions  : " << r.instret << '\n';
+        std::cout << "cycles        : " << r.cycles << "  (CPI "
+                  << common::fmt(static_cast<double>(r.cycles) /
+                                     static_cast<double>(r.instret),
+                                 2)
+                  << ")\n";
+        std::cout << "d$ miss       : "
+                  << common::fmt(100.0 * r.dcache.miss_rate(), 2) << "%\n";
+        std::cout << "keybuffer     : " << r.keybuffer.hits << "/"
+                  << r.keybuffer.lookups << " hits ("
+                  << common::fmt(100.0 * r.keybuffer.hit_rate(), 1)
+                  << "%)\n";
+        std::cout << "SCU/TCU checks: " << r.scu_checks << " / "
+                  << r.tcu_checks << '\n';
+        std::cout << "instr mix     : alu " << r.mix.alu << ", mem "
+                  << r.mix.loads + r.mix.stores << ", checked "
+                  << r.mix.checked_loads + r.mix.checked_stores
+                  << ", meta " << r.mix.meta_moves << ", tchk "
+                  << r.mix.tchk << '\n';
+        if (!r.output.empty()) {
+            std::cout << "output        :";
+            for (const auto v : r.output) std::cout << ' ' << v;
+            std::cout << '\n';
+        }
+        return r.ok() ? 0 : 2;
+    } catch (const std::exception& e) {
+        std::cerr << "hwst_run: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,115 @@
+// safety_demo: the paper's security story end to end. Three buggy
+// programs (heap overflow, use-after-free, null-from-malloc) run under
+// the uninstrumented baseline and under HWST128 — the baseline corrupts
+// silently or crashes late; HWST128 traps at the exact faulting access,
+// and the CSR file records the cause.
+#include <iostream>
+
+#include "compiler/driver.hpp"
+#include "hwst/csr.hpp"
+#include "mir/builder.hpp"
+
+using namespace hwst;
+using compiler::Scheme;
+using mir::Ty;
+using mir::Value;
+
+namespace {
+
+/// Heap overflow: 40-byte allocation, writes 0..41 (classic off-by-N).
+mir::Module overflow_program()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    const auto entry = b.block("entry");
+    const auto head = b.block("head");
+    const auto body = b.block("body");
+    const auto done = b.block("done");
+    const auto p = b.local("p", Ty::Ptr);
+    const auto i = b.local("i");
+    b.set_insert(entry);
+    b.store_local(p, b.malloc_(b.const_i64(40)));
+    b.store_local(i, b.const_i64(0));
+    b.jmp(head);
+    b.set_insert(head);
+    b.br(b.lt(b.load_local(i), b.const_i64(42)), body, done); // bug: 42
+    b.set_insert(body);
+    Value addr = b.gep(b.load_local(p), b.load_local(i), 1);
+    b.store(b.const_i64(0x55), addr, 1);
+    b.store_local(i, b.add(b.load_local(i), b.const_i64(1)));
+    b.jmp(head);
+    b.set_insert(done);
+    b.ret(b.const_i64(0));
+    return m;
+}
+
+/// Use-after-free through a dangling pointer.
+mir::Module uaf_program()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(64)));
+    b.store(b.const_i64(1234), b.load_local(p));
+    b.free_(b.load_local(p));
+    b.ret(b.load(b.load_local(p))); // bug: dangling read
+    return m;
+}
+
+/// Unchecked huge allocation -> null, dereferenced far into memory.
+mir::Module null_program()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(1ll << 41))); // fails -> null
+    Value field = b.gep_const(b.load_local(p), 0x100040); // lands mapped
+    b.ret(b.load(field)); // bug: reads someone else's memory
+    return m;
+}
+
+void demo(const char* name, mir::Module (*build)())
+{
+    std::cout << "== " << name << " ==\n";
+    for (const Scheme s : {Scheme::None, Scheme::Hwst128Tchk}) {
+        const auto cp = compiler::compile(build(), s);
+        sim::Machine machine{cp.program, cp.machine_config};
+        const auto r = machine.run();
+        std::cout << "  " << compiler::scheme_name(s) << ": ";
+        if (r.ok()) {
+            std::cout << "finished silently, exit " << r.exit_code
+                      << "  <- corruption went unnoticed\n";
+        } else {
+            std::cout << trap_name(r.trap.kind) << " at address 0x"
+                      << std::hex << r.trap.addr << std::dec;
+            if (s != Scheme::None) {
+                const auto cause =
+                    machine.csrs().read(::hwst::hwst::kCsrViolation).value_or(0);
+                const auto vaddr =
+                    machine.csrs().read(::hwst::hwst::kCsrVaddr).value_or(0);
+                if (cause != 0) {
+                    std::cout << "  (csr.cause=" << cause << " csr.vaddr=0x"
+                              << std::hex << vaddr << std::dec << ")";
+                }
+            }
+            std::cout << '\n';
+        }
+    }
+    std::cout << '\n';
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "HWST128 safety demo: baseline vs accelerator\n\n";
+    demo("heap buffer overflow (CWE122)", overflow_program);
+    demo("use after free (CWE416)", uaf_program);
+    demo("unchecked NULL from malloc (CWE690)", null_program);
+    return 0;
+}

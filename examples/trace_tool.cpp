@@ -1,0 +1,92 @@
+// trace_tool — single-step a workload under a chosen scheme and print a
+// disassembly trace with live register values, plus the FPGA-style
+// artifacts (a $readmemh hex excerpt and the decoded text segment).
+//
+//   ./trace_tool [workload] [scheme] [max_instrs]
+//   ./trace_tool crc32 hwst128_tchk 40
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "compiler/driver.hpp"
+#include "riscv/disasm.hpp"
+#include "riscv/image.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hwst;
+using compiler::Scheme;
+
+namespace {
+
+Scheme parse_scheme(const std::string& name)
+{
+    for (const Scheme s : compiler::kAllSchemes)
+        if (compiler::scheme_name(s) == name) return s;
+    throw common::ToolchainError{"unknown scheme: " + name};
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string wname = argc > 1 ? argv[1] : "crc32";
+    const Scheme scheme =
+        argc > 2 ? parse_scheme(argv[2]) : Scheme::Hwst128Tchk;
+    const common::u64 max_instrs =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32;
+
+    const auto& w = workloads::workload(wname);
+    const auto cp = compiler::compile(w.build(), scheme);
+
+    // FPGA artifacts.
+    const auto image = riscv::build_image(cp.program);
+    std::cout << "== image ==\n";
+    for (const auto& seg : image.segments) {
+        std::cout << "  " << seg.name << ": " << seg.bytes.size()
+                  << " bytes @0x" << std::hex << seg.base << std::dec
+                  << '\n';
+    }
+    std::cout << "\n== first words of the $readmemh stream ==\n";
+    {
+        std::ostringstream hex;
+        riscv::write_hex(image, hex);
+        const std::string text = hex.str();
+        std::size_t pos = 0;
+        for (int line = 0; line < 8 && pos != std::string::npos; ++line) {
+            const auto next = text.find('\n', pos);
+            std::cout << text.substr(pos, next - pos) << '\n';
+            pos = next == std::string::npos ? next : next + 1;
+        }
+        std::cout << "...\n";
+    }
+
+    // Execution trace.
+    std::cout << "\n== trace: " << wname << " under "
+              << compiler::scheme_name(scheme) << " ==\n";
+    sim::Machine machine{cp.program, cp.machine_config};
+    common::u64 count = 0;
+    machine.set_trace([&](common::u64 pc, const riscv::Instruction& in) {
+        if (count >= max_instrs) return;
+        std::cout << std::hex << std::setw(8) << pc << std::dec << ":  "
+                  << std::left << std::setw(34) << riscv::disassemble(in)
+                  << std::right;
+        if (in.rs1 != riscv::Reg::zero) {
+            std::cout << "  " << riscv::reg_name(in.rs1) << "=0x" << std::hex
+                      << machine.reg(in.rs1) << std::dec;
+        }
+        std::cout << '\n';
+        ++count;
+    });
+    const auto r = machine.run();
+
+    std::cout << "...\n== done: " << trap_name(r.trap.kind) << ", exit "
+              << r.exit_code << ", " << r.instret << " instructions, "
+              << r.cycles << " cycles ==\n";
+    std::cout << "instruction mix: alu " << r.mix.alu << ", mem "
+              << r.mix.loads + r.mix.stores << ", checked mem "
+              << r.mix.checked_loads + r.mix.checked_stores
+              << ", metadata moves " << r.mix.meta_moves << ", binds "
+              << r.mix.binds << ", tchk " << r.mix.tchk << ", branches "
+              << r.mix.branches << '\n';
+    return 0;
+}

@@ -1,0 +1,77 @@
+// workload_explorer — run one workload (or all) under the protection
+// schemes and print cycles, instructions, checksum and overhead (Eq. 7).
+//
+//   ./workload_explorer            # all workloads, fig-4 schemes
+//   ./workload_explorer bzip2      # one workload, every scheme
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "compiler/driver.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hwst;
+using compiler::Scheme;
+
+namespace {
+
+void run_one(const workloads::Workload& w, std::span<const Scheme> schemes)
+{
+    common::TextTable table{{"scheme", "checksum", "instret", "cycles",
+                             "overhead%", "d$miss%", "kbuf hit%",
+                             "meta ops", "checks"}};
+    common::u64 base_cycles = 0;
+    for (const Scheme s : schemes) {
+        const auto r = compiler::run(w.build(), s);
+        if (!r.ok()) {
+            table.add_row({std::string{compiler::scheme_name(s)},
+                           std::string{"TRAP: "} +
+                               std::string{trap_name(r.trap.kind)},
+                           "-", "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        if (s == Scheme::None) base_cycles = r.cycles;
+        const double oh =
+            base_cycles
+                ? (static_cast<double>(r.cycles) /
+                       static_cast<double>(base_cycles) -
+                   1.0) * 100.0
+                : 0.0;
+        table.add_row({std::string{compiler::scheme_name(s)},
+                       std::to_string(r.exit_code),
+                       std::to_string(r.instret), std::to_string(r.cycles),
+                       common::fmt(oh, 1),
+                       common::fmt(100.0 * r.dcache.miss_rate(), 2),
+                       common::fmt(100.0 * r.keybuffer.hit_rate(), 2),
+                       std::to_string(r.mix.meta_moves + r.mix.binds),
+                       std::to_string(r.mix.checked_loads +
+                                      r.mix.checked_stores + r.mix.tchk)});
+    }
+    std::cout << "== " << w.name << " ("
+              << workloads::suite_name(w.suite) << ") ==\n";
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::vector<Scheme> fig4 = {Scheme::None, Scheme::Sbcets,
+                                      Scheme::Hwst128, Scheme::Hwst128Tchk};
+    const std::vector<Scheme> all(compiler::kAllSchemes.begin(),
+                                  compiler::kAllSchemes.end());
+
+    if (argc > 1) {
+        const std::string name = argv[1];
+        if (name == "all") {
+            for (const auto& w : workloads::all_workloads())
+                run_one(w, fig4);
+            return 0;
+        }
+        run_one(workloads::workload(name), all);
+        return 0;
+    }
+    for (const auto& w : workloads::all_workloads()) run_one(w, fig4);
+    return 0;
+}

@@ -1,0 +1,100 @@
+// Bit-manipulation utilities shared by the ISA encoder/decoder, the
+// metadata compression units and the cache model.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+namespace hwst::common {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Mask with the low `n` bits set. `n` may be 0..64.
+constexpr u64 mask64(unsigned n)
+{
+    if (n >= 64) return ~u64{0};
+    return (u64{1} << n) - 1;
+}
+
+/// Extract bits [lo, lo+len) of `v` (little-endian bit numbering).
+constexpr u64 bits(u64 v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & mask64(len);
+}
+
+/// Extract a single bit.
+constexpr u64 bit(u64 v, unsigned pos) { return (v >> pos) & 1u; }
+
+/// Sign-extend the low `n` bits of `v` to 64 bits.
+constexpr i64 sign_extend(u64 v, unsigned n)
+{
+    if (n == 0 || n >= 64) return static_cast<i64>(v);
+    const u64 m = u64{1} << (n - 1);
+    const u64 x = v & mask64(n);
+    return static_cast<i64>((x ^ m) - m);
+}
+
+/// True if `v` fits in a signed `n`-bit field.
+constexpr bool fits_signed(i64 v, unsigned n)
+{
+    if (n >= 64) return true;
+    const i64 lo = -(i64{1} << (n - 1));
+    const i64 hi = (i64{1} << (n - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+/// True if `v` fits in an unsigned `n`-bit field.
+constexpr bool fits_unsigned(u64 v, unsigned n)
+{
+    return n >= 64 || v <= mask64(n);
+}
+
+/// Place the low `len` bits of `v` at position `lo` of a zeroed word.
+constexpr u64 place(u64 v, unsigned lo, unsigned len)
+{
+    return (v & mask64(len)) << lo;
+}
+
+/// Round `v` up to a multiple of `align` (power of two).
+constexpr u64 align_up(u64 v, u64 align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/// Round `v` down to a multiple of `align` (power of two).
+constexpr u64 align_down(u64 v, u64 align) { return v & ~(align - 1); }
+
+/// True if `v` is a power of two (and nonzero).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// ceil(log2(v)) for v >= 1.
+constexpr unsigned clog2(u64 v)
+{
+    if (v <= 1) return 0;
+    return 64u - static_cast<unsigned>(std::countl_zero(v - 1));
+}
+
+/// Checked narrowing cast: throws std::range_error on value change.
+template <typename To, typename From>
+constexpr To narrow(From v)
+{
+    static_assert(std::is_integral_v<To> && std::is_integral_v<From>);
+    const auto r = static_cast<To>(v);
+    if (static_cast<From>(r) != v ||
+        ((r < To{}) != (v < From{}))) {
+        throw std::range_error{"narrowing cast changed value"};
+    }
+    return r;
+}
+
+} // namespace hwst::common

@@ -1,0 +1,33 @@
+// Error taxonomy for the simulator and toolchain. All errors are
+// exceptions; hardware-architectural events (memory-safety violations,
+// faults) are *not* errors — they are Trap values delivered by the
+// Machine — so code never uses exceptions for simulated control flow.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hwst::common {
+
+/// Malformed input to the toolchain (bad IR, bad encoding request, bad
+/// configuration). Programming errors on the host side.
+class ToolchainError : public std::logic_error {
+public:
+    explicit ToolchainError(const std::string& what) : std::logic_error{what} {}
+};
+
+/// The simulated machine reached a state the simulator cannot model
+/// (e.g. fuel exhausted, unmapped fetch). Distinct from architectural
+/// traps, which are ordinary results.
+class SimError : public std::runtime_error {
+public:
+    explicit SimError(const std::string& what) : std::runtime_error{what} {}
+};
+
+/// Configuration value out of the modelled range.
+class ConfigError : public std::logic_error {
+public:
+    explicit ConfigError(const std::string& what) : std::logic_error{what} {}
+};
+
+} // namespace hwst::common

@@ -1,0 +1,58 @@
+// Deterministic PRNG (xoshiro256**) used by workload generators and the
+// Juliet case generator. Determinism matters: every table/figure harness
+// must print the same rows on every run.
+#pragma once
+
+#include "bitops.hpp"
+
+namespace hwst::common {
+
+class Xoshiro256 {
+public:
+    explicit Xoshiro256(u64 seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+    void reseed(u64 seed)
+    {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        u64 x = seed;
+        for (auto& s : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    u64 next()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform value in [0, bound). bound must be nonzero.
+    u64 below(u64 bound) { return bound ? next() % bound : 0; }
+
+    /// Uniform value in [lo, hi] inclusive.
+    u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+    /// Bernoulli draw with probability num/den.
+    bool chance(u64 num, u64 den) { return below(den) < num; }
+
+private:
+    static constexpr u64 rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state_[4]{};
+};
+
+} // namespace hwst::common

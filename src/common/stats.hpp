@@ -1,0 +1,45 @@
+// Small statistics helpers used by the benchmark harnesses (the paper
+// reports geometric means of overheads and speedup factors).
+#pragma once
+
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace hwst::common {
+
+/// Arithmetic mean. Empty input -> 0.
+inline double mean(std::span<const double> xs)
+{
+    if (xs.empty()) return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+/// Geometric mean of strictly positive values. Values <= 0 throw: the
+/// paper's Eq. 7/8 quantities (1 + overhead, speedup) are positive by
+/// construction, so a non-positive input is a harness bug.
+inline double geo_mean(std::span<const double> xs)
+{
+    if (xs.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (const double x : xs) {
+        if (x <= 0.0) throw std::domain_error{"geo_mean: non-positive value"};
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Geometric mean of overhead percentages: overheads enter Eq. 7 as
+/// ratios (1 + oh), and the mean is reported back as a percentage.
+inline double geo_mean_overhead_pct(std::span<const double> overhead_pcts)
+{
+    std::vector<double> ratios;
+    ratios.reserve(overhead_pcts.size());
+    for (const double pct : overhead_pcts) ratios.push_back(1.0 + pct / 100.0);
+    return (geo_mean(ratios) - 1.0) * 100.0;
+}
+
+} // namespace hwst::common

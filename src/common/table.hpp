@@ -1,0 +1,70 @@
+// Fixed-width text-table printer for the figure/table harnesses so every
+// bench binary prints rows in the same aligned format as the paper's
+// exhibits.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hwst::common {
+
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers)
+        : headers_{std::move(headers)}
+    {
+        widths_.reserve(headers_.size());
+        for (const auto& h : headers_) widths_.push_back(h.size());
+    }
+
+    void add_row(std::vector<std::string> cells)
+    {
+        for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+            widths_[i] = std::max(widths_[i], cells[i].size());
+        }
+        rows_.push_back(std::move(cells));
+    }
+
+    void print(std::ostream& os) const
+    {
+        print_row(os, headers_);
+        std::string rule;
+        for (std::size_t i = 0; i < widths_.size(); ++i) {
+            rule += std::string(widths_[i] + 2, '-');
+            if (i + 1 != widths_.size()) rule += '+';
+        }
+        os << rule << '\n';
+        for (const auto& row : rows_) print_row(os, row);
+    }
+
+private:
+    void print_row(std::ostream& os, const std::vector<std::string>& row) const
+    {
+        for (std::size_t i = 0; i < widths_.size(); ++i) {
+            const std::string& cell = i < row.size() ? row[i] : empty_;
+            os << ' ' << std::left << std::setw(static_cast<int>(widths_[i]))
+               << cell << ' ';
+            if (i + 1 != widths_.size()) os << '|';
+        }
+        os << '\n';
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> widths_;
+    std::string empty_;
+};
+
+/// Format a double with `prec` fractional digits.
+inline std::string fmt(double v, int prec = 2)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+} // namespace hwst::common

@@ -1,0 +1,22 @@
+#include "compiler/driver.hpp"
+
+namespace hwst::compiler {
+
+CompiledProgram compile(const mir::Module& module, Scheme scheme,
+                        riscv::MemoryLayout layout)
+{
+    const auto emitter = make_emitter(scheme);
+    Codegen cg{module, *emitter, layout};
+    CompiledProgram cp{cg.compile(), emitter->machine_config(), scheme};
+    return cp;
+}
+
+sim::RunResult run(const mir::Module& module, Scheme scheme,
+                   riscv::MemoryLayout layout)
+{
+    CompiledProgram cp = compile(module, scheme, layout);
+    sim::Machine machine{cp.program, cp.machine_config};
+    return machine.run();
+}
+
+} // namespace hwst::compiler

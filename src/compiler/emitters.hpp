@@ -1,0 +1,215 @@
+// Concrete SafetyEmitter implementations, one per protection scheme.
+// See DESIGN.md §2 for which are faithful reproductions (Sbcets,
+// Hwst128, Gcc, Asan) and which are documented cost models of closed
+// x86 systems (Bogo, WdlNarrow, WdlWide).
+#pragma once
+
+#include <memory>
+
+#include "compiler/emitter.hpp"
+
+namespace hwst::compiler {
+
+/// Uninstrumented baseline (the divisor of Eq. 7).
+class NoneEmitter final : public SafetyEmitter {
+public:
+    Scheme scheme() const override { return Scheme::None; }
+};
+
+/// "GCC" baseline of Fig. 6: stack canary at function exits plus the
+/// libc invalid-free abort the Machine models.
+class GccEmitter final : public SafetyEmitter {
+public:
+    Scheme scheme() const override { return Scheme::Gcc; }
+    bool wants_canary() const override { return true; }
+};
+
+/// SoftBound+CETS pure-software instrumentation. Metadata lives in
+/// 32-byte groups associated with pointer SSA values (clang -O0 style)
+/// and, for memory-resident pointers, in the software shadow space at
+/// (addr << 2) + sw_meta_offset. All checks are emitted instruction
+/// sequences; temporal checks load the key from the lock_location.
+///
+/// With `temporal = false` and `free_scan = true` this doubles as the
+/// BOGO/IntelMPX cost model (bounds-only metadata, two-word moves, and
+/// a modeled bound-table scan on free).
+class SbcetsEmitter : public SafetyEmitter {
+public:
+    struct Options {
+        bool temporal = true;
+        bool free_scan = false; ///< BOGO: bound-table scan loop on free
+        /// Metadata map: two-level trie walk (real SoftBound) vs a
+        /// 2-instruction linear map (the BOGO/MPX hardware-walk model;
+        /// also an ablation knob for the trie-vs-linear design point).
+        bool trie = true;
+        /// Pay -O0 value-homing cost inside the emitted checks and
+        /// metadata copies (IR-level instrumentation compiled at -O0,
+        /// like the paper's SBCETS). Off for the MPX/BOGO model whose
+        /// checks are real instructions.
+        bool o0_cost = true;
+    };
+
+    SbcetsEmitter() = default;
+    explicit SbcetsEmitter(Options opts) : opts_{opts} {}
+
+    Scheme scheme() const override
+    {
+        return opts_.temporal ? Scheme::Sbcets : Scheme::Bogo;
+    }
+    bool wants_groups() const override { return true; }
+    bool wants_frame_lock() const override { return opts_.temporal; }
+    sim::MachineConfig machine_config() const override
+    {
+        sim::MachineConfig cfg;
+        cfg.runtime.init_sw_trie = opts_.trie;
+        return cfg;
+    }
+
+    void program_start(Ctx& ctx) override;
+    void function_entry(Ctx& ctx) override;
+    void function_exit(Ctx& ctx) override;
+    void bind_alloca(Ctx& ctx, Reg r, u32 alloca_index, Value v) override;
+    void bind_global(Ctx& ctx, Reg r, u32 global_index, Value v) override;
+    void bind_null(Ctx& ctx, Reg r, Value v) override;
+    void bind_laundered(Ctx& ctx, Reg r, Value v) override;
+    void ptr_loaded(Ctx& ctx, Reg dst, Reg src_addr, Value v) override;
+    void ptr_stored(Ctx& ctx, Reg src, Reg dst_addr, Value v) override;
+    void deref_check(Ctx& ctx, Reg ptr, unsigned width, bool is_store,
+                     Value v) override;
+    void before_call(Ctx& ctx, const mir::Instr& call) override;
+    void after_call(Ctx& ctx, const mir::Instr& call) override;
+    void ret_ptr(Ctx& ctx, Value v) override;
+    void malloc_wrapper(Ctx& ctx, Value result) override;
+    void free_wrapper(Ctx& ctx, Value operand) override;
+    void before_memcpy(Ctx& ctx, const mir::Instr& in) override;
+    void before_memset(Ctx& ctx, const mir::Instr& in) override;
+    void copy_word_metadata(Ctx& ctx, Reg dst_addr, Reg src_addr) override;
+    void clear_word_metadata(Ctx& ctx, Reg dst_addr) override;
+
+private:
+    /// Range check of [reg, reg+a2) against the group of `v`.
+    void range_check(Ctx& ctx, Reg r, Value v);
+
+    /// Bytes of metadata moved through memory per pointer. 32 for
+    /// SBCETS (base/bound/key/lock) and also 32 for the BOGO/MPX model:
+    /// MPX bound-table entries are 32 bytes (LB, UB, pointer, reserved)
+    /// and bndstx/bndldx move the whole entry.
+    i64 meta_bytes() const { return 32; }
+
+    /// dst = software metadata address of the container in `addr_reg`.
+    /// Trie mode clobbers t4 and performs a dependent L1 load.
+    void sw_map(Ctx& ctx, Reg dst, Reg addr_reg) const;
+
+    Options opts_{};
+};
+
+/// HWST128 hardware instrumentation (§3.2-3.5): SRF binding via
+/// bndrs/bndrt, through-memory propagation via sbdl/sbdu + lbdls/lbdus,
+/// SCU-fused checked loads/stores, and temporal checks either with the
+/// tchk instruction + keybuffer (use_tchk = true, the paper's
+/// HWST128_tchk bars) or with the software key-load sequence over
+/// lkey/lloc (use_tchk = false, the paper's HWST128 bars).
+class HwstEmitter : public SafetyEmitter {
+public:
+    /// `uncompressed` is the compression ablation (DESIGN.md 5 item 1):
+    /// without the 128-bit compressed format the metadata does not fit
+    /// one SRF entry / two shadow slots, so every through-memory move
+    /// costs twice the shadow traffic (256 raw bits). `status` is the
+    /// csr.status enable mask written by the program prologue (bit 0
+    /// spatial, bit 1 temporal) — the overhead-decomposition knob.
+    explicit HwstEmitter(bool use_tchk = true, bool uncompressed = false,
+                         u64 status = 3)
+        : use_tchk_{use_tchk}, uncompressed_{uncompressed}, status_{status}
+    {
+    }
+
+    Scheme scheme() const override
+    {
+        return use_tchk_ ? Scheme::Hwst128Tchk : Scheme::Hwst128;
+    }
+    bool checked_mem() const override { return true; }
+    bool wants_frame_lock() const override { return true; }
+
+    void program_start(Ctx& ctx) override;
+    void function_entry(Ctx& ctx) override;
+    void function_exit(Ctx& ctx) override;
+    void bind_alloca(Ctx& ctx, Reg r, u32 alloca_index, Value v) override;
+    void bind_global(Ctx& ctx, Reg r, u32 global_index, Value v) override;
+    void bind_null(Ctx& ctx, Reg r, Value v) override;
+    void bind_laundered(Ctx& ctx, Reg r, Value v) override;
+    void ptr_spill(Ctx& ctx, Reg r, i64 slot_off, Value v) override;
+    void ptr_fill(Ctx& ctx, Reg r, i64 slot_off, Value v) override;
+    void ptr_loaded(Ctx& ctx, Reg dst, Reg src_addr, Value v) override;
+    void ptr_stored(Ctx& ctx, Reg src, Reg dst_addr, Value v) override;
+    void deref_check(Ctx& ctx, Reg ptr, unsigned width, bool is_store,
+                     Value v) override;
+    void malloc_wrapper(Ctx& ctx, Value result) override;
+    void free_wrapper(Ctx& ctx, Value operand) override;
+    void before_memcpy(Ctx& ctx, const mir::Instr& in) override;
+    void before_memset(Ctx& ctx, const mir::Instr& in) override;
+    void copy_word_metadata(Ctx& ctx, Reg dst_addr, Reg src_addr) override;
+    void clear_word_metadata(Ctx& ctx, Reg dst_addr) override;
+
+protected:
+    /// Checked-access probe of [r, r+a2) via the SCU + tchk.
+    void hw_range_check(Ctx& ctx, Reg r);
+
+    bool use_tchk_;
+    bool uncompressed_;
+    u64 status_;
+};
+
+/// AddressSanitizer model: shadow-byte check before every access,
+/// redzones + quarantine provided by the runtime (MachineConfig), stack
+/// redzones poisoned per frame. No pointer provenance — exactly the
+/// mechanism difference Fig. 6 exposes.
+class AsanEmitter final : public SafetyEmitter {
+public:
+    Scheme scheme() const override { return Scheme::Asan; }
+    i64 alloca_redzone() const override { return 16; }
+    sim::MachineConfig machine_config() const override
+    {
+        sim::MachineConfig cfg;
+        cfg.runtime.asan_redzone = 16;
+        cfg.runtime.quarantine = true;
+        return cfg;
+    }
+
+    void program_start(Ctx& ctx) override;
+    void function_entry(Ctx& ctx) override;
+    void function_exit(Ctx& ctx) override;
+    void deref_check(Ctx& ctx, Reg ptr, unsigned width, bool is_store,
+                     Value v) override;
+};
+
+/// WatchdogLite cost models (Fig. 5). WDL accelerates the *checks*
+/// with dedicated compare instructions but still addresses metadata in
+/// software, so it sits on the SBCETS chassis with tight (non-homed)
+/// sequences: narrow pays the full table walk per scalar metadata move;
+/// wide amortises the walk with 256-bit transfers (linear map model).
+/// Temporal checks still load the key from memory (no keybuffer) —
+/// which is exactly the gap HWST128's tchk exploits.
+class WdlEmitter final : public SbcetsEmitter {
+public:
+    explicit WdlEmitter(bool wide)
+        : SbcetsEmitter{Options{.temporal = true,
+                                .free_scan = false,
+                                .trie = !wide,
+                                .o0_cost = false}},
+          wide_{wide}
+    {
+    }
+
+    Scheme scheme() const override
+    {
+        return wide_ ? Scheme::WdlWide : Scheme::WdlNarrow;
+    }
+
+private:
+    bool wide_;
+};
+
+/// Factory: emitter for a scheme (Bogo/Wdl map onto their cost models).
+std::unique_ptr<SafetyEmitter> make_emitter(Scheme scheme);
+
+} // namespace hwst::compiler

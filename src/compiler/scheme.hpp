@@ -1,0 +1,46 @@
+// Protection schemes the toolchain can instrument for. The first four
+// are the paper's Fig. 4/Fig. 6 subjects; the last three are the Fig. 5
+// comparator cost models (DESIGN.md §2).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace hwst::compiler {
+
+enum class Scheme {
+    None,       ///< uninstrumented baseline ("GCC" in Fig. 6 adds only
+                ///< stack canaries + libc free checks, see GccEmitter)
+    Gcc,        ///< stack-protector + fortify-lite (Fig. 6 baseline)
+    Sbcets,     ///< SoftBound+CETS pure software (Fig. 4/5/6)
+    Hwst128,    ///< HWST128 without tchk: HW spatial + SW temporal load
+    Hwst128Tchk,///< full HWST128: tchk + keybuffer (Fig. 4/5/6)
+    Asan,       ///< AddressSanitizer model (Fig. 6)
+    Bogo,       ///< BOGO/IntelMPX model (Fig. 5)
+    WdlNarrow,  ///< WatchdogLite scalar metadata model (Fig. 5)
+    WdlWide,    ///< WatchdogLite wide (AVX) metadata model (Fig. 5)
+};
+
+constexpr std::string_view scheme_name(Scheme s)
+{
+    switch (s) {
+    case Scheme::None: return "none";
+    case Scheme::Gcc: return "gcc";
+    case Scheme::Sbcets: return "sbcets";
+    case Scheme::Hwst128: return "hwst128";
+    case Scheme::Hwst128Tchk: return "hwst128_tchk";
+    case Scheme::Asan: return "asan";
+    case Scheme::Bogo: return "bogo";
+    case Scheme::WdlNarrow: return "wdl_narrow";
+    case Scheme::WdlWide: return "wdl_wide";
+    }
+    return "?";
+}
+
+inline constexpr std::array kAllSchemes = {
+    Scheme::None,      Scheme::Gcc,        Scheme::Sbcets,
+    Scheme::Hwst128,   Scheme::Hwst128Tchk, Scheme::Asan,
+    Scheme::Bogo,      Scheme::WdlNarrow,  Scheme::WdlWide,
+};
+
+} // namespace hwst::compiler

@@ -1,0 +1,155 @@
+#include "hwcost/model.hpp"
+
+#include <cmath>
+
+namespace hwst::hwcost {
+
+namespace prim {
+
+// UltraScale+-class coefficients: one LUT+carry per adder bit, LUT6
+// reduction trees for equality, two 2:1-mux bits per LUT6, RAM32M-style
+// distributed RAM for small register files.
+
+Resource adder(unsigned bits)
+{
+    return Resource{bits, 0, 0.40 + 0.02 * bits / 8.0};
+}
+
+Resource subtractor(unsigned bits) { return adder(bits); }
+
+Resource comparator_eq(unsigned bits)
+{
+    return Resource{(bits + 2) / 3, 0, 0.35};
+}
+
+Resource comparator_mag(unsigned bits)
+{
+    return Resource{bits, 0, 0.40 + 0.02 * bits / 8.0};
+}
+
+Resource mux2(unsigned bits) { return Resource{(bits + 1) / 2, 0, 0.15}; }
+
+Resource muxn(unsigned bits, unsigned ways)
+{
+    if (ways <= 1) return Resource{};
+    const unsigned levels = common::clog2(ways);
+    return Resource{bits * (ways - 1) / 2, 0, 0.15 * levels};
+}
+
+Resource lutram(unsigned depth, unsigned width)
+{
+    // RAM32M-style packing: ~16 bits of storage per LUT, 1.5x for the
+    // second read port of a 2R1W file.
+    const unsigned bits = depth * width;
+    return Resource{static_cast<u32>(bits * 3 / 2 / 16), 0, 0.45};
+}
+
+Resource regs(unsigned bits) { return Resource{0, bits, 0.10}; }
+
+Resource priority_encoder(unsigned ways)
+{
+    return Resource{ways * 2, 0, 0.25};
+}
+
+} // namespace prim
+
+namespace {
+
+ModuleCost make(const std::string& name, const std::string& comp,
+                std::initializer_list<Resource> parts)
+{
+    ModuleCost m{name, comp, {}};
+    for (const auto& r : parts) {
+        m.res.luts += r.luts;
+        m.res.ffs += r.ffs;
+        m.res.delay_ns += r.delay_ns; // elements compose in series
+    }
+    return m;
+}
+
+} // namespace
+
+CostReport estimate(const metadata::CompressionConfig& cfg,
+                    unsigned keybuffer_entries)
+{
+    CostReport rep;
+    const unsigned kb = cfg.key_bits();
+
+    // SRF: 32 x 128-bit shadow register file, 2R1W, in distributed RAM
+    // (FF implementation would cost 4096 flops — the paper's +112 FFs
+    // rules it out).
+    rep.modules.push_back(make(
+        "SRF (32x128 LUT-RAM)", "2R1W distributed RAM + write decode",
+        {prim::lutram(32, 128), prim::muxn(5, 2), prim::regs(4)}));
+
+    // COMP: range subtract (Eq. 2) + 8-byte round-up + lock index
+    // subtract + field packing (Fig. 2).
+    rep.modules.push_back(make(
+        "COMP", "bound-base, align round-up, lock-base, pack muxes",
+        {prim::subtractor(64), prim::adder(cfg.range_bits + 3),
+         prim::subtractor(64), prim::mux2(128), prim::regs(4)}));
+
+    // DECOMP: bound = base + (range << 3), lock = lock_base + (idx << 3),
+    // field extraction.
+    rep.modules.push_back(make(
+        "DECOMP", "base+range adder, lock adder, unpack muxes",
+        {prim::adder(cfg.base_bits + 3), prim::adder(cfg.lock_bits + 3),
+         prim::mux2(128)}));
+
+    // SMAC: (addr << 2) + csr.sm.offset (Eq. 1).
+    rep.modules.push_back(make("SMAC", "shift (wiring) + 64-bit adder",
+                               {prim::adder(64), prim::regs(4)}));
+
+    // SCU: addr >= base and addr + width <= bound at EX (Fig. 3).
+    rep.modules.push_back(make(
+        "SCU", "two 64-bit magnitude comparators + width adder",
+        {prim::comparator_mag(64), prim::comparator_mag(64),
+         prim::adder(4), prim::regs(4)}));
+
+    // TCU: key equality.
+    rep.modules.push_back(make("TCU", "key comparator",
+                               {prim::comparator_eq(kb), prim::regs(4)}));
+
+    // Keybuffer: fully associative lock -> key cache with LRU.
+    rep.modules.push_back(make(
+        "keybuffer",
+        std::to_string(keybuffer_entries) + "-entry CAM + LRU",
+        {prim::lutram(keybuffer_entries, kb),
+         Resource{keybuffer_entries * ((cfg.lock_bits + 2) / 3), 0, 0.35},
+         prim::priority_encoder(keybuffer_entries),
+         prim::muxn(kb, keybuffer_entries),
+         prim::regs(keybuffer_entries * 2)}));
+
+    // Metadata bypass network: SRF forwarding from EX/MEM/WB into the
+    // check units — the paper's critical-path culprit.
+    rep.modules.push_back(make(
+        "bypass network", "128-bit 3:1 forwarding muxes x2 + match logic",
+        {prim::muxn(128, 3), prim::muxn(128, 3), prim::comparator_eq(10),
+         prim::comparator_eq(10), prim::regs(8)}));
+
+    // HWST CSRs: sm.offset(64) + bitw(24) + lock.base kept in LUT-RAM
+    // page, status(2) + violation cause staging.
+    rep.modules.push_back(make("CSRs", "sm.offset, bitw, status, cause",
+                               {prim::regs(64), prim::regs(4)}));
+
+    // Decode & trap plumbing for the 25 custom opcodes: decoder terms
+    // and the violation-cause mux into the trap unit.
+    rep.modules.push_back(make("decode+trap", "custom opcode decode, cause mux",
+                               {Resource{45, 0, 0.2}, Resource{22, 0, 0.15},
+                                prim::regs(4)}));
+
+    for (const auto& m : rep.modules) {
+        rep.added_luts += m.res.luts;
+        rep.added_ffs += m.res.ffs;
+    }
+
+    // Critical path: the baseline EX stage plus the forwarding mux
+    // levels and routing the metadata bypass inserts before the SCU.
+    const double bypass_ns = 0.15 * 2     // two forwarding mux levels
+                             + 0.54       // congestion routing detour
+                             + 0.35;      // SCU tag select
+    rep.critical_path_ns = rep.baseline.critical_path_ns + bypass_ns;
+    return rep;
+}
+
+} // namespace hwst::hwcost

@@ -1,0 +1,85 @@
+// The HWST128 pipeline units of Fig. 3: SMAC (shadow memory address
+// calculator), SCU (spatial check unit) and TCU (temporal check unit).
+// Pure combinational functions wrapped in small stat-keeping classes so
+// the hardware-cost model and the ablation benches can introspect them.
+#pragma once
+
+#include "common/bitops.hpp"
+#include "metadata/compress.hpp"
+
+namespace hwst::hwst {
+
+using common::u64;
+
+/// SMAC — Eq. 1: Addr_LMSM = (Addr_ptr_container << 2) + CSR_offset.
+/// The shift is kept verbatim from the paper: each 8-byte pointer
+/// container strides 32 shadow bytes; the lower metadata half lives at
+/// the mapped address and the upper half 8 bytes above.
+class Smac {
+public:
+    u64 map(u64 container_addr, u64 csr_offset)
+    {
+        ++translations_;
+        return (container_addr << 2) + csr_offset;
+    }
+
+    static constexpr u64 upper_slot_offset() { return 8; }
+
+    u64 translations() const { return translations_; }
+
+private:
+    u64 translations_ = 0;
+};
+
+/// SCU — spatial check at the execute stage: the decompressed base /
+/// bound are compared against the access address (paper Fig. 3: "if the
+/// target address is out-of-bound, a spatial violation trap will be
+/// evoked").
+class Scu {
+public:
+    struct Result {
+        bool pass;
+    };
+
+    Result check(u64 addr, unsigned width, u64 base, u64 bound)
+    {
+        ++checks_;
+        const bool pass = addr >= base && addr + width <= bound &&
+                          addr + width >= addr;
+        if (!pass) ++violations_;
+        return Result{pass};
+    }
+
+    u64 checks() const { return checks_; }
+    u64 violations() const { return violations_; }
+
+private:
+    u64 checks_ = 0;
+    u64 violations_ = 0;
+};
+
+/// TCU — temporal check: key held by the pointer vs key stored at the
+/// lock_location (possibly served by the keybuffer).
+class Tcu {
+public:
+    struct Result {
+        bool pass;
+    };
+
+    Result check(u64 pointer_key, u64 lock_key)
+    {
+        ++checks_;
+        const bool pass = pointer_key == lock_key && pointer_key != 0;
+        if (!pass) ++violations_;
+        return Result{pass};
+    }
+
+    u64 checks() const { return checks_; }
+    u64 violations() const { return violations_; }
+
+private:
+    u64 checks_ = 0;
+    u64 violations_ = 0;
+};
+
+} // namespace hwst::hwst

@@ -1,0 +1,384 @@
+#include "juliet/cases.hpp"
+
+#include "common/error.hpp"
+#include "mir/builder.hpp"
+#include "workloads/dsl.hpp"
+
+namespace hwst::juliet {
+
+using mir::FunctionBuilder;
+using mir::Global;
+using mir::Ty;
+using mir::Value;
+using workloads::for_range;
+using workloads::if_then;
+
+const std::vector<CweCount>& cwe_counts()
+{
+    // Spatial 7074 + temporal 1292 = 8366 (paper §4).
+    static const std::vector<CweCount> counts = {
+        {Cwe::C121, 2508}, {Cwe::C122, 1556}, {Cwe::C124, 1034},
+        {Cwe::C126, 930},  {Cwe::C127, 1046}, {Cwe::C415, 190},
+        {Cwe::C416, 140},  {Cwe::C476, 398},  {Cwe::C690, 416},
+        {Cwe::C761, 148},
+    };
+    return counts;
+}
+
+std::string CaseSpec::id() const
+{
+    std::string s{cwe_name(cwe)};
+    s += "_" + std::to_string(index);
+    s += bad ? "_bad" : "_good";
+    return s;
+}
+
+namespace {
+
+/// Deterministic per-index hash for dimension assignment.
+u32 mix(u32 index) { return index * 2654435761u; }
+
+bool far_contiguous(u32 index) { return (index / 2) % 5 < 3; } // 60 %
+
+} // namespace
+
+CaseSpec make_spec(Cwe cwe, u32 index, bool bad)
+{
+    CaseSpec s;
+    s.cwe = cwe;
+    s.index = index;
+    s.bad = bad;
+
+    const u32 h = mix(index);
+    const u32 d = h % 100;
+    s.distance = d < 28 ? Distance::Near
+                        : (d < 38 ? Distance::Mid : Distance::Far);
+    s.access = index % 2 == 0 ? AccessKind::Direct : AccessKind::Loop;
+
+    // Provenance: 41 % of spatial cases and 30 % of use-after-free
+    // cases reach the sink through an int<->ptr laundered pointer.
+    const u32 p = (h / 100) % 100;
+    if (is_spatial(cwe)) {
+        s.provenance = p < 41 ? Provenance::Laundered : Provenance::Tracked;
+    } else if (cwe == Cwe::C416) {
+        s.provenance = p < 30 ? Provenance::Laundered : Provenance::Tracked;
+    } else {
+        s.provenance = Provenance::Tracked;
+    }
+
+    // Container.
+    switch (cwe) {
+    case Cwe::C121: s.container = Container::Stack; break;
+    case Cwe::C122: s.container = Container::Heap; break;
+    case Cwe::C124: case Cwe::C126: case Cwe::C127:
+        s.container = index % 3 == 0 ? Container::Heap
+                      : (index % 3 == 1 ? Container::Stack
+                                        : Container::Global);
+        break;
+    default: s.container = Container::Heap; break;
+    }
+
+    // Sizes: stack/global sizes are 8-byte multiples; heap overflow
+    // cases mix odd sizes so bound-compression slack exists (§5 item 1).
+    s.buf_size = cwe == Cwe::C122 ? 25 + (index % 6) * 9
+                                  : 24 + (index % 6) * 8;
+
+    // Overflow distance in bytes.
+    switch (s.distance) {
+    case Distance::Near: s.over_bytes = 1 + index % 7; break;
+    case Distance::Mid: s.over_bytes = 9 + index % 8; break;
+    case Distance::Far: s.over_bytes = 65 + (index % 8) * 13; break;
+    }
+
+    // CWE122 sub-granule subset: a quarter of the near+tracked heap
+    // overflow cases stay inside the 8-byte compression granule — the
+    // HWST128-miss / SBCETS-catch population behind the paper's −0.86 %.
+    if (cwe == Cwe::C122 && s.distance == Distance::Near &&
+        s.provenance == Provenance::Tracked && index % 4 == 0) {
+        s.buf_size = 25 + (index % 3) * 16; // size % 8 == 1 -> slack 7
+        s.over_bytes = 1 + index % 6;       // <= 7: inside the granule
+    } else if (cwe == Cwe::C122 && s.distance == Distance::Near) {
+        // Otherwise guarantee the overflow escapes the granule.
+        const u64 slack = (8 - s.buf_size % 8) % 8;
+        if (s.over_bytes <= slack) s.over_bytes = slack + 1;
+    }
+    return s;
+}
+
+std::vector<CaseSpec> all_bad_cases()
+{
+    std::vector<CaseSpec> out;
+    for (const auto& [cwe, count] : cwe_counts())
+        for (u32 i = 0; i < count; ++i) out.push_back(make_spec(cwe, i, true));
+    return out;
+}
+
+std::vector<CaseSpec> good_cases(u32 stride)
+{
+    std::vector<CaseSpec> out;
+    for (const auto& [cwe, count] : cwe_counts())
+        for (u32 i = 0; i < count; i += stride)
+            out.push_back(make_spec(cwe, i, false));
+    return out;
+}
+
+namespace {
+
+/// Emit: p (ptr local) = address of a fresh buffer per the container.
+/// Returns the local index holding the (possibly laundered) pointer.
+u32 emit_buffer(mir::Module& m, FunctionBuilder& b, const CaseSpec& spec)
+{
+    const auto p = b.local("p", Ty::Ptr);
+    Value addr{};
+    switch (spec.container) {
+    case Container::Stack: {
+        const u32 buf = b.array("buf", spec.buf_size);
+        addr = b.alloca_addr(buf);
+        break;
+    }
+    case Container::Heap:
+        addr = b.malloc_(b.const_i64(static_cast<i64>(spec.buf_size)));
+        break;
+    case Container::Global: {
+        // A padding global below the target absorbs far underflows
+        // silently (mapped memory), like neighbouring .data objects.
+        m.add_global(Global{"pad_below", 256, 8, {}});
+        const u32 g = m.add_global(Global{"gbuf", spec.buf_size, 8, {}});
+        m.add_global(Global{"pad_above", 256, 8, {}});
+        addr = b.global_addr(g);
+        break;
+    }
+    }
+    b.store_local(p, addr);
+
+    if (spec.provenance == Provenance::Laundered) {
+        // The Juliet data-flow variants that defeat pointer tracking.
+        const auto pi = b.local("pi");
+        b.store_local(pi, b.ptr_to_int(b.load_local(p)));
+        b.store_local(p, b.int_to_ptr(b.load_local(pi)));
+    }
+    return p;
+}
+
+/// In-bounds warm-up work so every case executes genuine accesses.
+void emit_warmup(FunctionBuilder& b, u32 p, const CaseSpec& spec, u32 acc,
+                 u32 i)
+{
+    for_range(b, i, 0, static_cast<i64>(spec.buf_size / 8), [&] {
+        Value slot = b.gep(b.load_local(p), b.load_local(i), 8);
+        b.store(b.add(b.load_local(i), b.const_i64(3)), slot);
+    });
+    for_range(b, i, 0, static_cast<i64>(spec.buf_size / 8), [&] {
+        Value slot = b.gep(b.load_local(p), b.load_local(i), 8);
+        b.store_local(acc, b.add(b.load_local(acc), b.load(slot)));
+    });
+}
+
+mir::Module build_spatial(const CaseSpec& spec)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto acc = b.local("acc");
+    b.store_local(acc, b.const_i64(0));
+    // Loop counters are allocated *below* the buffer so a contiguous
+    // overflow sweeps toward the canary / caller frame, not into its
+    // own induction variable (which would livelock like a self-
+    // corrupting Juliet case under a harness without timeouts).
+    const u32 k = b.local("k");
+    const u32 wi = b.local("wi");
+    const u32 p = emit_buffer(m, b, spec);
+    emit_warmup(b, p, spec, acc, wi);
+
+    const bool is_write = spec.cwe == Cwe::C121 || spec.cwe == Cwe::C122 ||
+                          spec.cwe == Cwe::C124;
+    const bool is_under = spec.cwe == Cwe::C124 || spec.cwe == Cwe::C127;
+    const i64 size = static_cast<i64>(spec.buf_size);
+    const i64 over = static_cast<i64>(spec.over_bytes);
+
+    const auto access_at = [&](Value off) {
+        Value addr = b.gep(b.load_local(p), off, 1);
+        if (is_write) {
+            b.store(b.const_i64(0x41), addr, 1);
+        } else {
+            Value v = b.load(addr, 1, false);
+            b.store_local(acc, b.add(b.load_local(acc), v));
+        }
+    };
+
+    if (spec.access == AccessKind::Direct) {
+        // One access at the first (or deepest) out-of-bounds byte.
+        i64 off;
+        if (spec.bad) {
+            off = is_under ? -over : size + over - 1;
+        } else {
+            off = is_under ? 0 : size - 1;
+        }
+        access_at(b.const_i64(off));
+    } else if (is_under) {
+        // Sweep below the buffer start.
+        const i64 lo = spec.bad ? -over : 0;
+        for_range(b, k, lo, 4, [&] { access_at(b.load_local(k)); });
+    } else if (spec.distance == Distance::Far && !far_contiguous(spec.index)) {
+        // Index-miscomputation sweep: jumps past redzones and canaries.
+        const i64 start = spec.bad ? size + over - 1 : 0;
+        for_range(b, k, 0, 3, [&] {
+            Value off = b.add(b.mul(b.load_local(k), b.const_i64(8)),
+                              b.const_i64(start));
+            access_at(off);
+        });
+    } else {
+        // Contiguous sweep from inside the buffer past its end.
+        const i64 hi = spec.bad ? size + over : size;
+        for_range(b, k, 0, hi, [&] { access_at(b.load_local(k)); });
+    }
+
+    if (spec.container == Container::Heap) b.free_(b.load_local(p));
+    b.ret(b.load_local(acc));
+    return m;
+}
+
+mir::Module build_temporal(const CaseSpec& spec)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto acc = b.local("acc");
+    b.store_local(acc, b.const_i64(0));
+    const i64 size = static_cast<i64>(spec.buf_size);
+
+    switch (spec.cwe) {
+    case Cwe::C415: { // double free
+        const auto p = b.local("p", Ty::Ptr);
+        b.store_local(p, b.malloc_(b.const_i64(size)));
+        b.store(b.const_i64(7), b.load_local(p));
+        b.store_local(acc, b.load(b.load_local(p)));
+        b.free_(b.load_local(p));
+        if (spec.bad) b.free_(b.load_local(p));
+        break;
+    }
+    case Cwe::C416: { // use after free
+        const auto p = b.local("p", Ty::Ptr);
+        b.store_local(p, b.malloc_(b.const_i64(size)));
+        if (spec.provenance == Provenance::Laundered) {
+            const auto pi = b.local("pi");
+            b.store_local(pi, b.ptr_to_int(b.load_local(p)));
+            b.store_local(p, b.int_to_ptr(b.load_local(pi)));
+        }
+        b.store(b.const_i64(11), b.load_local(p));
+        if (spec.bad) {
+            b.free_(b.load_local(p));
+            b.store_local(acc, b.load(b.load_local(p))); // dangling read
+        } else {
+            b.store_local(acc, b.load(b.load_local(p)));
+            b.free_(b.load_local(p));
+        }
+        break;
+    }
+    case Cwe::C476: { // direct null dereference
+        const auto p = b.local("p", Ty::Ptr);
+        if (spec.bad) {
+            b.store_local(p, b.null_ptr());
+        } else {
+            b.store_local(p, b.malloc_(b.const_i64(size)));
+        }
+        Value addr = b.gep_const(b.load_local(p),
+                                 static_cast<i64>(spec.index % 2) * 8);
+        b.store(b.const_i64(13), addr);
+        b.store_local(acc, b.load(addr));
+        if (!spec.bad) b.free_(b.load_local(p));
+        break;
+    }
+    case Cwe::C690: { // unchecked allocation result
+        const auto p = b.local("p", Ty::Ptr);
+        const i64 request =
+            spec.bad ? (i64{1} << 40) + static_cast<i64>(spec.index) : size;
+        b.store_local(p, b.malloc_(b.const_i64(request)));
+        // The dereference lands in mapped memory (the data segment) so
+        // a null base produces no fault — only key-0 temporal metadata
+        // flags it (DESIGN.md §5; the paper's ASAN-misses-CWE690 row).
+        const i64 off = 0x100000 + static_cast<i64>(spec.index % 64) * 8;
+        Value addr = spec.bad
+                         ? b.gep_const(b.load_local(p), off)
+                         : b.gep_const(b.load_local(p), 0);
+        b.store_local(acc, b.load(addr, 8, true));
+        if (!spec.bad) b.free_(b.load_local(p));
+        break;
+    }
+    case Cwe::C761: { // free of pointer not at start
+        const auto p = b.local("p", Ty::Ptr);
+        b.store_local(p, b.malloc_(b.const_i64(size)));
+        b.store(b.const_i64(17), b.load_local(p));
+        b.store_local(acc, b.load(b.load_local(p)));
+        const i64 off = spec.bad ? 8 * (1 + static_cast<i64>(spec.index % 3))
+                                 : 0;
+        b.free_(b.gep_const(b.load_local(p), off));
+        break;
+    }
+    default:
+        throw common::ToolchainError{"build_temporal: spatial CWE"};
+    }
+
+    b.ret(b.load_local(acc));
+    return m;
+}
+
+} // namespace
+
+mir::Module build_case(const CaseSpec& spec)
+{
+    return is_spatial(spec.cwe) ? build_spatial(spec) : build_temporal(spec);
+}
+
+mir::Module build_interproc_case(bool bad)
+{
+    mir::Module m;
+    {
+        // sink(p, idx): p[idx] = 0x41 — the callee has no idea where p
+        // came from; its metadata arrives via the call protocol.
+        auto& fn = m.add_function("sink", {Ty::Ptr, Ty::I64}, Ty::Void);
+        FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        Value addr = b.gep(b.param(0), b.param(1), 1);
+        b.store(b.const_i64(0x41), addr, 1);
+        b.ret();
+    }
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(48)));
+    b.call("sink", {b.load_local(p), b.const_i64(bad ? 48 : 47)},
+           Ty::Void);
+    b.free_(b.load_local(p));
+    b.ret(b.const_i64(0));
+    return m;
+}
+
+mir::Module build_intra_object_case(bool bad)
+{
+    // struct { char name[24]; i64 balance; } — the overrun stays inside
+    // the 32-byte allocation and corrupts the sibling field.
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(32)));
+    Value balance = b.gep_const(b.load_local(p), 24);
+    b.store(b.const_i64(9999), balance);
+    // "strcpy" into name, one byte too far when bad.
+    const auto i = b.local("i");
+    workloads::for_range(b, i, 0, bad ? 25 : 24, [&] {
+        Value c = b.gep(b.load_local(p), b.load_local(i), 1);
+        b.store(b.const_i64(0x42), c, 1);
+    });
+    Value out = b.load(b.gep_const(b.load_local(p), 24));
+    b.free_(b.load_local(p));
+    b.ret(out);
+    return m;
+}
+
+} // namespace hwst::juliet

@@ -1,0 +1,131 @@
+// Juliet-style memory-safety test-case generator (paper §4, Fig. 6).
+//
+// The NIST Juliet suite's relevant subcategories are reproduced as
+// parameterized templates: 7074 spatial cases (CWE121/122/124/126/127)
+// and 1292 temporal cases (CWE415/416/476/690/761) — 8366 bad cases
+// total, matching the paper's denominators. Each case is a small
+// mir::Module whose main() performs the defect; "good" twins perform
+// the same computation in bounds (false-positive checks).
+//
+// Variant dimensions reproduce the mechanisms that give each protection
+// scheme its characteristic coverage:
+//   * distance    — near (<8 B), mid (8..16 B), far (>64 B) out of
+//                   bounds: redzone-based ASAN catches near/mid only.
+//   * provenance  — tracked vs laundered through int<->ptr casts:
+//                   pointer-based schemes (SBCETS/HWST128) lose
+//                   laundered pointers; ASAN does not care.
+//   * container   — stack / heap / global.
+//   * access      — single direct access vs loop sweep: the loop sweep
+//                   is what can trip the GCC stack canary.
+//   * odd heap sizes — HWST128's 8-byte-granule bound compression
+//                   rounds the bound up; sub-granule heap overflows
+//                   pass the SCU but fail SBCETS's exact bound — the
+//                   paper's CWE122 coverage gap (Fig. 6, −0.86 %).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mir/ir.hpp"
+
+namespace hwst::juliet {
+
+using common::i64;
+using common::u32;
+using common::u64;
+
+enum class Cwe {
+    C121, ///< stack-based buffer overflow (write)
+    C122, ///< heap-based buffer overflow (write)
+    C124, ///< buffer underwrite
+    C126, ///< buffer overread
+    C127, ///< buffer underread
+    C415, ///< double free
+    C416, ///< use after free
+    C476, ///< NULL pointer dereference
+    C690, ///< unchecked NULL from allocation, dereferenced
+    C761, ///< free of pointer not at start of buffer
+};
+
+constexpr std::string_view cwe_name(Cwe c)
+{
+    switch (c) {
+    case Cwe::C121: return "CWE121";
+    case Cwe::C122: return "CWE122";
+    case Cwe::C124: return "CWE124";
+    case Cwe::C126: return "CWE126";
+    case Cwe::C127: return "CWE127";
+    case Cwe::C415: return "CWE415";
+    case Cwe::C416: return "CWE416";
+    case Cwe::C476: return "CWE476";
+    case Cwe::C690: return "CWE690";
+    case Cwe::C761: return "CWE761";
+    }
+    return "?";
+}
+
+constexpr bool is_spatial(Cwe c)
+{
+    switch (c) {
+    case Cwe::C121: case Cwe::C122: case Cwe::C124: case Cwe::C126:
+    case Cwe::C127:
+        return true;
+    default:
+        return false;
+    }
+}
+
+/// Case counts per subcategory (sum: 7074 spatial + 1292 temporal =
+/// 8366, the paper's totals).
+struct CweCount {
+    Cwe cwe;
+    u32 count;
+};
+const std::vector<CweCount>& cwe_counts();
+
+enum class Distance { Near, Mid, Far };
+enum class Provenance { Tracked, Laundered };
+enum class Container { Stack, Heap, Global };
+enum class AccessKind { Direct, Loop };
+
+struct CaseSpec {
+    Cwe cwe{};
+    u32 index = 0; ///< variant index within the CWE
+    bool bad = true;
+
+    Distance distance = Distance::Near;
+    Provenance provenance = Provenance::Tracked;
+    Container container = Container::Stack;
+    AccessKind access = AccessKind::Direct;
+    u64 buf_size = 32;  ///< object size in bytes
+    u64 over_bytes = 1; ///< how far out of bounds
+
+    std::string id() const;
+};
+
+/// Derive the deterministic spec for case `index` of `cwe`.
+CaseSpec make_spec(Cwe cwe, u32 index, bool bad);
+
+/// All bad cases (8366), in CWE order.
+std::vector<CaseSpec> all_bad_cases();
+
+/// Good twins, sampled every `stride` cases (false-positive checks).
+std::vector<CaseSpec> good_cases(u32 stride = 10);
+
+/// Build the program for a case.
+mir::Module build_case(const CaseSpec& spec);
+
+// ---- extended idioms (outside the calibrated 8366-case suite) --------
+
+/// Inter-procedural sink: the out-of-bounds index is computed in main
+/// but the write happens in a callee — exercising metadata transfer
+/// across the call (shadow arg stack / SRF propagation).
+mir::Module build_interproc_case(bool bad);
+
+/// Intra-object overflow: a field overrun *inside* one allocation.
+/// Object-granularity schemes (SoftBound-style and HWST128) miss this
+/// by design, as does redzone-based ASAN — a documented limitation of
+/// the whole pointer-based family.
+mir::Module build_intra_object_case(bool bad);
+
+} // namespace hwst::juliet

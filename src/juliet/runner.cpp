@@ -1,0 +1,74 @@
+#include "juliet/runner.hpp"
+
+#include "compiler/driver.hpp"
+
+namespace hwst::juliet {
+
+using compiler::Scheme;
+using hwst::TrapKind;
+
+bool counts_as_detection(Scheme scheme, TrapKind trap)
+{
+    // Diagnostics every scheme's output parser sees.
+    if (trap == TrapKind::LibcAbort) return true;
+
+    switch (scheme) {
+    case Scheme::None:
+        return false;
+    case Scheme::Gcc:
+        return trap == TrapKind::StackGuardViolation;
+    case Scheme::Asan:
+        // AsanReport, plus the SEGV interceptor's printed report.
+        return trap == TrapKind::AsanReport || trap == TrapKind::AccessFault;
+    case Scheme::Sbcets:
+    case Scheme::Bogo:
+        return trap == TrapKind::SoftSpatialViolation ||
+               trap == TrapKind::SoftTemporalViolation;
+    case Scheme::Hwst128:
+    case Scheme::Hwst128Tchk:
+    case Scheme::WdlNarrow:
+    case Scheme::WdlWide:
+        return trap == TrapKind::SpatialViolation ||
+               trap == TrapKind::TemporalViolation ||
+               trap == TrapKind::SoftSpatialViolation ||
+               trap == TrapKind::SoftTemporalViolation;
+    }
+    return false;
+}
+
+TrapKind run_case(Scheme scheme, const CaseSpec& spec)
+{
+    // Bounded fuel plays the role of the Juliet harness timeout: a
+    // self-corrupted case that livelocks counts as not-detected.
+    auto result = compiler::run_with_config(
+        build_case(spec), scheme,
+        [](sim::MachineConfig& cfg) { cfg.fuel = 2'000'000; });
+    return result.trap.kind;
+}
+
+Coverage run_suite(Scheme scheme, std::span<const CaseSpec> cases,
+                   const RunOptions& opts)
+{
+    Coverage cov;
+    const u32 stride = opts.stride == 0 ? 1 : opts.stride;
+    for (std::size_t i = 0; i < cases.size(); i += stride) {
+        const CaseSpec& spec = cases[i];
+        const TrapKind trap = run_case(scheme, spec);
+        auto& cwe = cov.per_cwe[spec.cwe];
+        ++cwe.total;
+        ++cov.total;
+        if (counts_as_detection(scheme, trap)) {
+            ++cwe.detected;
+            ++cov.detected;
+        }
+        if (opts.check_good) {
+            CaseSpec good = spec;
+            good.bad = false;
+            const TrapKind gtrap = run_case(scheme, good);
+            if (counts_as_detection(scheme, gtrap)) ++cov.false_positives;
+        }
+    }
+    return cov;
+}
+
+} // namespace hwst::juliet

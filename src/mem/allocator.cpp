@@ -1,0 +1,114 @@
+#include "mem/allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace hwst::mem {
+
+using common::align_up;
+
+HeapAllocator::HeapAllocator(u64 base, u64 size, u64 align)
+    : base_{base}, size_{size}, align_{align}
+{
+    if (!common::is_pow2(align_))
+        throw common::ConfigError{"HeapAllocator: align must be power of two"};
+    free_.emplace(base_, size_);
+}
+
+u64 HeapAllocator::malloc(u64 size)
+{
+    if (size == 0) size = 1;
+    const u64 need = align_up(size, align_);
+
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        const u64 addr = it->first;
+        const u64 avail = it->second;
+        if (avail < need) continue;
+        free_.erase(it);
+        if (avail > need) free_.emplace(addr + need, avail - need);
+        live_.emplace(addr, size);
+        live_ordered_.emplace(addr, size);
+        live_bytes_ += size;
+        return addr;
+    }
+    return 0; // out of simulated heap
+}
+
+std::optional<u64> HeapAllocator::free(u64 addr)
+{
+    const auto it = live_.find(addr);
+    if (it == live_.end()) return std::nullopt;
+    const u64 size = it->second;
+    live_.erase(it);
+    live_ordered_.erase(addr);
+    live_bytes_ -= size;
+
+    // Reinsert and coalesce with neighbours.
+    u64 blk_addr = addr;
+    u64 blk_size = align_up(size, align_);
+    auto next = free_.lower_bound(blk_addr);
+    if (next != free_.end() && blk_addr + blk_size == next->first) {
+        blk_size += next->second;
+        next = free_.erase(next);
+    }
+    if (next != free_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == blk_addr) {
+            blk_addr = prev->first;
+            blk_size += prev->second;
+            free_.erase(prev);
+        }
+    }
+    free_.emplace(blk_addr, blk_size);
+    return size;
+}
+
+std::optional<u64> HeapAllocator::block_size(u64 addr) const
+{
+    const auto it = live_.find(addr);
+    if (it == live_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::pair<u64, u64>> HeapAllocator::containing_block(
+    u64 addr) const
+{
+    auto it = live_ordered_.upper_bound(addr);
+    if (it == live_ordered_.begin()) return std::nullopt;
+    --it;
+    if (addr >= it->first && addr < it->first + it->second)
+        return std::pair{it->first, it->second};
+    return std::nullopt;
+}
+
+LockAllocator::LockAllocator(u64 base, u64 entries)
+    : base_{base}, entries_{entries}
+{
+    if (entries_ < 8)
+        throw common::ConfigError{"LockAllocator: need at least 8 entries"};
+}
+
+LockGrant LockAllocator::allocate()
+{
+    u64 index;
+    if (!recycled_.empty()) {
+        index = recycled_.back();
+        recycled_.pop_back();
+    } else {
+        if (next_index_ >= entries_)
+            throw common::SimError{"LockAllocator: out of lock_locations"};
+        index = next_index_++;
+    }
+    ++live_;
+    return LockGrant{base_ + 8 * index, next_key_++};
+}
+
+void LockAllocator::release(u64 lock_addr)
+{
+    const u64 index = (lock_addr - base_) / 8;
+    if (lock_addr < base_ || index >= entries_)
+        throw common::SimError{"LockAllocator: release of bad lock address"};
+    recycled_.push_back(index);
+    --live_;
+}
+
+} // namespace hwst::mem

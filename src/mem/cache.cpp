@@ -1,0 +1,60 @@
+#include "mem/cache.hpp"
+
+namespace hwst::mem {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_{cfg}
+{
+    if (!common::is_pow2(cfg_.line_bytes) || !common::is_pow2(cfg_.sets) ||
+        cfg_.ways == 0) {
+        throw common::ConfigError{"Cache: line/sets must be powers of two, "
+                                  "ways nonzero"};
+    }
+    lines_.resize(static_cast<std::size_t>(cfg_.sets) * cfg_.ways);
+}
+
+unsigned Cache::access(u64 addr)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const u64 set = set_of(addr);
+    const u64 tag = tag_of(addr);
+    Line* base = &lines_[set * cfg_.ways];
+
+    Line* victim = base;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            return cfg_.hit_cycles;
+        }
+        if (!line.valid) {
+            victim = &line; // prefer an invalid way
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    return cfg_.hit_cycles + cfg_.miss_penalty;
+}
+
+bool Cache::would_hit(u64 addr) const
+{
+    const u64 set = set_of(addr);
+    const u64 tag = tag_of(addr);
+    const Line* base = &lines_[set * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) return true;
+    }
+    return false;
+}
+
+void Cache::flush()
+{
+    for (Line& line : lines_) line = Line{};
+}
+
+} // namespace hwst::mem

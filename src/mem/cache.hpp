@@ -1,0 +1,69 @@
+// Set-associative D-cache *timing* model (data lives in Memory; the
+// cache tracks tags only). Rocket's default L1D is 16 KiB, 4-way,
+// 64-byte lines; those are the defaults here. The model feeds the
+// 5-stage pipeline timing: hit = kHitCycles, miss adds a refill penalty.
+#pragma once
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace hwst::mem {
+
+using common::u64;
+
+struct CacheConfig {
+    unsigned line_bytes = 64;
+    unsigned ways = 4;
+    unsigned sets = 64; // 16 KiB total with the defaults
+    unsigned hit_cycles = 1;
+    unsigned miss_penalty = 30; // refill from the simulated DRAM
+};
+
+struct CacheStats {
+    u64 accesses = 0;
+    u64 misses = 0;
+    double miss_rate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+class Cache {
+public:
+    explicit Cache(const CacheConfig& cfg = {});
+
+    /// Touch `addr`; returns the access latency in cycles and updates
+    /// LRU/stats. Accesses never straddle lines in our ISA (max width 8,
+    /// line 64, all accesses naturally aligned by codegen).
+    unsigned access(u64 addr);
+
+    /// Probe without updating state (diagnostics).
+    bool would_hit(u64 addr) const;
+
+    void flush();
+
+    const CacheConfig& config() const { return cfg_; }
+    const CacheStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+private:
+    struct Line {
+        u64 tag = 0;
+        bool valid = false;
+        u64 lru = 0; // larger = more recent
+    };
+
+    u64 set_of(u64 addr) const { return (addr / cfg_.line_bytes) % cfg_.sets; }
+    u64 tag_of(u64 addr) const { return addr / cfg_.line_bytes / cfg_.sets; }
+
+    CacheConfig cfg_;
+    std::vector<Line> lines_; // sets * ways
+    CacheStats stats_;
+    u64 tick_ = 0;
+};
+
+} // namespace hwst::mem

@@ -1,0 +1,94 @@
+#include "mem/memory.hpp"
+
+#include "common/error.hpp"
+
+namespace hwst::mem {
+
+using common::sign_extend;
+
+void Memory::map_region(std::string name, u64 base, u64 size)
+{
+    if (size == 0) throw common::ConfigError{"map_region: empty region"};
+    regions_.push_back(Region{std::move(name), base, size});
+}
+
+bool Memory::is_mapped(u64 addr, unsigned width) const
+{
+    if (addr < kPageSize) return false; // null guard page
+    const u64 end = addr + width;
+    if (end < addr) return false; // wrap
+    // Hot path: most accesses hit the same region as the previous one.
+    if (last_region_ < regions_.size()) {
+        const Region& r = regions_[last_region_];
+        if (addr >= r.base && end <= r.base + r.size) return true;
+    }
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        const Region& r = regions_[i];
+        if (addr >= r.base && end <= r.base + r.size) {
+            last_region_ = i;
+            return true;
+        }
+    }
+    return false;
+}
+
+void Memory::check_mapped(u64 addr, unsigned width, Access kind) const
+{
+    if (!is_mapped(addr, width)) throw MemFault{addr, kind};
+}
+
+u8* Memory::page_for(u64 addr, bool create) const
+{
+    const u64 key = addr / kPageSize;
+    const auto it = pages_.find(key);
+    if (it != pages_.end()) return it->second.get();
+    if (!create) return nullptr;
+    auto page = std::make_unique<u8[]>(kPageSize);
+    u8* raw = page.get();
+    pages_.emplace(key, std::move(page));
+    return raw;
+}
+
+u64 Memory::load(u64 addr, unsigned width, bool do_sign_extend) const
+{
+    check_mapped(addr, width, Access::Read);
+    u64 value = 0;
+    for (unsigned i = 0; i < width; ++i) {
+        const u64 a = addr + i;
+        const u8* page = page_for(a, false);
+        const u64 byte = page ? page[a % kPageSize] : 0;
+        value |= byte << (8 * i);
+    }
+    return do_sign_extend ? static_cast<u64>(sign_extend(value, 8 * width))
+                          : value;
+}
+
+void Memory::store(u64 addr, unsigned width, u64 value)
+{
+    check_mapped(addr, width, Access::Write);
+    for (unsigned i = 0; i < width; ++i) {
+        const u64 a = addr + i;
+        u8* page = page_for(a, true);
+        page[a % kPageSize] = static_cast<u8>(value >> (8 * i));
+    }
+}
+
+void Memory::write_bytes(u64 addr, std::span<const u8> bytes)
+{
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        u8* page = page_for(addr + i, true);
+        page[(addr + i) % kPageSize] = bytes[i];
+    }
+}
+
+std::vector<u8> Memory::read_bytes(u64 addr, u64 len) const
+{
+    std::vector<u8> out(len, 0);
+    for (u64 i = 0; i < len; ++i) {
+        const u8* page = page_for(addr + i, false);
+        if (page) out[i] = page[(addr + i) % kPageSize];
+    }
+    return out;
+}
+
+} // namespace hwst::mem

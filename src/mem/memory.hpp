@@ -1,0 +1,96 @@
+// Sparse 64-bit byte-addressable memory with region mapping.
+//
+// Regions model the process address-space map (text/data/heap/stack,
+// shadow memory, lock_locations). An access outside every mapped region
+// — or to the guard page at address 0 — raises a MemFault, which the
+// Machine converts into an architectural AccessFault trap. This is what
+// lets the uninstrumented "GCC" baseline of Fig. 6 detect null derefs
+// while missing in-bounds-of-some-region corruption, exactly like a
+// processor with an MMU.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace hwst::mem {
+
+using common::u16;
+using common::u32;
+using common::u64;
+using common::u8;
+
+/// Access kind, reported in faults and used by the cache model.
+enum class Access : u8 { Read, Write, Fetch };
+
+/// Simulated memory fault. Thrown by Memory and caught by the Machine,
+/// which converts it to a Trap value (never escapes the simulator API).
+struct MemFault {
+    u64 addr;
+    Access kind;
+};
+
+class Memory {
+public:
+    static constexpr u64 kPageSize = 4096;
+
+    /// Map [base, base+size) as accessible. Overlaps are allowed (the
+    /// region list is a pure validity check, not an ownership model).
+    void map_region(std::string name, u64 base, u64 size);
+
+    /// True if [addr, addr+width) lies inside some mapped region and
+    /// does not touch the null guard page.
+    bool is_mapped(u64 addr, unsigned width) const;
+
+    // ---- typed access (little-endian). Throws MemFault when unmapped.
+    u64 load(u64 addr, unsigned width, bool sign_extend) const;
+    void store(u64 addr, unsigned width, u64 value);
+
+    u8 load_u8(u64 addr) const { return static_cast<u8>(load(addr, 1, false)); }
+    u64 load_u64(u64 addr) const { return load(addr, 8, false); }
+    void store_u8(u64 addr, u8 v) { store(addr, 1, v); }
+    void store_u64(u64 addr, u64 v) { store(addr, 8, v); }
+
+    /// Bulk copy-in (used by the loader); maps nothing by itself.
+    void write_bytes(u64 addr, std::span<const u8> bytes);
+
+    /// Bulk copy-out for tests and the Juliet oracle.
+    std::vector<u8> read_bytes(u64 addr, u64 len) const;
+
+    /// Total bytes of backing store actually allocated (diagnostics).
+    u64 resident_bytes() const { return pages_.size() * kPageSize; }
+
+    /// Base addresses of materialised pages inside [base, base+size)
+    /// (used by the BOGO bound-table scan model).
+    std::vector<u64> resident_pages_in(u64 base, u64 size) const
+    {
+        std::vector<u64> out;
+        for (const auto& [key, page] : pages_) {
+            const u64 addr = key * kPageSize;
+            if (addr >= base && addr < base + size) out.push_back(addr);
+        }
+        return out;
+    }
+
+private:
+    struct Region {
+        std::string name;
+        u64 base;
+        u64 size;
+    };
+
+    u8* page_for(u64 addr, bool create) const;
+    void check_mapped(u64 addr, unsigned width, Access kind) const;
+
+    // Sparse page store. mutable: loads of never-written pages observe
+    // zero without materialising them.
+    mutable std::unordered_map<u64, std::unique_ptr<u8[]>> pages_;
+    std::vector<Region> regions_;
+    mutable std::size_t last_region_ = 0;
+};
+
+} // namespace hwst::mem

@@ -1,0 +1,121 @@
+#include "metadata/compress.hpp"
+
+#include "common/error.hpp"
+
+namespace hwst::metadata {
+
+using common::align_up;
+using common::bits;
+using common::clog2;
+using common::ConfigError;
+using common::mask64;
+using common::place;
+
+CompressionConfig CompressionConfig::for_system(u64 memory_size,
+                                                u64 max_object,
+                                                u64 lock_entries,
+                                                u64 lock_base)
+{
+    CompressionConfig cfg;
+    cfg.base_bits = clog2(memory_size) - 3;   // Eq. 3
+    cfg.range_bits = clog2(max_object) - 3;   // Eq. 4
+    cfg.lock_bits = clog2(lock_entries);      // Eq. 5
+    cfg.lock_base = lock_base;
+    cfg.validate(); // key width (Eq. 6) is implied by the packing
+    return cfg;
+}
+
+u32 CompressionConfig::to_csr() const
+{
+    return static_cast<u32>(place(base_bits, 0, 6) | place(range_bits, 6, 6) |
+                            place(lock_bits, 12, 6));
+}
+
+CompressionConfig CompressionConfig::from_csr(u32 bitw, u64 lock_base)
+{
+    CompressionConfig cfg;
+    cfg.base_bits = static_cast<unsigned>(bits(bitw, 0, 6));
+    cfg.range_bits = static_cast<unsigned>(bits(bitw, 6, 6));
+    cfg.lock_bits = static_cast<unsigned>(bits(bitw, 12, 6));
+    cfg.lock_base = lock_base;
+    return cfg;
+}
+
+void CompressionConfig::validate() const
+{
+    if (base_bits == 0 || base_bits > 61)
+        throw ConfigError{"compression: base width out of 1..61"};
+    if (range_bits == 0 || base_bits + range_bits > 64)
+        throw ConfigError{"compression: spatial half exceeds 64 bits"};
+    if (lock_bits == 0 || lock_bits >= 64)
+        throw ConfigError{"compression: lock width out of 1..63"};
+    if (lock_base % 8 != 0)
+        throw ConfigError{"compression: lock base must be 8-byte aligned"};
+}
+
+bool representable(const Metadata& md, const CompressionConfig& cfg)
+{
+    if (md.bound < md.base) return false;
+    if (md.base % 8 != 0) return false;                // Eq. 3 alignment
+    if ((md.base >> 3) > mask64(cfg.base_bits)) return false;
+    const u64 range_granules = align_up(md.bound - md.base, 8) >> 3;
+    if (range_granules > mask64(cfg.range_bits)) return false;
+    if (md.lock < cfg.lock_base) return false;
+    if (((md.lock - cfg.lock_base) >> 3) > mask64(cfg.lock_bits)) return false;
+    if (md.key > mask64(cfg.key_bits())) return false;
+    return true;
+}
+
+u64 compress_spatial(u64 base, u64 bound, const CompressionConfig& cfg)
+{
+    const u64 base_f = (base >> 3) & mask64(cfg.base_bits);
+    const u64 range = bound >= base ? bound - base : 0; // Eq. 2
+    const u64 range_f = (align_up(range, 8) >> 3) & mask64(cfg.range_bits);
+    return base_f | (range_f << cfg.base_bits);
+}
+
+u64 compress_temporal(u64 key, u64 lock, const CompressionConfig& cfg)
+{
+    const unsigned kb = cfg.key_bits();
+    const u64 key_f = key & mask64(kb);
+    const u64 lock_index = lock >= cfg.lock_base
+                               ? ((lock - cfg.lock_base) >> 3) &
+                                     mask64(cfg.lock_bits)
+                               : 0;
+    return key_f | (lock_index << kb);
+}
+
+Compressed compress(const Metadata& md, const CompressionConfig& cfg)
+{
+    return Compressed{compress_spatial(md.base, md.bound, cfg),
+                      compress_temporal(md.key, md.lock, cfg)};
+}
+
+void decompress_spatial(u64 lo, const CompressionConfig& cfg, u64& base,
+                        u64& bound)
+{
+    base = bits(lo, 0, cfg.base_bits) << 3;
+    const u64 range = bits(lo, cfg.base_bits, cfg.range_bits) << 3;
+    bound = base + range;
+}
+
+void decompress_temporal(u64 hi, const CompressionConfig& cfg, u64& key,
+                         u64& lock)
+{
+    const unsigned kb = cfg.key_bits();
+    key = bits(hi, 0, kb);
+    // Lock index 0 is reserved ("no temporal metadata"): DECOMP emits a
+    // null lock so software sequences can test it with a single beqz.
+    const u64 index = bits(hi, kb, cfg.lock_bits);
+    lock = index == 0 ? 0 : cfg.lock_base + (index << 3);
+}
+
+Metadata decompress(const Compressed& c, const CompressionConfig& cfg)
+{
+    Metadata md;
+    decompress_spatial(c.lo, cfg, md.base, md.bound);
+    decompress_temporal(c.hi, cfg, md.key, md.lock);
+    return md;
+}
+
+} // namespace hwst::metadata

@@ -1,0 +1,91 @@
+// Metadata compression (paper §3.3, Fig. 2, Eq. 2-6).
+//
+// Uncompressed metadata is 4×64 = 256 bits. The compressed form packs
+// into 128 bits so it fits one SRF entry and two 64-bit shadow-memory
+// slots:
+//
+//   lower 64 bits : | range (64-B) ... | base (B) ... |   (spatial)
+//   upper 64 bits : | lock  (64-K) ... | key  (K) ... |   (temporal)
+//
+// base and range drop their low 3 bits (RV64 8-byte alignment, Eq. 3/4):
+// base is stored >>3 (allocators align to >=8), and range is stored
+// rounded *up* to the next 8-byte multiple. The round-up means the
+// decompressed bound can exceed the true bound by up to 7 bytes —
+// HWST128 therefore misses sub-word heap overflows that byte-exact
+// SBCETS catches. That slack is exactly the paper's CWE122 coverage gap
+// (Fig. 6, −0.86 %).
+//
+// lock is stored as an index relative to the lock region base (Eq. 5:
+// 20 bits address one million lock_locations); key is truncated to the
+// remaining width (Eq. 6).
+#pragma once
+
+#include "common/bitops.hpp"
+#include "metadata/metadata.hpp"
+
+namespace hwst::metadata {
+
+using common::u32;
+using common::u64;
+
+/// Field widths of the compressed format. Encodable in the 24-bit
+/// csr.bitw CSR (paper: "The bit width for each metadata is set within a
+/// 24-bit CSR at the beginning of the program").
+struct CompressionConfig {
+    unsigned base_bits = 35;
+    unsigned range_bits = 29;
+    unsigned lock_bits = 20;
+    u64 lock_base = 0; ///< lock region base (csr.lock.base), for lock<->index
+
+    unsigned key_bits() const { return 64 - lock_bits; }
+
+    /// Eq. 3-6: derive widths from system parameters.
+    ///   base  = ceil(log2(memory_size)) - 3
+    ///   range = ceil(log2(max_object))  - 3
+    ///   lock  = ceil(log2(lock_entries))
+    ///   key   = 128 - base - range - lock
+    static CompressionConfig for_system(u64 memory_size, u64 max_object,
+                                        u64 lock_entries, u64 lock_base);
+
+    /// Pack into / unpack from the 24-bit csr.bitw encoding:
+    /// bits [5:0] base, [11:6] range, [17:12] lock.
+    u32 to_csr() const;
+    static CompressionConfig from_csr(u32 bitw, u64 lock_base);
+
+    /// Validate invariants (spatial half <= 64 bits, etc.). Throws
+    /// common::ConfigError on violation.
+    void validate() const;
+
+    friend bool operator==(const CompressionConfig&,
+                           const CompressionConfig&) = default;
+};
+
+/// 128-bit compressed metadata as it sits in an SRF entry or a shadow
+/// memory slot pair.
+struct Compressed {
+    u64 lo = 0; ///< spatial half (base | range)
+    u64 hi = 0; ///< temporal half (key | lock)
+
+    friend bool operator==(const Compressed&, const Compressed&) = default;
+};
+
+/// True if every field of `md` fits the configured widths exactly
+/// (no truncation, no range slack beyond the 8-byte round-up).
+bool representable(const Metadata& md, const CompressionConfig& cfg);
+
+/// COMP unit: compress (hardware truncates out-of-width bits, like the
+/// RTL would; callers use representable() to detect that).
+u64 compress_spatial(u64 base, u64 bound, const CompressionConfig& cfg);
+u64 compress_temporal(u64 key, u64 lock, const CompressionConfig& cfg);
+Compressed compress(const Metadata& md, const CompressionConfig& cfg);
+
+/// DECOMP unit: decompress. The spatial half reconstructs base and
+/// bound = base + range (8-byte granules); the temporal half
+/// reconstructs key and lock = lock_base + 8*index.
+Metadata decompress(const Compressed& c, const CompressionConfig& cfg);
+void decompress_spatial(u64 lo, const CompressionConfig& cfg, u64& base,
+                        u64& bound);
+void decompress_temporal(u64 hi, const CompressionConfig& cfg, u64& key,
+                         u64& lock);
+
+} // namespace hwst::metadata

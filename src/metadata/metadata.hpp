@@ -1,0 +1,27 @@
+// Pointer metadata record (paper §3.1): base/bound for spatial safety,
+// key/lock for temporal safety (SoftBound+CETS model).
+#pragma once
+
+#include "common/bitops.hpp"
+
+namespace hwst::metadata {
+
+using common::u64;
+
+struct Metadata {
+    u64 base = 0;  ///< first valid byte
+    u64 bound = 0; ///< one past the last valid byte
+    u64 key = 0;   ///< unique allocation key (0 = erased)
+    u64 lock = 0;  ///< address of the lock_location holding the key
+
+    friend bool operator==(const Metadata&, const Metadata&) = default;
+
+    /// Spatial check: is [addr, addr+width) inside [base, bound)?
+    bool in_bounds(u64 addr, unsigned width) const
+    {
+        return addr >= base && width <= bound - base &&
+               addr - base <= (bound - base) - width;
+    }
+};
+
+} // namespace hwst::metadata

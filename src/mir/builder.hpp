@@ -1,0 +1,309 @@
+// FunctionBuilder: the fluent construction API the workloads and the
+// Juliet generator use. Enforces the block-local-SSA discipline by
+// construction: cross-block state goes through locals (allocas).
+#pragma once
+
+#include <algorithm>
+
+#include "mir/ir.hpp"
+
+namespace hwst::mir {
+
+class FunctionBuilder {
+public:
+    FunctionBuilder(Module& module, Function& fn)
+        : module_{module}, fn_{fn}
+    {
+    }
+
+    Function& function() { return fn_; }
+    Module& module() { return module_; }
+
+    BlockId block(std::string name) { return fn_.add_block(std::move(name)); }
+
+    void set_insert(BlockId bb) { insert_ = bb; }
+    BlockId insert_point() const { return insert_; }
+
+    // ---- locals: 8-byte stack slots for cross-block values ----------
+    u32 local(std::string name, Ty ty = Ty::I64)
+    {
+        const u32 idx = fn_.add_alloca(AllocaInfo{std::move(name), 8, 8});
+        local_types_.resize(std::max<std::size_t>(local_types_.size(), idx + 1),
+                            Ty::I64);
+        local_types_[idx] = ty;
+        return idx;
+    }
+
+    u32 array(std::string name, u64 bytes, unsigned align = 8)
+    {
+        return fn_.add_alloca(AllocaInfo{std::move(name), bytes, align});
+    }
+
+    Value load_local(u32 idx)
+    {
+        const Ty ty = idx < local_types_.size() ? local_types_[idx] : Ty::I64;
+        Value addr = alloca_addr(idx);
+        return load(addr, 8, true, ty);
+    }
+
+    void store_local(u32 idx, Value v)
+    {
+        Value addr = alloca_addr(idx);
+        store(v, addr, 8);
+    }
+
+    // ---- instructions -------------------------------------------------
+    Value const_i64(i64 v)
+    {
+        Instr in;
+        in.op = Op::ConstI64;
+        in.ty = Ty::I64;
+        in.imm = v;
+        return push_valued(in);
+    }
+
+    /// A null pointer constant (SBCETS binds null metadata to it).
+    Value null_ptr()
+    {
+        Instr in;
+        in.op = Op::ConstI64;
+        in.ty = Ty::Ptr;
+        in.imm = 0;
+        return push_valued(in);
+    }
+
+    Value bin(BinKind k, Value a, Value b)
+    {
+        Instr in;
+        in.op = Op::Bin;
+        in.ty = Ty::I64;
+        in.imm = static_cast<i64>(k);
+        in.a = a;
+        in.b = b;
+        return push_valued(in);
+    }
+
+    Value add(Value a, Value b) { return bin(BinKind::Add, a, b); }
+    Value sub(Value a, Value b) { return bin(BinKind::Sub, a, b); }
+    Value mul(Value a, Value b) { return bin(BinKind::Mul, a, b); }
+    Value divs(Value a, Value b) { return bin(BinKind::DivS, a, b); }
+    Value rems(Value a, Value b) { return bin(BinKind::RemS, a, b); }
+    Value and_(Value a, Value b) { return bin(BinKind::And, a, b); }
+    Value or_(Value a, Value b) { return bin(BinKind::Or, a, b); }
+    Value xor_(Value a, Value b) { return bin(BinKind::Xor, a, b); }
+    Value shl(Value a, Value b) { return bin(BinKind::Shl, a, b); }
+    Value shr(Value a, Value b) { return bin(BinKind::ShrL, a, b); }
+    Value sra(Value a, Value b) { return bin(BinKind::ShrA, a, b); }
+
+    Value cmp(CmpKind k, Value a, Value b)
+    {
+        Instr in;
+        in.op = Op::Cmp;
+        in.ty = Ty::I64;
+        in.imm = static_cast<i64>(k);
+        in.a = a;
+        in.b = b;
+        return push_valued(in);
+    }
+
+    Value eq(Value a, Value b) { return cmp(CmpKind::Eq, a, b); }
+    Value ne(Value a, Value b) { return cmp(CmpKind::Ne, a, b); }
+    Value lt(Value a, Value b) { return cmp(CmpKind::LtS, a, b); }
+    Value le(Value a, Value b) { return cmp(CmpKind::LeS, a, b); }
+    Value ltu(Value a, Value b) { return cmp(CmpKind::LtU, a, b); }
+
+    Value alloca_addr(u32 index)
+    {
+        Instr in;
+        in.op = Op::AllocaAddr;
+        in.ty = Ty::Ptr;
+        in.index = index;
+        return push_valued(in);
+    }
+
+    Value global_addr(u32 index)
+    {
+        Instr in;
+        in.op = Op::GlobalAddr;
+        in.ty = Ty::Ptr;
+        in.index = index;
+        return push_valued(in);
+    }
+
+    Value param(u32 index)
+    {
+        Instr in;
+        in.op = Op::ParamRef;
+        in.ty = fn_.params().at(index);
+        in.index = index;
+        return push_valued(in);
+    }
+
+    Value load(Value ptr, unsigned width = 8, bool sign = true,
+               Ty result = Ty::I64)
+    {
+        Instr in;
+        in.op = Op::Load;
+        in.ty = result;
+        in.a = ptr;
+        in.width = width;
+        in.sign = sign;
+        return push_valued(in);
+    }
+
+    /// Load a pointer-typed value from memory (through-memory
+    /// propagation: the instrumentation shadows this).
+    Value load_ptr(Value ptr) { return load(ptr, 8, false, Ty::Ptr); }
+
+    void store(Value v, Value ptr, unsigned width = 8)
+    {
+        Instr in;
+        in.op = Op::Store;
+        in.a = v;
+        in.b = ptr;
+        in.width = width;
+        push(in);
+    }
+
+    Value gep(Value ptr, Value index, i64 scale, i64 offset = 0)
+    {
+        Instr in;
+        in.op = Op::Gep;
+        in.ty = Ty::Ptr;
+        in.a = ptr;
+        in.b = index;
+        in.imm = scale;
+        in.imm2 = offset;
+        return push_valued(in);
+    }
+
+    Value gep_const(Value ptr, i64 offset)
+    {
+        return gep(ptr, Value{}, 0, offset);
+    }
+
+    Value ptr_to_int(Value p)
+    {
+        Instr in;
+        in.op = Op::PtrToInt;
+        in.ty = Ty::I64;
+        in.a = p;
+        return push_valued(in);
+    }
+
+    Value int_to_ptr(Value v)
+    {
+        Instr in;
+        in.op = Op::IntToPtr;
+        in.ty = Ty::Ptr;
+        in.a = v;
+        return push_valued(in);
+    }
+
+    Value call(const std::string& callee, std::vector<Value> args, Ty ret)
+    {
+        Instr in;
+        in.op = Op::Call;
+        in.ty = ret;
+        in.callee = callee;
+        in.args = std::move(args);
+        if (ret == Ty::Void) {
+            push(in);
+            return Value{};
+        }
+        return push_valued(in);
+    }
+
+    Value malloc_(Value size)
+    {
+        Instr in;
+        in.op = Op::Malloc;
+        in.ty = Ty::Ptr;
+        in.a = size;
+        return push_valued(in);
+    }
+
+    void free_(Value ptr)
+    {
+        Instr in;
+        in.op = Op::Free;
+        in.a = ptr;
+        push(in);
+    }
+
+    void memcpy_(Value dst, Value src, Value len)
+    {
+        Instr in;
+        in.op = Op::Memcpy;
+        in.a = dst;
+        in.b = src;
+        in.c = len;
+        push(in);
+    }
+
+    void memset_(Value dst, Value byte, Value len)
+    {
+        Instr in;
+        in.op = Op::Memset;
+        in.a = dst;
+        in.b = byte;
+        in.c = len;
+        push(in);
+    }
+
+    void print(Value v)
+    {
+        Instr in;
+        in.op = Op::Print;
+        in.a = v;
+        push(in);
+    }
+
+    void ret(Value v = Value{})
+    {
+        Instr in;
+        in.op = Op::Ret;
+        in.a = v;
+        push(in);
+    }
+
+    void br(Value cond, BlockId t, BlockId f)
+    {
+        Instr in;
+        in.op = Op::Br;
+        in.a = cond;
+        in.bb_true = t;
+        in.bb_false = f;
+        push(in);
+    }
+
+    void jmp(BlockId t)
+    {
+        Instr in;
+        in.op = Op::Jmp;
+        in.bb_true = t;
+        push(in);
+    }
+
+private:
+    void push(const Instr& in)
+    {
+        if (insert_ >= fn_.blocks().size())
+            throw common::ToolchainError{"builder: no insert block set"};
+        fn_.blocks()[insert_].instrs().push_back(in);
+    }
+
+    Value push_valued(Instr in)
+    {
+        in.result = fn_.new_value(in.ty, insert_);
+        push(in);
+        return in.result;
+    }
+
+    Module& module_;
+    Function& fn_;
+    BlockId insert_ = 0;
+    std::vector<Ty> local_types_;
+};
+
+} // namespace hwst::mir

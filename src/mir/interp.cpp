@@ -1,0 +1,261 @@
+#include "mir/interp.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "mem/allocator.hpp"
+#include "mem/memory.hpp"
+#include "mir/verify.hpp"
+
+namespace hwst::mir {
+
+using common::SimError;
+
+namespace {
+
+/// The interpreter mirrors the Machine's memory map closely enough that
+/// address arithmetic behaves identically (globals at the same data
+/// base, heap in the same region, stack frames carved from a bump
+/// allocator).
+struct InterpState {
+    explicit InterpState(const Module& module)
+        : heap{0x0100'0000, 0x0800'0000}
+    {
+        mem.map_region("data", kDataBase, 1u << 24);
+        mem.map_region("heap", 0x0100'0000, 0x0800'0000);
+        mem.map_region("stack", kStackBase - kStackSize, kStackSize);
+
+        u64 cursor = kDataBase;
+        for (const Global& g : module.globals()) {
+            cursor = common::align_up(cursor, g.align);
+            global_addr.push_back(cursor);
+            if (!g.init.empty()) mem.write_bytes(cursor, g.init);
+            cursor += std::max<u64>(g.size, 1);
+        }
+    }
+
+    static constexpr u64 kDataBase = 0x0010'0000;
+    static constexpr u64 kStackBase = 0x3000'0000;
+    static constexpr u64 kStackSize = 0x0040'0000;
+
+    mem::Memory mem;
+    mem::HeapAllocator heap;
+    std::vector<u64> global_addr;
+    u64 sp = kStackBase - 64;
+    u64 steps = 0;
+    InterpResult result;
+};
+
+struct Fault {
+    std::string what;
+};
+
+class Interp {
+public:
+    Interp(const Module& module, const InterpOptions& opts)
+        : module_{module}, opts_{opts}, state_{module}
+    {
+    }
+
+    InterpResult run()
+    {
+        const Function* main = module_.find_function("main");
+        try {
+            state_.result.exit_code =
+                static_cast<i64>(call(*main, {}));
+        } catch (const Fault& f) {
+            state_.result.fault = f.what;
+        } catch (const mem::MemFault& f) {
+            state_.result.fault =
+                "access fault at 0x" + std::to_string(f.addr);
+        }
+        return state_.result;
+    }
+
+private:
+    u64 call(const Function& fn, const std::vector<u64>& args)
+    {
+        // Frame: allocas carved from the interpreter stack.
+        const u64 saved_sp = state_.sp;
+        std::vector<u64> alloca_addr;
+        for (const AllocaInfo& al : fn.allocas()) {
+            state_.sp -= common::align_up(al.size, al.align);
+            state_.sp &= ~u64{15};
+            if (state_.sp < InterpState::kStackBase - InterpState::kStackSize)
+                throw Fault{"interpreter stack overflow"};
+            alloca_addr.push_back(state_.sp);
+        }
+
+        std::unordered_map<u32, u64> values;
+        const auto val = [&](Value v) -> u64 {
+            const auto it = values.find(v.id);
+            if (it == values.end())
+                throw SimError{"interp: use of undefined value"};
+            return it->second;
+        };
+
+        BlockId bb = 0;
+        while (true) {
+            for (const Instr& in : fn.blocks()[bb].instrs()) {
+                if (++state_.steps > opts_.max_steps)
+                    throw Fault{"step budget exhausted"};
+                switch (in.op) {
+                case Op::ConstI64:
+                    values[in.result.id] = static_cast<u64>(in.imm);
+                    break;
+                case Op::Bin: {
+                    const u64 a = val(in.a), b = val(in.b);
+                    values[in.result.id] = binop(
+                        static_cast<BinKind>(in.imm), a, b);
+                    break;
+                }
+                case Op::Cmp: {
+                    const u64 a = val(in.a), b = val(in.b);
+                    values[in.result.id] =
+                        cmpop(static_cast<CmpKind>(in.imm), a, b);
+                    break;
+                }
+                case Op::AllocaAddr:
+                    values[in.result.id] = alloca_addr.at(in.index);
+                    break;
+                case Op::GlobalAddr:
+                    values[in.result.id] =
+                        state_.global_addr.at(in.index);
+                    break;
+                case Op::ParamRef:
+                    values[in.result.id] = args.at(in.index);
+                    break;
+                case Op::Load:
+                    values[in.result.id] =
+                        state_.mem.load(val(in.a), in.width, in.sign);
+                    break;
+                case Op::Store:
+                    state_.mem.store(val(in.b), in.width, val(in.a));
+                    break;
+                case Op::Gep: {
+                    u64 addr = val(in.a);
+                    if (in.b.valid())
+                        addr += val(in.b) * static_cast<u64>(in.imm);
+                    addr += static_cast<u64>(in.imm2);
+                    values[in.result.id] = addr;
+                    break;
+                }
+                case Op::PtrToInt:
+                case Op::IntToPtr:
+                    values[in.result.id] = val(in.a);
+                    break;
+                case Op::Call: {
+                    const Function* callee =
+                        module_.find_function(in.callee);
+                    std::vector<u64> cargs;
+                    for (const Value a : in.args) cargs.push_back(val(a));
+                    const u64 r = call(*callee, cargs);
+                    if (in.ty != Ty::Void) values[in.result.id] = r;
+                    break;
+                }
+                case Op::Malloc:
+                    values[in.result.id] = state_.heap.malloc(val(in.a));
+                    break;
+                case Op::Free:
+                    if (!state_.heap.free(val(in.a)))
+                        throw Fault{"free(): invalid pointer"};
+                    break;
+                case Op::Memcpy: {
+                    const u64 dst = val(in.a), src = val(in.b),
+                              len = val(in.c);
+                    for (u64 k = 0; k < len; ++k)
+                        state_.mem.store(dst + k, 1,
+                                         state_.mem.load(src + k, 1, false));
+                    break;
+                }
+                case Op::Memset: {
+                    const u64 dst = val(in.a), byte = val(in.b),
+                              len = val(in.c);
+                    for (u64 k = 0; k < len; ++k)
+                        state_.mem.store(dst + k, 1, byte);
+                    break;
+                }
+                case Op::Print:
+                    state_.result.output.push_back(
+                        static_cast<i64>(val(in.a)));
+                    break;
+                case Op::Ret: {
+                    const u64 r = in.a.valid() ? val(in.a) : 0;
+                    state_.sp = saved_sp;
+                    return r;
+                }
+                case Op::Br:
+                    bb = val(in.a) != 0 ? in.bb_true : in.bb_false;
+                    goto next_block;
+                case Op::Jmp:
+                    bb = in.bb_true;
+                    goto next_block;
+                }
+            }
+            throw SimError{"interp: fell off block end"};
+        next_block:;
+        }
+    }
+
+    static u64 binop(BinKind k, u64 a, u64 b)
+    {
+        const i64 sa = static_cast<i64>(a), sb = static_cast<i64>(b);
+        switch (k) {
+        case BinKind::Add: return a + b;
+        case BinKind::Sub: return a - b;
+        case BinKind::Mul: return a * b;
+        case BinKind::DivS:
+            if (sb == 0) return ~u64{0};
+            if (sa == std::numeric_limits<i64>::min() && sb == -1) return a;
+            return static_cast<u64>(sa / sb);
+        case BinKind::DivU: return b == 0 ? ~u64{0} : a / b;
+        case BinKind::RemS:
+            if (sb == 0) return a;
+            if (sa == std::numeric_limits<i64>::min() && sb == -1) return 0;
+            return static_cast<u64>(sa % sb);
+        case BinKind::RemU: return b == 0 ? a : a % b;
+        case BinKind::And: return a & b;
+        case BinKind::Or: return a | b;
+        case BinKind::Xor: return a ^ b;
+        case BinKind::Shl: return a << (b & 63);
+        case BinKind::ShrL: return a >> (b & 63);
+        case BinKind::ShrA: return static_cast<u64>(sa >> (b & 63));
+        }
+        throw SimError{"interp: bad binop"};
+    }
+
+    static u64 cmpop(CmpKind k, u64 a, u64 b)
+    {
+        const i64 sa = static_cast<i64>(a), sb = static_cast<i64>(b);
+        switch (k) {
+        case CmpKind::Eq: return a == b;
+        case CmpKind::Ne: return a != b;
+        case CmpKind::LtS: return sa < sb;
+        case CmpKind::LeS: return sa <= sb;
+        case CmpKind::GtS: return sa > sb;
+        case CmpKind::GeS: return sa >= sb;
+        case CmpKind::LtU: return a < b;
+        case CmpKind::GeU: return a >= b;
+        }
+        throw SimError{"interp: bad cmp"};
+    }
+
+    const Module& module_;
+    InterpOptions opts_;
+    InterpState state_;
+};
+
+} // namespace
+
+InterpResult interpret(const Module& module, InterpOptions opts)
+{
+    verify(module);
+    const Function* main = module.find_function("main");
+    if (!main || main->return_type() != Ty::I64 || !main->params().empty())
+        throw common::ToolchainError{"interp: module needs main() -> i64"};
+    Interp interp{module, opts};
+    return interp.run();
+}
+
+} // namespace hwst::mir

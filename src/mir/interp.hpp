@@ -1,0 +1,32 @@
+// Reference interpreter for mir modules: an independent semantic oracle
+// used to cross-validate the whole codegen+simulator stack (a workload's
+// checksum must agree between (a) this interpreter, (b) the
+// uninstrumented machine run, and (c) every instrumented machine run).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mir/ir.hpp"
+
+namespace hwst::mir {
+
+struct InterpResult {
+    i64 exit_code = 0;
+    std::vector<i64> output;
+    /// Set when the program performed an access the interpreter's own
+    /// memory map rejects (the oracle equivalent of an AccessFault).
+    std::optional<std::string> fault;
+
+    bool ok() const { return !fault.has_value(); }
+};
+
+struct InterpOptions {
+    u64 max_steps = 100'000'000; ///< instruction budget (runaway guard)
+};
+
+/// Execute `module` (must verify) starting at main() -> i64.
+InterpResult interpret(const Module& module, InterpOptions opts = {});
+
+} // namespace hwst::mir

@@ -1,0 +1,194 @@
+// mir — a minimal SSA-ish IR standing in for the paper's LLVM layer
+// (DESIGN.md §2). Workloads and Juliet cases are built against this IR;
+// the pointer-provenance analysis and the per-scheme safety
+// instrumentation run over it; codegen lowers it to RV64+HWST.
+//
+// Deliberate restriction: SSA values are *block-local* (verified) —
+// anything live across blocks goes through an alloca, exactly like
+// clang -O0 output. This matches the paper's -O0 evaluation and keeps
+// codegen honest about the pointer traffic the instrumentation must
+// shadow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace hwst::mir {
+
+using common::i64;
+using common::u32;
+using common::u64;
+using common::u8;
+
+enum class Ty : u8 { I64, Ptr, Void };
+
+/// SSA value id (index into Function::values()).
+struct Value {
+    u32 id = kInvalid;
+    static constexpr u32 kInvalid = 0xFFFFFFFF;
+    bool valid() const { return id != kInvalid; }
+    friend bool operator==(const Value&, const Value&) = default;
+};
+
+using BlockId = u32;
+
+enum class BinKind : u8 {
+    Add, Sub, Mul, DivS, DivU, RemS, RemU,
+    And, Or, Xor, Shl, ShrL, ShrA,
+};
+
+enum class CmpKind : u8 { Eq, Ne, LtS, LeS, GtS, GeS, LtU, GeU };
+
+enum class Op : u8 {
+    ConstI64,   ///< imm
+    Bin,        ///< bin(a, b)
+    Cmp,        ///< cmp(a, b) -> 0/1
+    AllocaAddr, ///< address of function alloca `index`
+    GlobalAddr, ///< address of module global `index`
+    ParamRef,   ///< value of parameter `index`
+    Load,       ///< load width/sign from ptr a
+    Store,      ///< store a (value) to ptr b, width
+    Gep,        ///< a (ptr) + b (index) * imm (scale) + imm2 (offset)
+    PtrToInt,   ///< a -> i64 (launders provenance)
+    IntToPtr,   ///< a -> ptr (metadata-less pointer)
+    Call,       ///< call `callee`(args); result ty = callee's return
+    Malloc,     ///< heap allocate a bytes -> ptr (wrapped per scheme)
+    Free,       ///< free ptr a (wrapped per scheme)
+    Memcpy,     ///< memcpy(dst=a, src=b, len=c) via runtime
+    Memset,     ///< memset(dst=a, byte=b, len=c) via runtime
+    Print,      ///< emit a to the run's output vector
+    Ret,        ///< return a (or void)
+    Br,         ///< if a != 0 goto bb_true else bb_false
+    Jmp,        ///< goto bb_true
+};
+
+struct Instr {
+    Op op{};
+    Ty ty = Ty::Void;      ///< result type (Void = no result)
+    Value result{};        ///< assigned by the builder when ty != Void
+    Value a{}, b{}, c{};   ///< operands
+    i64 imm = 0;           ///< ConstI64 value / Gep scale
+    i64 imm2 = 0;          ///< Gep constant offset
+    unsigned width = 8;    ///< Load/Store access width
+    bool sign = true;      ///< Load sign extension
+    u32 index = 0;         ///< alloca/global/param index
+    std::string callee;    ///< Call target
+    std::vector<Value> args;
+    BlockId bb_true = 0, bb_false = 0;
+};
+
+struct AllocaInfo {
+    std::string name;
+    u64 size = 8;
+    unsigned align = 8;
+};
+
+struct ValueInfo {
+    Ty ty = Ty::Void;
+    BlockId block = 0; ///< defining block (block-local SSA)
+};
+
+class Block {
+public:
+    explicit Block(std::string name) : name_{std::move(name)} {}
+
+    const std::string& name() const { return name_; }
+    const std::vector<Instr>& instrs() const { return instrs_; }
+    std::vector<Instr>& instrs() { return instrs_; }
+
+private:
+    std::string name_;
+    std::vector<Instr> instrs_;
+};
+
+class Function {
+public:
+    Function(std::string name, std::vector<Ty> params, Ty ret)
+        : name_{std::move(name)}, params_{std::move(params)}, ret_{ret}
+    {
+    }
+
+    const std::string& name() const { return name_; }
+    const std::vector<Ty>& params() const { return params_; }
+    Ty return_type() const { return ret_; }
+
+    BlockId add_block(std::string name)
+    {
+        blocks_.emplace_back(std::move(name));
+        return static_cast<BlockId>(blocks_.size() - 1);
+    }
+
+    u32 add_alloca(AllocaInfo info)
+    {
+        allocas_.push_back(std::move(info));
+        return static_cast<u32>(allocas_.size() - 1);
+    }
+
+    Value new_value(Ty ty, BlockId block)
+    {
+        values_.push_back(ValueInfo{ty, block});
+        return Value{static_cast<u32>(values_.size() - 1)};
+    }
+
+    const std::vector<Block>& blocks() const { return blocks_; }
+    std::vector<Block>& blocks() { return blocks_; }
+    const std::vector<AllocaInfo>& allocas() const { return allocas_; }
+    const std::vector<ValueInfo>& values() const { return values_; }
+
+    Ty value_type(Value v) const
+    {
+        if (!v.valid() || v.id >= values_.size())
+            throw common::ToolchainError{"value id out of range"};
+        return values_[v.id].ty;
+    }
+
+private:
+    std::string name_;
+    std::vector<Ty> params_;
+    Ty ret_;
+    std::vector<Block> blocks_;
+    std::vector<AllocaInfo> allocas_;
+    std::vector<ValueInfo> values_;
+};
+
+struct Global {
+    std::string name;
+    u64 size = 0;
+    unsigned align = 8;
+    std::vector<u8> init; ///< may be shorter than size (rest zero)
+};
+
+class Module {
+public:
+    Function& add_function(std::string name, std::vector<Ty> params, Ty ret)
+    {
+        functions_.emplace_back(std::move(name), std::move(params), ret);
+        return functions_.back();
+    }
+
+    u32 add_global(Global g)
+    {
+        globals_.push_back(std::move(g));
+        return static_cast<u32>(globals_.size() - 1);
+    }
+
+    const std::vector<Function>& functions() const { return functions_; }
+    std::vector<Function>& functions() { return functions_; }
+    const std::vector<Global>& globals() const { return globals_; }
+
+    const Function* find_function(const std::string& name) const
+    {
+        for (const auto& f : functions_)
+            if (f.name() == name) return &f;
+        return nullptr;
+    }
+
+private:
+    std::vector<Function> functions_;
+    std::vector<Global> globals_;
+};
+
+} // namespace hwst::mir

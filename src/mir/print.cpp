@@ -1,0 +1,158 @@
+#include "mir/print.hpp"
+
+#include <sstream>
+
+namespace hwst::mir {
+
+namespace {
+
+const char* ty_name(Ty t)
+{
+    switch (t) {
+    case Ty::I64: return "i64";
+    case Ty::Ptr: return "ptr";
+    case Ty::Void: return "void";
+    }
+    return "?";
+}
+
+const char* bin_name(BinKind k)
+{
+    switch (k) {
+    case BinKind::Add: return "add";
+    case BinKind::Sub: return "sub";
+    case BinKind::Mul: return "mul";
+    case BinKind::DivS: return "sdiv";
+    case BinKind::DivU: return "udiv";
+    case BinKind::RemS: return "srem";
+    case BinKind::RemU: return "urem";
+    case BinKind::And: return "and";
+    case BinKind::Or: return "or";
+    case BinKind::Xor: return "xor";
+    case BinKind::Shl: return "shl";
+    case BinKind::ShrL: return "lshr";
+    case BinKind::ShrA: return "ashr";
+    }
+    return "?";
+}
+
+const char* cmp_name(CmpKind k)
+{
+    switch (k) {
+    case CmpKind::Eq: return "eq";
+    case CmpKind::Ne: return "ne";
+    case CmpKind::LtS: return "slt";
+    case CmpKind::LeS: return "sle";
+    case CmpKind::GtS: return "sgt";
+    case CmpKind::GeS: return "sge";
+    case CmpKind::LtU: return "ult";
+    case CmpKind::GeU: return "uge";
+    }
+    return "?";
+}
+
+std::string v(Value x)
+{
+    if (!x.valid()) return "%-";
+    return "%" + std::to_string(x.id);
+}
+
+} // namespace
+
+std::string to_string(const Function& fn)
+{
+    std::ostringstream os;
+    os << "func " << fn.name() << '(';
+    for (std::size_t i = 0; i < fn.params().size(); ++i) {
+        if (i) os << ", ";
+        os << ty_name(fn.params()[i]);
+    }
+    os << ") -> " << ty_name(fn.return_type()) << " {\n";
+    for (std::size_t a = 0; a < fn.allocas().size(); ++a) {
+        const auto& al = fn.allocas()[a];
+        os << "  alloca #" << a << ' ' << al.name << " [" << al.size
+           << " x i8] align " << al.align << '\n';
+    }
+    for (std::size_t b = 0; b < fn.blocks().size(); ++b) {
+        const Block& bb = fn.blocks()[b];
+        os << bb.name() << ":  ; bb" << b << '\n';
+        for (const Instr& in : bb.instrs()) {
+            os << "  ";
+            if (in.ty != Ty::Void)
+                os << v(in.result) << ": " << ty_name(in.ty) << " = ";
+            switch (in.op) {
+            case Op::ConstI64:
+                os << (in.ty == Ty::Ptr ? "nullptr" : "const ") << in.imm;
+                break;
+            case Op::Bin:
+                os << bin_name(static_cast<BinKind>(in.imm)) << ' ' << v(in.a)
+                   << ", " << v(in.b);
+                break;
+            case Op::Cmp:
+                os << "icmp " << cmp_name(static_cast<CmpKind>(in.imm)) << ' '
+                   << v(in.a) << ", " << v(in.b);
+                break;
+            case Op::AllocaAddr: os << "alloca_addr #" << in.index; break;
+            case Op::GlobalAddr: os << "global_addr #" << in.index; break;
+            case Op::ParamRef: os << "param #" << in.index; break;
+            case Op::Load:
+                os << "load i" << 8 * in.width << (in.sign ? "s" : "u") << ' '
+                   << v(in.a);
+                break;
+            case Op::Store:
+                os << "store i" << 8 * in.width << ' ' << v(in.a) << " -> "
+                   << v(in.b);
+                break;
+            case Op::Gep:
+                os << "gep " << v(in.a) << " + " << v(in.b) << "*" << in.imm
+                   << " + " << in.imm2;
+                break;
+            case Op::PtrToInt: os << "ptrtoint " << v(in.a); break;
+            case Op::IntToPtr: os << "inttoptr " << v(in.a); break;
+            case Op::Call: {
+                os << "call " << in.callee << '(';
+                for (std::size_t k = 0; k < in.args.size(); ++k) {
+                    if (k) os << ", ";
+                    os << v(in.args[k]);
+                }
+                os << ')';
+                break;
+            }
+            case Op::Malloc: os << "malloc " << v(in.a); break;
+            case Op::Free: os << "free " << v(in.a); break;
+            case Op::Memcpy:
+                os << "memcpy " << v(in.a) << ", " << v(in.b) << ", "
+                   << v(in.c);
+                break;
+            case Op::Memset:
+                os << "memset " << v(in.a) << ", " << v(in.b) << ", "
+                   << v(in.c);
+                break;
+            case Op::Print: os << "print " << v(in.a); break;
+            case Op::Ret: os << "ret " << v(in.a); break;
+            case Op::Br:
+                os << "br " << v(in.a) << ", bb" << in.bb_true << ", bb"
+                   << in.bb_false;
+                break;
+            case Op::Jmp: os << "jmp bb" << in.bb_true; break;
+            }
+            os << '\n';
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string to_string(const Module& module)
+{
+    std::ostringstream os;
+    for (std::size_t g = 0; g < module.globals().size(); ++g) {
+        const Global& gl = module.globals()[g];
+        os << "global #" << g << ' ' << gl.name << " [" << gl.size
+           << " x i8]\n";
+    }
+    for (const Function& fn : module.functions()) os << to_string(fn) << '\n';
+    return os.str();
+}
+
+} // namespace hwst::mir

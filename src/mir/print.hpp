@@ -1,0 +1,13 @@
+// Human-readable IR dump (debugging, examples, golden tests).
+#pragma once
+
+#include <string>
+
+#include "mir/ir.hpp"
+
+namespace hwst::mir {
+
+std::string to_string(const Function& fn);
+std::string to_string(const Module& module);
+
+} // namespace hwst::mir

@@ -1,0 +1,17 @@
+// IR verifier: structural and type checks run before instrumentation /
+// codegen. Throws common::ToolchainError with a diagnostic on the first
+// violation.
+#pragma once
+
+#include "mir/ir.hpp"
+
+namespace hwst::mir {
+
+/// Verify one function (block-local SSA, terminator discipline, operand
+/// types, target validity, call signatures against `module`).
+void verify(const Module& module, const Function& fn);
+
+/// Verify every function in the module.
+void verify(const Module& module);
+
+} // namespace hwst::mir

@@ -1,0 +1,71 @@
+#include "riscv/disasm.hpp"
+
+#include <sstream>
+
+namespace hwst::riscv {
+
+namespace {
+
+std::string lower(std::string_view s)
+{
+    std::string out{s};
+    for (char& c : out) c = static_cast<char>(std::tolower(c));
+    return out;
+}
+
+} // namespace
+
+std::string disassemble(const Instruction& in)
+{
+    const OpInfo info = op_info(in.op);
+    std::ostringstream os;
+    os << lower(info.name) << ' ';
+
+    switch (info.format) {
+    case Format::R:
+        // HWST custom-0 ops have asymmetric operand usage; keep the
+        // uniform rd, rs1, rs2 rendering — the mnemonic disambiguates.
+        os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", "
+           << reg_name(in.rs2);
+        break;
+    case Format::I:
+        if (is_load(in.op)) {
+            os << reg_name(in.rd) << ", " << in.imm << '(' << reg_name(in.rs1)
+               << ')';
+        } else {
+            os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", "
+               << in.imm;
+        }
+        break;
+    case Format::ShiftI:
+    case Format::ShiftIW:
+        os << reg_name(in.rd) << ", " << reg_name(in.rs1) << ", " << in.imm;
+        break;
+    case Format::S:
+        os << reg_name(in.rs2) << ", " << in.imm << '(' << reg_name(in.rs1)
+           << ')';
+        break;
+    case Format::B:
+        os << reg_name(in.rs1) << ", " << reg_name(in.rs2) << ", " << in.imm;
+        break;
+    case Format::U:
+        os << reg_name(in.rd) << ", " << (in.imm >> 12);
+        break;
+    case Format::J:
+        os << reg_name(in.rd) << ", " << in.imm;
+        break;
+    case Format::Csr:
+        os << reg_name(in.rd) << ", 0x" << std::hex << in.csr << std::dec
+           << ", " << reg_name(in.rs1);
+        break;
+    case Format::CsrI:
+        os << reg_name(in.rd) << ", 0x" << std::hex << in.csr << std::dec
+           << ", " << in.imm;
+        break;
+    case Format::Sys:
+        return lower(info.name);
+    }
+    return os.str();
+}
+
+} // namespace hwst::riscv

@@ -1,0 +1,13 @@
+// Disassembler: renders instructions in conventional RISC-V assembly
+// syntax (HWST128 extension ops use their paper mnemonics).
+#pragma once
+
+#include <string>
+
+#include "riscv/instr.hpp"
+
+namespace hwst::riscv {
+
+std::string disassemble(const Instruction& in);
+
+} // namespace hwst::riscv

@@ -1,0 +1,193 @@
+#include "riscv/encoding.hpp"
+
+#include "common/error.hpp"
+
+namespace hwst::riscv {
+
+using common::bit;
+using common::bits;
+using common::fits_signed;
+using common::mask64;
+using common::place;
+using common::sign_extend;
+using common::ToolchainError;
+using common::u8;
+
+namespace {
+
+[[noreturn]] void bad_imm(const Instruction& in, const char* why)
+{
+    throw ToolchainError{std::string{"encode "} + std::string{op_name(in.op)} +
+                         ": " + why};
+}
+
+u32 fields_r(const OpInfo& info, Reg rd, Reg rs1, Reg rs2)
+{
+    return static_cast<u32>(
+        place(info.funct7, 25, 7) | place(reg_index(rs2), 20, 5) |
+        place(reg_index(rs1), 15, 5) | place(info.funct3, 12, 3) |
+        place(reg_index(rd), 7, 5) | place(info.major, 0, 7));
+}
+
+} // namespace
+
+u32 encode(const Instruction& in)
+{
+    const OpInfo info = op_info(in.op);
+    const auto rd = reg_index(in.rd);
+    const auto rs1 = reg_index(in.rs1);
+    const auto rs2 = reg_index(in.rs2);
+    const u64 imm = static_cast<u64>(in.imm);
+
+    switch (info.format) {
+    case Format::R:
+        return fields_r(info, in.rd, in.rs1, in.rs2);
+
+    case Format::I:
+        if (!fits_signed(in.imm, 12)) bad_imm(in, "imm does not fit 12 bits");
+        return static_cast<u32>(place(imm, 20, 12) | place(rs1, 15, 5) |
+                                place(info.funct3, 12, 3) | place(rd, 7, 5) |
+                                place(info.major, 0, 7));
+
+    case Format::ShiftI:
+        if (in.imm < 0 || in.imm > 63) bad_imm(in, "shamt out of 0..63");
+        return static_cast<u32>(place(info.funct7 >> 1, 26, 6) |
+                                place(imm, 20, 6) | place(rs1, 15, 5) |
+                                place(info.funct3, 12, 3) | place(rd, 7, 5) |
+                                place(info.major, 0, 7));
+
+    case Format::ShiftIW:
+        if (in.imm < 0 || in.imm > 31) bad_imm(in, "shamt out of 0..31");
+        return static_cast<u32>(place(info.funct7, 25, 7) | place(imm, 20, 5) |
+                                place(rs1, 15, 5) | place(info.funct3, 12, 3) |
+                                place(rd, 7, 5) | place(info.major, 0, 7));
+
+    case Format::S:
+        if (!fits_signed(in.imm, 12)) bad_imm(in, "imm does not fit 12 bits");
+        return static_cast<u32>(place(bits(imm, 5, 7), 25, 7) |
+                                place(rs2, 20, 5) | place(rs1, 15, 5) |
+                                place(info.funct3, 12, 3) |
+                                place(bits(imm, 0, 5), 7, 5) |
+                                place(info.major, 0, 7));
+
+    case Format::B:
+        if (!fits_signed(in.imm, 13)) bad_imm(in, "offset does not fit 13 bits");
+        if (in.imm & 1) bad_imm(in, "branch offset must be even");
+        return static_cast<u32>(
+            place(bit(imm, 12), 31, 1) | place(bits(imm, 5, 6), 25, 6) |
+            place(rs2, 20, 5) | place(rs1, 15, 5) | place(info.funct3, 12, 3) |
+            place(bits(imm, 1, 4), 8, 4) | place(bit(imm, 11), 7, 1) |
+            place(info.major, 0, 7));
+
+    case Format::U:
+        if ((in.imm & 0xFFF) != 0) bad_imm(in, "U imm must be 4096-aligned");
+        if (!fits_signed(in.imm, 32)) bad_imm(in, "U imm does not fit 32 bits");
+        return static_cast<u32>(place(bits(imm, 12, 20), 12, 20) |
+                                place(rd, 7, 5) | place(info.major, 0, 7));
+
+    case Format::J:
+        if (!fits_signed(in.imm, 21)) bad_imm(in, "offset does not fit 21 bits");
+        if (in.imm & 1) bad_imm(in, "jump offset must be even");
+        return static_cast<u32>(
+            place(bit(imm, 20), 31, 1) | place(bits(imm, 1, 10), 21, 10) |
+            place(bit(imm, 11), 20, 1) | place(bits(imm, 12, 8), 12, 8) |
+            place(rd, 7, 5) | place(info.major, 0, 7));
+
+    case Format::Csr:
+        return static_cast<u32>(place(in.csr, 20, 12) | place(rs1, 15, 5) |
+                                place(info.funct3, 12, 3) | place(rd, 7, 5) |
+                                place(info.major, 0, 7));
+
+    case Format::CsrI:
+        return static_cast<u32>(place(in.csr, 20, 12) |
+                                place(imm & 0x1F, 15, 5) |
+                                place(info.funct3, 12, 3) | place(rd, 7, 5) |
+                                place(info.major, 0, 7));
+
+    case Format::Sys:
+        if (in.op == Opcode::FENCE) return 0x0000000Fu;
+        if (in.op == Opcode::ECALL) return 0x00000073u;
+        return 0x00100073u; // EBREAK
+    }
+    throw ToolchainError{"encode: unreachable format"};
+}
+
+std::optional<Instruction> decode(u32 word)
+{
+    const auto major = static_cast<u8>(bits(word, 0, 7));
+    const auto funct3 = static_cast<u8>(bits(word, 12, 3));
+    const auto funct7 = static_cast<u8>(bits(word, 25, 7));
+    const auto rd = reg_from_index(static_cast<unsigned>(bits(word, 7, 5)));
+    const auto rs1 = reg_from_index(static_cast<unsigned>(bits(word, 15, 5)));
+    const auto rs2 = reg_from_index(static_cast<unsigned>(bits(word, 20, 5)));
+
+    for (unsigned idx = 0; idx < kNumOpcodes; ++idx) {
+        const auto op = static_cast<Opcode>(idx);
+        const OpInfo info = op_info(op);
+        if (info.major != major) continue;
+
+        switch (info.format) {
+        case Format::R:
+            if (info.funct3 != funct3 || info.funct7 != funct7) break;
+            return rtype(op, rd, rs1, rs2);
+
+        case Format::I:
+            if (info.funct3 != funct3) break;
+            return itype(op, rd, rs1, sign_extend(bits(word, 20, 12), 12));
+
+        case Format::ShiftI:
+            if (info.funct3 != funct3) break;
+            if ((info.funct7 >> 1) != bits(word, 26, 6)) break;
+            return itype(op, rd, rs1, static_cast<i64>(bits(word, 20, 6)));
+
+        case Format::ShiftIW:
+            if (info.funct3 != funct3 || info.funct7 != funct7) break;
+            return itype(op, rd, rs1, static_cast<i64>(bits(word, 20, 5)));
+
+        case Format::S:
+            if (info.funct3 != funct3) break;
+            return stype(op, rs1, rs2,
+                         sign_extend((bits(word, 25, 7) << 5) |
+                                         bits(word, 7, 5),
+                                     12));
+
+        case Format::B: {
+            if (info.funct3 != funct3) break;
+            const u64 imm = (bit(word, 31) << 12) | (bit(word, 7) << 11) |
+                            (bits(word, 25, 6) << 5) | (bits(word, 8, 4) << 1);
+            return btype(op, rs1, rs2, sign_extend(imm, 13));
+        }
+
+        case Format::U:
+            return utype(op, rd, sign_extend(bits(word, 12, 20) << 12, 32));
+
+        case Format::J: {
+            const u64 imm = (bit(word, 31) << 20) | (bits(word, 12, 8) << 12) |
+                            (bit(word, 20) << 11) | (bits(word, 21, 10) << 1);
+            Instruction in = jal(rd, sign_extend(imm, 21));
+            return in;
+        }
+
+        case Format::Csr:
+            if (info.funct3 != funct3) break;
+            return csr_op(op, rd, rs1, static_cast<u32>(bits(word, 20, 12)));
+
+        case Format::CsrI:
+            if (info.funct3 != funct3) break;
+            return csri_op(op, rd, static_cast<u32>(bits(word, 15, 5)),
+                           static_cast<u32>(bits(word, 20, 12)));
+
+        case Format::Sys:
+            if (op == Opcode::FENCE) return Instruction{Opcode::FENCE};
+            if (funct3 != 0) break;
+            if (op == Opcode::ECALL && bits(word, 20, 12) == 0)
+                return Instruction{Opcode::ECALL};
+            if (op == Opcode::EBREAK && bits(word, 20, 12) == 1)
+                return Instruction{Opcode::EBREAK};
+            break;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace hwst::riscv

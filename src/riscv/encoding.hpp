@@ -1,0 +1,20 @@
+// 32-bit RISC-V wire-format encoder/decoder for the RV64IM + Zicsr +
+// HWST128 instruction set. Round-trip property: decode(encode(i)) == i
+// for every encodable instruction (tested in tests/riscv_encoding_test).
+#pragma once
+
+#include <optional>
+
+#include "riscv/instr.hpp"
+
+namespace hwst::riscv {
+
+/// Encode to the 32-bit wire format. Throws common::ToolchainError if an
+/// immediate does not fit its field.
+u32 encode(const Instruction& in);
+
+/// Decode a 32-bit word. Returns std::nullopt for unknown encodings
+/// (the simulator raises an illegal-instruction trap on those).
+std::optional<Instruction> decode(u32 word);
+
+} // namespace hwst::riscv

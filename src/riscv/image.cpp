@@ -1,0 +1,158 @@
+#include "riscv/image.hpp"
+#include <cstring>
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "riscv/disasm.hpp"
+#include "riscv/encoding.hpp"
+
+namespace hwst::riscv {
+
+using common::ToolchainError;
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'W', 'S', 'T', '1', '2', '8', '\0'};
+
+void put_u64(std::ostream& os, u64 v)
+{
+    for (int i = 0; i < 8; ++i)
+        os.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+u64 get_u64(std::istream& is)
+{
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) {
+        const int c = is.get();
+        if (c == EOF) throw ToolchainError{"image: truncated container"};
+        v |= static_cast<u64>(static_cast<u8>(c)) << (8 * i);
+    }
+    return v;
+}
+
+} // namespace
+
+const Segment* ProgramImage::find(const std::string& name) const
+{
+    for (const Segment& s : segments)
+        if (s.name == name) return &s;
+    return nullptr;
+}
+
+ProgramImage build_image(const Program& program)
+{
+    ProgramImage image;
+    image.entry = program.entry_addr();
+
+    Segment text;
+    text.name = "text";
+    text.base = program.layout().text_base;
+    text.bytes.reserve(program.code().size() * 4);
+    for (const Instruction& in : program.code()) {
+        const u32 word = encode(in);
+        for (int i = 0; i < 4; ++i)
+            text.bytes.push_back(static_cast<u8>((word >> (8 * i)) & 0xFF));
+    }
+    image.segments.push_back(std::move(text));
+
+    if (!program.data().empty()) {
+        Segment data;
+        data.name = "data";
+        data.base = program.layout().data_base;
+        data.bytes.assign(program.data().begin(), program.data().end());
+        image.segments.push_back(std::move(data));
+    }
+    return image;
+}
+
+void write_hex(const ProgramImage& image, std::ostream& os)
+{
+    os << std::hex << std::setfill('0');
+    for (const Segment& seg : image.segments) {
+        os << "// segment " << seg.name << " @0x" << seg.base << '\n';
+        os << '@' << (seg.base / 4) << '\n';
+        for (std::size_t i = 0; i < seg.bytes.size(); i += 4) {
+            u32 word = 0;
+            for (std::size_t k = 0; k < 4 && i + k < seg.bytes.size(); ++k)
+                word |= static_cast<u32>(seg.bytes[i + k]) << (8 * k);
+            os << std::setw(8) << word << '\n';
+        }
+    }
+    os << std::dec << std::setfill(' ');
+}
+
+void write_image(const ProgramImage& image, std::ostream& os)
+{
+    os.write(kMagic, sizeof kMagic);
+    put_u64(os, image.entry);
+    put_u64(os, image.segments.size());
+    for (const Segment& seg : image.segments) {
+        put_u64(os, seg.name.size());
+        os.write(seg.name.data(),
+                 static_cast<std::streamsize>(seg.name.size()));
+        put_u64(os, seg.base);
+        put_u64(os, seg.bytes.size());
+        os.write(reinterpret_cast<const char*>(seg.bytes.data()),
+                 static_cast<std::streamsize>(seg.bytes.size()));
+    }
+}
+
+ProgramImage read_image(std::istream& is)
+{
+    char magic[8];
+    is.read(magic, sizeof magic);
+    if (is.gcount() != sizeof magic ||
+        std::memcmp(magic, kMagic, sizeof magic) != 0) {
+        throw ToolchainError{"image: bad magic"};
+    }
+    ProgramImage image;
+    image.entry = get_u64(is);
+    const u64 nseg = get_u64(is);
+    if (nseg > 16) throw ToolchainError{"image: implausible segment count"};
+    for (u64 s = 0; s < nseg; ++s) {
+        Segment seg;
+        const u64 name_len = get_u64(is);
+        if (name_len > 64) throw ToolchainError{"image: bad name length"};
+        seg.name.resize(name_len);
+        is.read(seg.name.data(), static_cast<std::streamsize>(name_len));
+        seg.base = get_u64(is);
+        const u64 size = get_u64(is);
+        if (size > (u64{1} << 32))
+            throw ToolchainError{"image: implausible segment size"};
+        seg.bytes.resize(size);
+        is.read(reinterpret_cast<char*>(seg.bytes.data()),
+                static_cast<std::streamsize>(size));
+        if (static_cast<u64>(is.gcount()) != size)
+            throw ToolchainError{"image: truncated segment"};
+        image.segments.push_back(std::move(seg));
+    }
+    return image;
+}
+
+std::string disassemble_text(const ProgramImage& image)
+{
+    const Segment* text = image.find("text");
+    if (!text) throw ToolchainError{"image: no text segment"};
+    std::ostringstream os;
+    for (std::size_t i = 0; i + 4 <= text->bytes.size(); i += 4) {
+        u32 word = 0;
+        for (std::size_t k = 0; k < 4; ++k)
+            word |= static_cast<u32>(text->bytes[i + k]) << (8 * k);
+        os << std::hex << std::setw(10) << (text->base + i) << std::dec
+           << ":  ";
+        if (const auto in = decode(word)) {
+            os << disassemble(*in);
+        } else {
+            os << ".word 0x" << std::hex << word << std::dec;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace hwst::riscv

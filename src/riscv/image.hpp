@@ -1,0 +1,48 @@
+// Memory-image writer/reader: turns an assembled Program into the flat
+// artifacts an FPGA flow consumes — a Verilog $readmemh hex file for
+// the text and data segments, and a compact binary container that can
+// be reloaded into a Program-shaped image. This is the "FPGA-ready"
+// edge of the toolchain (paper contribution 4: open-source tool-chain
+// for the FPGA-ready RISC-V platform).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "riscv/program.hpp"
+
+namespace hwst::riscv {
+
+/// One loadable segment of a program image.
+struct Segment {
+    std::string name; ///< "text" or "data"
+    u64 base = 0;
+    std::vector<u8> bytes;
+};
+
+struct ProgramImage {
+    std::vector<Segment> segments;
+    u64 entry = 0;
+
+    const Segment* find(const std::string& name) const;
+};
+
+/// Build the image of a finalized program (text encoded to 32-bit
+/// little-endian words, data verbatim).
+ProgramImage build_image(const Program& program);
+
+/// Verilog $readmemh format: `@ADDRESS` (word address) directives and
+/// one 8-hex-digit word per line. Suitable for an FPGA block-RAM init.
+void write_hex(const ProgramImage& image, std::ostream& os);
+
+/// Compact binary container: magic, entry, per-segment (name, base,
+/// size, bytes). Round-trips through read_image.
+void write_image(const ProgramImage& image, std::ostream& os);
+ProgramImage read_image(std::istream& is);
+
+/// Disassemble the text segment of an image (sanity tooling: proves
+/// the hex the FPGA sees decodes back to the program).
+std::string disassemble_text(const ProgramImage& image);
+
+} // namespace hwst::riscv

@@ -1,0 +1,69 @@
+// RV64 integer register file names. The shadow register file (SRF) is
+// indexed by the same register numbers (one shadow register per GPR).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace hwst::riscv {
+
+/// Architectural integer register. Values are the 5-bit encodings.
+enum class Reg : std::uint8_t {
+    zero = 0,
+    ra = 1,
+    sp = 2,
+    gp = 3,
+    tp = 4,
+    t0 = 5,
+    t1 = 6,
+    t2 = 7,
+    s0 = 8,
+    s1 = 9,
+    a0 = 10,
+    a1 = 11,
+    a2 = 12,
+    a3 = 13,
+    a4 = 14,
+    a5 = 15,
+    a6 = 16,
+    a7 = 17,
+    s2 = 18,
+    s3 = 19,
+    s4 = 20,
+    s5 = 21,
+    s6 = 22,
+    s7 = 23,
+    s8 = 24,
+    s9 = 25,
+    s10 = 26,
+    s11 = 27,
+    t3 = 28,
+    t4 = 29,
+    t5 = 30,
+    t6 = 31,
+};
+
+inline constexpr unsigned kNumRegs = 32;
+
+constexpr unsigned reg_index(Reg r) { return static_cast<unsigned>(r); }
+
+constexpr Reg reg_from_index(unsigned i)
+{
+    if (i >= kNumRegs) throw common::ToolchainError{"register index out of range"};
+    return static_cast<Reg>(i);
+}
+
+constexpr std::string_view reg_name(Reg r)
+{
+    constexpr std::array<std::string_view, kNumRegs> names{
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0",   "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6",   "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8",   "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+    return names[reg_index(r)];
+}
+
+} // namespace hwst::riscv

@@ -1,0 +1,829 @@
+#include "sim/machine.hpp"
+
+#include "common/error.hpp"
+#include "riscv/encoding.hpp"
+#include "sim/syscalls.hpp"
+
+namespace hwst::sim {
+
+using common::SimError;
+using common::u8;
+using hwst::Trap;
+using hwst::TrapKind;
+using mem::Access;
+using mem::MemFault;
+using riscv::Format;
+using riscv::Instruction;
+using riscv::Opcode;
+
+namespace {
+
+using common::i32;
+
+u64 sext32(u64 v) { return static_cast<u64>(static_cast<i64>(static_cast<i32>(v))); }
+
+constexpr bool reads_rs1(Format f)
+{
+    switch (f) {
+    case Format::R: case Format::I: case Format::ShiftI:
+    case Format::ShiftIW: case Format::S: case Format::B: case Format::Csr:
+        return true;
+    default:
+        return false;
+    }
+}
+
+constexpr bool reads_rs2(Format f)
+{
+    return f == Format::R || f == Format::S || f == Format::B;
+}
+
+} // namespace
+
+Machine::Machine(const riscv::Program& program, MachineConfig cfg)
+    : program_{program},
+      cfg_{cfg},
+      dcache_{cfg.dcache},
+      icache_{cfg.icache},
+      keybuffer_{cfg.keybuffer_entries}
+{
+    const auto& lay = program.layout();
+
+    // Process address-space map.
+    const u64 text_size =
+        common::align_up(std::max<u64>(program.code().size() * 4, 4), 4096);
+    const u64 data_size = common::align_up(program.data().size() + 4096, 4096);
+    mem_.map_region("text", lay.text_base, text_size);
+    mem_.map_region("data", lay.data_base, data_size);
+    mem_.map_region("heap", lay.heap_base, lay.heap_size);
+    mem_.map_region("stack", lay.stack_top - lay.stack_size, lay.stack_size);
+    mem_.map_region("lock", lay.lock_base, lay.lock_entries * 8);
+    mem_.map_region("swss", lay.sw_arg_base, lay.sw_arg_size);
+    // Shadow spaces cover the <<2 image of everything below stack_top.
+    mem_.map_region("lmsm", lay.shadow_offset, lay.stack_top << 2);
+    mem_.map_region("swmeta", lay.sw_meta_offset, lay.stack_top << 2);
+    mem_.map_region("swl2", lay.sw_l2_offset,
+                    lay.sw_l1_entries() * lay.sw_l2_bytes_per_entry());
+    mem_.map_region("asan", lay.asan_shadow_offset, lay.stack_top >> 3);
+
+    if (cfg_.runtime.init_sw_trie) {
+        for (u64 i = 0; i < lay.sw_l1_entries(); ++i) {
+            mem_.store_u64(lay.sw_meta_offset + 8 * i,
+                           lay.sw_l2_offset +
+                               i * lay.sw_l2_bytes_per_entry());
+        }
+    }
+
+    // Load text (encoded, for fidelity) and data.
+    for (std::size_t i = 0; i < program.code().size(); ++i) {
+        const u32 word = riscv::encode(program.code()[i]);
+        mem_.write_bytes(lay.text_base + 4 * i,
+                         std::span{reinterpret_cast<const u8*>(&word), 4});
+    }
+    mem_.write_bytes(lay.data_base, program.data());
+
+    heap_ = std::make_unique<mem::HeapAllocator>(lay.heap_base, lay.heap_size);
+    locks_ = std::make_unique<mem::LockAllocator>(lay.lock_base,
+                                                  lay.lock_entries);
+    // The global lock_location permanently holds the global key (CETS).
+    mem_.store_u64(locks_->global_lock_addr(), mem::LockAllocator::kGlobalKey);
+    // CETS stack-lock allocator state (manipulated inline by function
+    // prologues/epilogues): cursor at lock_base+16 grows down from the
+    // top of the region; the stack-key counter lives at lock_base+24
+    // in a key space disjoint from the heap allocator's (bit 43 set).
+    mem_.store_u64(lay.lock_base + 16,
+                   lay.lock_base + 8 * (lay.lock_entries - 1));
+    mem_.store_u64(lay.lock_base + 24, (u64{1} << 43) + 1);
+
+    // Reset state: sp at the stack top, HWST CSRs preset from the layout
+    // (program prologues may overwrite them, as the paper does).
+    pc_ = program.entry_addr();
+    set_reg(Reg::sp, lay.stack_top - 256);
+    csrs_.write(hwst::kCsrSmOffset, lay.shadow_offset);
+    csrs_.write(hwst::kCsrLockBase, lay.lock_base);
+    csrs_.write(hwst::kCsrLockSize, lay.lock_entries);
+    csrs_.write(hwst::kCsrStatus,
+                hwst::kStatusSpatialEnable | hwst::kStatusTemporalEnable);
+}
+
+void Machine::classify(Opcode op)
+{
+    switch (op) {
+    case Opcode::CLB: case Opcode::CLH: case Opcode::CLW: case Opcode::CLD:
+    case Opcode::CLBU: case Opcode::CLHU: case Opcode::CLWU:
+        ++mix_.checked_loads;
+        return;
+    case Opcode::CSB: case Opcode::CSH: case Opcode::CSW: case Opcode::CSD:
+        ++mix_.checked_stores;
+        return;
+    case Opcode::SBDL: case Opcode::SBDU: case Opcode::LBDLS:
+    case Opcode::LBDUS: case Opcode::LBAS: case Opcode::LBND:
+    case Opcode::LKEY: case Opcode::LLOC:
+        ++mix_.meta_moves;
+        return;
+    case Opcode::BNDRS: case Opcode::BNDRT:
+        ++mix_.binds;
+        return;
+    case Opcode::TCHK:
+        ++mix_.tchk;
+        return;
+    case Opcode::JAL: case Opcode::JALR:
+        ++mix_.jumps;
+        return;
+    case Opcode::ECALL:
+        ++mix_.ecalls;
+        return;
+    default:
+        break;
+    }
+    if (riscv::is_load(op)) ++mix_.loads;
+    else if (riscv::is_store(op)) ++mix_.stores;
+    else if (riscv::is_branch(op)) ++mix_.branches;
+    else if (op == Opcode::KBFLUSH || op == Opcode::SRFMV ||
+             op == Opcode::SRFCLR || op == Opcode::FENCE ||
+             op == Opcode::EBREAK)
+        ++mix_.other;
+    else ++mix_.alu;
+}
+
+unsigned Machine::dcache_extra(u64 addr)
+{
+    return dcache_.access(addr) - cfg_.dcache.hit_cycles;
+}
+
+u64 Machine::mem_load(u64 addr, unsigned width, bool sign_extend)
+{
+    cycles_ += dcache_extra(addr);
+    return mem_.load(addr, width, sign_extend);
+}
+
+void Machine::mem_store(u64 addr, unsigned width, u64 value)
+{
+    cycles_ += dcache_extra(addr);
+    // Keybuffer coherence: a key *erasure* (store of 0 into the lock
+    // region — what frees do) clears the keybuffer (paper §3.5).
+    // Non-zero writes mint fresh keys, which cannot be cached yet.
+    const auto& lay = program_.layout();
+    if (value == 0 && addr >= lay.lock_base &&
+        addr < lay.lock_base + lay.lock_entries * 8) {
+        keybuffer_.flush();
+    }
+    mem_.store(addr, width, value);
+}
+
+std::optional<Trap> Machine::spatial_check(Reg ptr_reg, u64 addr,
+                                           unsigned width)
+{
+    if (!csrs_.spatial_enabled()) return std::nullopt;
+    const auto& entry = srf_.entry(ptr_reg);
+    // No (or cleared) spatial metadata: the access is unchecked, exactly
+    // like SoftBound pointers whose provenance the analysis lost.
+    if (!entry.valid_lo || entry.value.lo == 0) return std::nullopt;
+    u64 base = 0, bound = 0;
+    metadata::decompress_spatial(entry.value.lo, csrs_.compression(), base,
+                                 bound);
+    if (scu_.check(addr, width, base, bound).pass) return std::nullopt;
+    csrs_.record_violation(static_cast<u64>(TrapKind::SpatialViolation), addr);
+    return Trap{TrapKind::SpatialViolation, addr, pc_};
+}
+
+Trap Machine::step()
+{
+    if (!running_)
+        throw SimError{"Machine::step called after the program stopped"};
+
+    const auto& lay = program_.layout();
+    if (pc_ < lay.text_base || (pc_ - lay.text_base) / 4 >= program_.code().size() ||
+        pc_ % 4 != 0) {
+        running_ = false;
+        return Trap{TrapKind::AccessFault, pc_, pc_};
+    }
+    const Instruction& in = program_.code()[(pc_ - lay.text_base) / 4];
+
+    if (trace_) trace_(pc_, in);
+    ++instret_;
+    ++cycles_;
+    if (cfg_.icache_enabled)
+        cycles_ += icache_.access(pc_) - cfg_.icache.hit_cycles;
+    classify(in.op);
+
+    // Load-use hazard: the instruction right after a load stalls one
+    // cycle if it consumes the loaded register.
+    if (last_load_rd_ != Reg::zero) {
+        const Format f = riscv::op_format(in.op);
+        if ((reads_rs1(f) && in.rs1 == last_load_rd_) ||
+            (reads_rs2(f) && in.rs2 == last_load_rd_)) {
+            cycles_ += cfg_.timing.load_use_stall;
+        }
+    }
+    last_load_rd_ = Reg::zero;
+
+    u64 next_pc = pc_ + 4;
+    Trap trap{};
+    try {
+        trap = exec(in, next_pc);
+    } catch (const MemFault& fault) {
+        trap = Trap{TrapKind::AccessFault, fault.addr, pc_};
+    }
+
+    if (trap.kind != TrapKind::None) {
+        running_ = false;
+        return trap;
+    }
+    if (riscv::is_load(in.op)) last_load_rd_ = in.rd;
+    srf_effects(in);
+    pc_ = next_pc;
+    return Trap{};
+}
+
+Trap Machine::exec(const Instruction& in, u64& next_pc)
+{
+    const u64 rs1 = reg(in.rs1);
+    const u64 rs2 = reg(in.rs2);
+    const u64 imm = static_cast<u64>(in.imm);
+    const auto& t = cfg_.timing;
+
+    switch (in.op) {
+    // ---- RV64I arithmetic ------------------------------------------
+    case Opcode::LUI: set_reg(in.rd, imm); break;
+    case Opcode::AUIPC: set_reg(in.rd, pc_ + imm); break;
+    case Opcode::ADDI: set_reg(in.rd, rs1 + imm); break;
+    case Opcode::SLTI:
+        set_reg(in.rd, static_cast<i64>(rs1) < in.imm ? 1 : 0);
+        break;
+    case Opcode::SLTIU: set_reg(in.rd, rs1 < imm ? 1 : 0); break;
+    case Opcode::XORI: set_reg(in.rd, rs1 ^ imm); break;
+    case Opcode::ORI: set_reg(in.rd, rs1 | imm); break;
+    case Opcode::ANDI: set_reg(in.rd, rs1 & imm); break;
+    case Opcode::SLLI: set_reg(in.rd, rs1 << (imm & 63)); break;
+    case Opcode::SRLI: set_reg(in.rd, rs1 >> (imm & 63)); break;
+    case Opcode::SRAI:
+        set_reg(in.rd, static_cast<u64>(static_cast<i64>(rs1) >> (imm & 63)));
+        break;
+    case Opcode::ADD: set_reg(in.rd, rs1 + rs2); break;
+    case Opcode::SUB: set_reg(in.rd, rs1 - rs2); break;
+    case Opcode::SLL: set_reg(in.rd, rs1 << (rs2 & 63)); break;
+    case Opcode::SLT:
+        set_reg(in.rd,
+                static_cast<i64>(rs1) < static_cast<i64>(rs2) ? 1 : 0);
+        break;
+    case Opcode::SLTU: set_reg(in.rd, rs1 < rs2 ? 1 : 0); break;
+    case Opcode::XOR: set_reg(in.rd, rs1 ^ rs2); break;
+    case Opcode::SRL: set_reg(in.rd, rs1 >> (rs2 & 63)); break;
+    case Opcode::SRA:
+        set_reg(in.rd,
+                static_cast<u64>(static_cast<i64>(rs1) >> (rs2 & 63)));
+        break;
+    case Opcode::OR: set_reg(in.rd, rs1 | rs2); break;
+    case Opcode::AND: set_reg(in.rd, rs1 & rs2); break;
+    case Opcode::ADDIW: set_reg(in.rd, sext32(rs1 + imm)); break;
+    case Opcode::SLLIW: set_reg(in.rd, sext32(rs1 << (imm & 31))); break;
+    case Opcode::SRLIW:
+        set_reg(in.rd, sext32(static_cast<u32>(rs1) >> (imm & 31)));
+        break;
+    case Opcode::SRAIW:
+        set_reg(in.rd,
+                sext32(static_cast<u64>(static_cast<i32>(rs1) >>
+                                        (imm & 31))));
+        break;
+    case Opcode::ADDW: set_reg(in.rd, sext32(rs1 + rs2)); break;
+    case Opcode::SUBW: set_reg(in.rd, sext32(rs1 - rs2)); break;
+    case Opcode::SLLW: set_reg(in.rd, sext32(rs1 << (rs2 & 31))); break;
+    case Opcode::SRLW:
+        set_reg(in.rd, sext32(static_cast<u32>(rs1) >> (rs2 & 31)));
+        break;
+    case Opcode::SRAW:
+        set_reg(in.rd,
+                sext32(static_cast<u64>(static_cast<i32>(rs1) >>
+                                        (rs2 & 31))));
+        break;
+
+    // ---- RV64M --------------------------------------------------------
+    case Opcode::MUL:
+        cycles_ += t.mul_extra;
+        set_reg(in.rd, rs1 * rs2);
+        break;
+    case Opcode::MULH:
+        cycles_ += t.mul_extra;
+        set_reg(in.rd,
+                static_cast<u64>((static_cast<__int128>(static_cast<i64>(rs1)) *
+                                  static_cast<i64>(rs2)) >>
+                                 64));
+        break;
+    case Opcode::MULHSU:
+        cycles_ += t.mul_extra;
+        set_reg(in.rd,
+                static_cast<u64>((static_cast<__int128>(static_cast<i64>(rs1)) *
+                                  static_cast<unsigned __int128>(rs2)) >>
+                                 64));
+        break;
+    case Opcode::MULHU:
+        cycles_ += t.mul_extra;
+        set_reg(in.rd,
+                static_cast<u64>((static_cast<unsigned __int128>(rs1) *
+                                  static_cast<unsigned __int128>(rs2)) >>
+                                 64));
+        break;
+    case Opcode::DIV: {
+        cycles_ += t.div_extra;
+        const i64 a = static_cast<i64>(rs1), b = static_cast<i64>(rs2);
+        if (b == 0) set_reg(in.rd, ~u64{0});
+        else if (a == std::numeric_limits<i64>::min() && b == -1)
+            set_reg(in.rd, rs1);
+        else set_reg(in.rd, static_cast<u64>(a / b));
+        break;
+    }
+    case Opcode::DIVU:
+        cycles_ += t.div_extra;
+        set_reg(in.rd, rs2 == 0 ? ~u64{0} : rs1 / rs2);
+        break;
+    case Opcode::REM: {
+        cycles_ += t.div_extra;
+        const i64 a = static_cast<i64>(rs1), b = static_cast<i64>(rs2);
+        if (b == 0) set_reg(in.rd, rs1);
+        else if (a == std::numeric_limits<i64>::min() && b == -1)
+            set_reg(in.rd, 0);
+        else set_reg(in.rd, static_cast<u64>(a % b));
+        break;
+    }
+    case Opcode::REMU:
+        cycles_ += t.div_extra;
+        set_reg(in.rd, rs2 == 0 ? rs1 : rs1 % rs2);
+        break;
+    case Opcode::MULW:
+        cycles_ += t.mul_extra;
+        set_reg(in.rd, sext32(rs1 * rs2));
+        break;
+    case Opcode::DIVW: {
+        cycles_ += t.div_extra;
+        const i32 a = static_cast<i32>(rs1), b = static_cast<i32>(rs2);
+        if (b == 0) set_reg(in.rd, ~u64{0});
+        else if (a == std::numeric_limits<i32>::min() && b == -1)
+            set_reg(in.rd, sext32(static_cast<u64>(static_cast<u32>(a))));
+        else set_reg(in.rd, sext32(static_cast<u64>(static_cast<u32>(a / b))));
+        break;
+    }
+    case Opcode::DIVUW: {
+        cycles_ += t.div_extra;
+        const u32 a = static_cast<u32>(rs1), b = static_cast<u32>(rs2);
+        set_reg(in.rd, b == 0 ? ~u64{0} : sext32(a / b));
+        break;
+    }
+    case Opcode::REMW: {
+        cycles_ += t.div_extra;
+        const i32 a = static_cast<i32>(rs1), b = static_cast<i32>(rs2);
+        if (b == 0) set_reg(in.rd, sext32(static_cast<u64>(static_cast<u32>(a))));
+        else if (a == std::numeric_limits<i32>::min() && b == -1)
+            set_reg(in.rd, 0);
+        else set_reg(in.rd, sext32(static_cast<u64>(static_cast<u32>(a % b))));
+        break;
+    }
+    case Opcode::REMUW: {
+        cycles_ += t.div_extra;
+        const u32 a = static_cast<u32>(rs1), b = static_cast<u32>(rs2);
+        set_reg(in.rd, b == 0 ? sext32(a) : sext32(a % b));
+        break;
+    }
+
+    // ---- control transfer ------------------------------------------
+    case Opcode::JAL:
+        set_reg(in.rd, pc_ + 4);
+        next_pc = pc_ + imm;
+        cycles_ += t.branch_taken_penalty;
+        break;
+    case Opcode::JALR:
+        set_reg(in.rd, pc_ + 4);
+        next_pc = (rs1 + imm) & ~u64{1};
+        cycles_ += t.branch_taken_penalty;
+        break;
+    case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT: case Opcode::BGE:
+    case Opcode::BLTU: case Opcode::BGEU: {
+        bool taken = false;
+        switch (in.op) {
+        case Opcode::BEQ: taken = rs1 == rs2; break;
+        case Opcode::BNE: taken = rs1 != rs2; break;
+        case Opcode::BLT:
+            taken = static_cast<i64>(rs1) < static_cast<i64>(rs2);
+            break;
+        case Opcode::BGE:
+            taken = static_cast<i64>(rs1) >= static_cast<i64>(rs2);
+            break;
+        case Opcode::BLTU: taken = rs1 < rs2; break;
+        default: taken = rs1 >= rs2; break;
+        }
+        if (taken) {
+            next_pc = pc_ + imm;
+            cycles_ += t.branch_taken_penalty;
+        }
+        break;
+    }
+
+    // ---- memory --------------------------------------------------------
+    case Opcode::LB: case Opcode::LH: case Opcode::LW: case Opcode::LD:
+        set_reg(in.rd, mem_load(rs1 + imm, riscv::mem_width(in.op), true));
+        break;
+    case Opcode::LBU: case Opcode::LHU: case Opcode::LWU:
+        set_reg(in.rd, mem_load(rs1 + imm, riscv::mem_width(in.op), false));
+        break;
+    case Opcode::SB: case Opcode::SH: case Opcode::SW: case Opcode::SD:
+        mem_store(rs1 + imm, riscv::mem_width(in.op), rs2);
+        break;
+
+    // ---- system ---------------------------------------------------------
+    case Opcode::FENCE: break;
+    case Opcode::ECALL: return exec_ecall();
+    case Opcode::EBREAK: return Trap{TrapKind::Breakpoint, 0, pc_};
+    case Opcode::CSRRW: case Opcode::CSRRS: case Opcode::CSRRC:
+    case Opcode::CSRRWI: case Opcode::CSRRSI: case Opcode::CSRRCI: {
+        cycles_ += t.csr_extra;
+        u64 old = 0;
+        if (in.csr == hwst::kCsrCycle) old = cycles_;
+        else if (in.csr == hwst::kCsrInstret) old = instret_;
+        else if (const auto v = csrs_.read(in.csr)) old = *v;
+        else return Trap{TrapKind::IllegalInstruction, in.csr, pc_};
+
+        const bool is_imm = riscv::op_format(in.op) == Format::CsrI;
+        const u64 src = is_imm ? imm : rs1;
+        u64 next = old;
+        switch (in.op) {
+        case Opcode::CSRRW: case Opcode::CSRRWI: next = src; break;
+        case Opcode::CSRRS: case Opcode::CSRRSI: next = old | src; break;
+        default: next = old & ~src; break;
+        }
+        const bool writes =
+            (in.op == Opcode::CSRRW || in.op == Opcode::CSRRWI) ||
+            (!is_imm && in.rs1 != Reg::zero) || (is_imm && imm != 0);
+        if (writes && in.csr != hwst::kCsrCycle &&
+            in.csr != hwst::kCsrInstret) {
+            csrs_.write(in.csr, next);
+        }
+        set_reg(in.rd, old);
+        break;
+    }
+
+    default:
+        return exec_hwst(in);
+    }
+    return Trap{};
+}
+
+Trap Machine::exec_hwst(const Instruction& in)
+{
+    const u64 rs1 = reg(in.rs1);
+    const auto cfg = csrs_.compression();
+    const u64 sm_off = csrs_.sm_offset();
+
+    switch (in.op) {
+    case Opcode::BNDRS:
+        srf_.bind_spatial(in.rd, metadata::compress_spatial(rs1, reg(in.rs2),
+                                                            cfg));
+        break;
+    case Opcode::BNDRT:
+        srf_.bind_temporal(in.rd, metadata::compress_temporal(rs1,
+                                                              reg(in.rs2),
+                                                              cfg));
+        break;
+
+    case Opcode::SBDL: case Opcode::SBDU: {
+        const auto& e = srf_.entry(in.rs2);
+        const bool upper = in.op == Opcode::SBDU;
+        const u64 addr = smac_.map(rs1 + static_cast<u64>(in.imm), sm_off) +
+                         (upper ? hwst::Smac::upper_slot_offset() : 0);
+        const u64 value = upper ? (e.valid_hi ? e.value.hi : 0)
+                                : (e.valid_lo ? e.value.lo : 0);
+        cycles_ += dcache_extra(addr);
+        mem_.store(addr, 8, value);
+        break;
+    }
+
+    case Opcode::LBDLS: case Opcode::LBDUS: {
+        const bool upper = in.op == Opcode::LBDUS;
+        const u64 addr = smac_.map(rs1 + static_cast<u64>(in.imm), sm_off) +
+                         (upper ? hwst::Smac::upper_slot_offset() : 0);
+        const u64 value = mem_load(addr, 8, false);
+        if (upper) srf_.set_hi(in.rd, value, value != 0);
+        else srf_.set_lo(in.rd, value, value != 0);
+        break;
+    }
+
+    case Opcode::LBAS: case Opcode::LBND: {
+        const u64 addr = smac_.map(rs1, sm_off);
+        const u64 lo = mem_load(addr, 8, false);
+        u64 base = 0, bound = 0;
+        metadata::decompress_spatial(lo, cfg, base, bound);
+        set_reg(in.rd, in.op == Opcode::LBAS ? base : bound);
+        break;
+    }
+    case Opcode::LKEY: case Opcode::LLOC: {
+        const u64 addr = smac_.map(rs1, sm_off) +
+                         hwst::Smac::upper_slot_offset();
+        const u64 hi = mem_load(addr, 8, false);
+        u64 key = 0, lock = 0;
+        metadata::decompress_temporal(hi, cfg, key, lock);
+        set_reg(in.rd, in.op == Opcode::LKEY ? key : lock);
+        break;
+    }
+
+    case Opcode::TCHK: {
+        if (!csrs_.temporal_enabled()) break;
+        const auto& e = srf_.entry(in.rs1);
+        if (!e.valid_hi || e.value.hi == 0) break; // no temporal metadata
+        u64 key = 0, lock = 0;
+        metadata::decompress_temporal(e.value.hi, cfg, key, lock);
+        // The temporal check needs a second memory access (load the key
+        // from the lock_location). A keybuffer hit elides it entirely;
+        // a miss pays the full D-cache access (paper §3.5).
+        u64 mem_key = 0;
+        if (!cfg_.keybuffer_enabled) {
+            cycles_ += dcache_.access(lock);
+            mem_key = mem_.load(lock, 8, false);
+        } else if (const auto hit = keybuffer_.lookup(lock)) {
+            mem_key = *hit;
+        } else {
+            cycles_ += dcache_.access(lock);
+            mem_key = mem_.load(lock, 8, false);
+            keybuffer_.insert(lock, mem_key);
+        }
+        if (!tcu_.check(key, mem_key).pass) {
+            csrs_.record_violation(
+                static_cast<u64>(TrapKind::TemporalViolation), lock);
+            return Trap{TrapKind::TemporalViolation, lock, pc_};
+        }
+        break;
+    }
+
+    case Opcode::KBFLUSH:
+        keybuffer_.flush();
+        break;
+    case Opcode::SRFMV:
+        srf_.propagate(in.rd, in.rs1);
+        break;
+    case Opcode::SRFCLR:
+        srf_.clear(in.rd);
+        break;
+
+    // ---- checked memory (SCU fused, paper Fig. 3) --------------------
+    case Opcode::CLB: case Opcode::CLH: case Opcode::CLW: case Opcode::CLD:
+    case Opcode::CLBU: case Opcode::CLHU: case Opcode::CLWU: {
+        const u64 addr = rs1 + static_cast<u64>(in.imm);
+        const unsigned width = riscv::mem_width(in.op);
+        if (auto trap = spatial_check(in.rs1, addr, width)) return *trap;
+        const bool sign = in.op == Opcode::CLB || in.op == Opcode::CLH ||
+                          in.op == Opcode::CLW || in.op == Opcode::CLD;
+        set_reg(in.rd, mem_load(addr, width, sign));
+        break;
+    }
+    case Opcode::CSB: case Opcode::CSH: case Opcode::CSW: case Opcode::CSD: {
+        const u64 addr = rs1 + static_cast<u64>(in.imm);
+        const unsigned width = riscv::mem_width(in.op);
+        if (auto trap = spatial_check(in.rs1, addr, width)) return *trap;
+        mem_store(addr, width, reg(in.rs2));
+        break;
+    }
+
+    default:
+        return Trap{TrapKind::IllegalInstruction, 0, pc_};
+    }
+    return Trap{};
+}
+
+void Machine::srf_effects(const Instruction& in)
+{
+    // In-pipeline metadata propagation (paper Fig. 1-b): Hardbound-style
+    // rules — a register move or pointer arithmetic carries the source's
+    // shadow register to the destination with no instruction overhead.
+    const auto any = [this](Reg r) {
+        const auto& e = srf_.entry(r);
+        return e.valid_lo || e.valid_hi;
+    };
+
+    switch (in.op) {
+    case Opcode::ADDI:
+        srf_.propagate(in.rd, in.rs1);
+        break;
+    case Opcode::ADD: {
+        const bool a = any(in.rs1), b = any(in.rs2);
+        if (a && !b) srf_.propagate(in.rd, in.rs1);
+        else if (b && !a) srf_.propagate(in.rd, in.rs2);
+        else srf_.clear(in.rd);
+        break;
+    }
+    case Opcode::SUB:
+        if (any(in.rs1) && !any(in.rs2)) srf_.propagate(in.rd, in.rs1);
+        else srf_.clear(in.rd);
+        break;
+
+    // HWST metadata ops manage the SRF themselves.
+    case Opcode::BNDRS: case Opcode::BNDRT: case Opcode::LBDLS:
+    case Opcode::LBDUS: case Opcode::SRFMV: case Opcode::SRFCLR:
+    case Opcode::SBDL: case Opcode::SBDU: case Opcode::TCHK:
+    case Opcode::KBFLUSH:
+        break;
+
+    default:
+        // Any other writer invalidates the destination's metadata.
+        if (in.rd != Reg::zero) {
+            const Format f = riscv::op_format(in.op);
+            if (f != Format::S && f != Format::B && in.op != Opcode::ECALL &&
+                in.op != Opcode::EBREAK && in.op != Opcode::FENCE) {
+                srf_.clear(in.rd);
+            }
+        }
+        break;
+    }
+}
+
+Trap Machine::exec_ecall()
+{
+    cycles_ += cfg_.timing.ecall_cost;
+    const auto nr = static_cast<Sys>(reg(Reg::a7));
+    const u64 a0 = reg(Reg::a0);
+    const u64 a1 = reg(Reg::a1);
+    const u64 a2 = reg(Reg::a2);
+    const auto& rt = cfg_.runtime;
+    const auto& lay = program_.layout();
+
+    const auto poison = [&](u64 addr, u64 len, bool flag) {
+        const u64 first = addr >> 3;
+        const u64 last = (addr + len + 7) >> 3;
+        for (u64 g = first; g < last; ++g)
+            mem_.store_u8(lay.asan_shadow_offset + g, flag ? 1 : 0);
+    };
+
+    switch (nr) {
+    case Sys::Exit:
+        running_ = false;
+        exit_code_ = static_cast<i64>(a0);
+        break;
+
+    case Sys::Malloc: {
+        const u64 size = a0 == 0 ? 1 : a0;
+        if (rt.asan_redzone == 0) {
+            set_reg(Reg::a0, heap_->malloc(size));
+            break;
+        }
+        const u64 rz = rt.asan_redzone;
+        const u64 raw = heap_->malloc(size + 2 * rz);
+        if (raw == 0) {
+            set_reg(Reg::a0, 0);
+            break;
+        }
+        poison(raw, rz, true);
+        poison(raw + rz + size, rz, true);
+        // Unpoison the payload last: a sub-granule tail shares its
+        // shadow byte with the right redzone; ASAN resolves the overlap
+        // in favour of addressability (our model has 1-byte granule
+        // resolution only at 8-byte granularity, like real ASAN's
+        // partial-poison corner).
+        poison(raw + rz, size, false);
+        set_reg(Reg::a0, raw + rz);
+        break;
+    }
+
+    case Sys::Free: {
+        if (rt.asan_redzone == 0) {
+            const auto size = heap_->free(a0);
+            if (!size) {
+                if (rt.libc_free_aborts) {
+                    running_ = false;
+                    return Trap{TrapKind::LibcAbort, a0, pc_};
+                }
+                set_reg(Reg::a0, ~u64{0});
+            } else {
+                set_reg(Reg::a0, *size);
+            }
+            break;
+        }
+        const u64 rz = rt.asan_redzone;
+        const u64 raw = a0 - rz;
+        // Double free: the payload is already poisoned (freed earlier,
+        // possibly still sitting in quarantine).
+        if (mem_.load_u8(lay.asan_shadow_offset + (a0 >> 3)) != 0) {
+            running_ = false;
+            return Trap{TrapKind::AsanReport, a0, pc_};
+        }
+        const auto size = heap_->block_size(raw);
+        if (!size) {
+            running_ = false;
+            return Trap{TrapKind::AsanReport, a0, pc_};
+        }
+        poison(raw, *size, true);
+        if (rt.quarantine) {
+            quarantine_.emplace_back(raw, *size);
+            quarantine_used_ += *size;
+            while (quarantine_used_ > rt.quarantine_bytes &&
+                   !quarantine_.empty()) {
+                const auto [qa, qs] = quarantine_.front();
+                quarantine_.erase(quarantine_.begin());
+                quarantine_used_ -= qs;
+                heap_->free(qa);
+            }
+        } else {
+            heap_->free(raw);
+        }
+        set_reg(Reg::a0, *size);
+        break;
+    }
+
+    case Sys::LockAlloc: {
+        const auto grant = locks_->allocate();
+        mem_.store_u64(grant.lock_addr, grant.key);
+        set_reg(Reg::a0, grant.lock_addr);
+        set_reg(Reg::a1, grant.key);
+        break;
+    }
+
+    case Sys::LockFree:
+        locks_->release(a0);
+        break;
+
+    case Sys::PrintI64:
+        output_.push_back(static_cast<i64>(a0));
+        break;
+
+    case Sys::ReadCycle:
+        set_reg(Reg::a0, cycles_);
+        break;
+
+    case Sys::SoftViolation:
+        running_ = false;
+        return Trap{a0 == 0 ? TrapKind::SoftSpatialViolation
+                            : TrapKind::SoftTemporalViolation,
+                    a1, pc_};
+
+    case Sys::AsanReport:
+        running_ = false;
+        return Trap{TrapKind::AsanReport, a1, pc_};
+
+    case Sys::StackGuardFail:
+        running_ = false;
+        return Trap{TrapKind::StackGuardViolation, a1, pc_};
+
+    case Sys::AsanPoison:
+        poison(a0, a1, a2 != 0);
+        cycles_ += a1 / 8; // shadow writes the runtime would perform
+        break;
+
+    case Sys::BogoScan: {
+        // BOGO (ASPLOS'19) scans resident bound-table pages when a
+        // pointer is freed and nullifies entries whose base matches, so
+        // later dereferences through stale table entries fail the
+        // spatial check. Poison value: base 0 / bound 1 (bound 0 means
+        // "no metadata").
+        auto pages = mem_.resident_pages_in(lay.sw_meta_offset,
+                                            lay.stack_top << 2);
+        const auto l2_pages = mem_.resident_pages_in(
+            lay.sw_l2_offset,
+            lay.sw_l1_entries() * lay.sw_l2_bytes_per_entry());
+        pages.insert(pages.end(), l2_pages.begin(), l2_pages.end());
+        for (const u64 page : pages) {
+            for (u64 rec = page; rec + 16 <= page + mem::Memory::kPageSize;
+                 rec += 32) {
+                if (mem_.load_u64(rec) == a0 &&
+                    mem_.load_u64(rec + 8) != 0) {
+                    mem_.store_u64(rec, 0);
+                    mem_.store_u64(rec + 8, 1);
+                }
+            }
+        }
+        cycles_ += 64 * pages.size(); // modeled page-scan cost
+        break;
+    }
+
+    default:
+        throw SimError{"unknown ecall number " +
+                       std::to_string(reg(Reg::a7))};
+    }
+    return Trap{};
+}
+
+RunResult Machine::run()
+{
+    RunResult result;
+    while (running_) {
+        if (instret_ >= cfg_.fuel) {
+            result.trap = Trap{TrapKind::FuelExhausted, 0, pc_};
+            running_ = false;
+            break;
+        }
+        const Trap trap = step();
+        if (trap.kind != TrapKind::None) {
+            result.trap = trap;
+            break;
+        }
+    }
+    result.exit_code = exit_code_;
+    result.cycles = cycles_;
+    result.instret = instret_;
+    result.output = output_;
+    result.dcache = dcache_.stats();
+    result.icache = icache_.stats();
+    result.keybuffer = keybuffer_.stats();
+    result.scu_checks = scu_.checks();
+    result.tcu_checks = tcu_.checks();
+    result.smac_translations = smac_.translations();
+    result.mix = mix_;
+    return result;
+}
+
+} // namespace hwst::sim

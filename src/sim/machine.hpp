@@ -1,0 +1,216 @@
+// Machine: the simulated HWST128 RISC-V processor + proxy-kernel
+// runtime. Substitutes for the paper's Rocket Chip on the ZCU102 FPGA
+// (DESIGN.md §2): a functional RV64IM+HWST executor with a 5-stage
+// in-order timing model (load-use hazard, static branch prediction,
+// D-cache), the SHORE/HWST128 shadow register file, the COMP/DECOMP/
+// SMAC/SCU/TCU units and the keybuffer.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hwst/csr.hpp"
+#include "hwst/trap.hpp"
+#include "hwst/units.hpp"
+#include "mem/allocator.hpp"
+#include "mem/cache.hpp"
+#include "mem/memory.hpp"
+#include "metadata/keybuffer.hpp"
+#include "metadata/srf.hpp"
+#include "riscv/program.hpp"
+
+namespace hwst::sim {
+
+using common::i64;
+using common::u32;
+using common::u64;
+using riscv::Reg;
+
+/// Cycle costs of the in-order 5-stage pipeline (Rocket-like).
+struct TimingConfig {
+    unsigned branch_taken_penalty = 3; ///< Rocket resolves in MEM
+    unsigned load_use_stall = 1;       ///< consumer right after a load
+    unsigned mul_extra = 3;            ///< iterative multiplier
+    unsigned div_extra = 24;
+    unsigned csr_extra = 1;
+    unsigned ecall_cost = 140; ///< proxy-kernel round trip
+};
+
+/// Runtime (proxy-kernel) behaviour knobs, set per protection scheme by
+/// the compiler driver.
+struct RuntimeConfig {
+    /// ASAN model: bytes of redzone around each heap block (0 = off).
+    u64 asan_redzone = 0;
+    /// ASAN model: delay reuse of freed blocks (use-after-free windows).
+    bool quarantine = false;
+    u64 quarantine_bytes = 1u << 20;
+    /// Baseline libc behaviour: abort on free() of a non-block address
+    /// (glibc "free(): invalid pointer").
+    bool libc_free_aborts = true;
+    /// SBCETS: pre-populate the software metadata trie's L1 table (the
+    /// role of the runtime's mmap-on-demand in real SoftBound).
+    bool init_sw_trie = false;
+};
+
+struct MachineConfig {
+    mem::CacheConfig dcache{};
+    /// L1 I-cache timing model (Rocket default 16 KiB). Instrumented
+    /// code is 3-4x larger, so instruction-fetch locality is a real
+    /// scheme differentiator.
+    mem::CacheConfig icache{};
+    bool icache_enabled = true;
+    unsigned keybuffer_entries = 8;
+    /// false models accelerators without a lock cache (WDL): tchk loads
+    /// the key from memory on every check.
+    bool keybuffer_enabled = true;
+    u64 fuel = 400'000'000; ///< max instructions before FuelExhausted
+    TimingConfig timing{};
+    RuntimeConfig runtime{};
+};
+
+/// Retired-instruction mix, grouped by pipeline role. The benches use
+/// it to show *where* each scheme's overhead comes from (metadata
+/// traffic vs checks vs plain work).
+struct InstrMix {
+    u64 alu = 0;
+    u64 loads = 0;          ///< plain loads
+    u64 stores = 0;         ///< plain stores
+    u64 checked_loads = 0;  ///< HWST checked loads (SCU-fused)
+    u64 checked_stores = 0;
+    u64 meta_moves = 0;     ///< sbdl/sbdu/lbdls/lbdus/lbas/lbnd/lkey/lloc
+    u64 binds = 0;          ///< bndrs/bndrt
+    u64 tchk = 0;
+    u64 branches = 0;       ///< conditional branches
+    u64 jumps = 0;          ///< jal/jalr
+    u64 ecalls = 0;
+    u64 other = 0;
+
+    u64 total() const
+    {
+        return alu + loads + stores + checked_loads + checked_stores +
+               meta_moves + binds + tchk + branches + jumps + ecalls +
+               other;
+    }
+    /// Memory-traffic instructions added by metadata handling.
+    u64 metadata_traffic() const { return meta_moves; }
+};
+
+/// Outcome of a complete run.
+struct RunResult {
+    hwst::Trap trap{};          ///< kind None if the program exited
+    i64 exit_code = 0;
+    u64 cycles = 0;
+    u64 instret = 0;
+    std::vector<i64> output;    ///< values printed via Sys::PrintI64
+    mem::CacheStats dcache;
+    mem::CacheStats icache;
+    metadata::KeybufferStats keybuffer;
+    u64 scu_checks = 0;
+    u64 tcu_checks = 0;
+    u64 smac_translations = 0;
+    InstrMix mix;
+
+    bool ok() const { return trap.kind == hwst::TrapKind::None; }
+};
+
+class Machine {
+public:
+    /// The program must be finalized. The Machine maps the process
+    /// address space, loads text+data, points sp at the stack top and
+    /// programs the HWST CSRs from the program's MemoryLayout.
+    explicit Machine(const riscv::Program& program, MachineConfig cfg = {});
+
+    /// Run to completion (exit, trap, or fuel exhaustion).
+    RunResult run();
+
+    /// Execute one instruction. Returns a trap (kind None = keep going).
+    hwst::Trap step();
+
+    /// Per-instruction trace hook, invoked before each instruction
+    /// executes (debugger/tooling support). Pass nullptr to disable.
+    using TraceHook =
+        std::function<void(u64 pc, const riscv::Instruction&)>;
+    void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
+    // ---- introspection (tests, examples) -----------------------------
+    u64 reg(Reg r) const { return regs_[riscv::reg_index(r)]; }
+    void set_reg(Reg r, u64 v)
+    {
+        if (r != Reg::zero) regs_[riscv::reg_index(r)] = v;
+    }
+    u64 pc() const { return pc_; }
+    void set_pc(u64 pc) { pc_ = pc; }
+    u64 cycles() const { return cycles_; }
+    u64 instret() const { return instret_; }
+    bool running() const { return running_; }
+
+    mem::Memory& memory() { return mem_; }
+    const mem::Memory& memory() const { return mem_; }
+    metadata::ShadowRegFile& srf() { return srf_; }
+    const metadata::Keybuffer& keybuffer() const { return keybuffer_; }
+    hwst::HwstCsrFile& csrs() { return csrs_; }
+    const mem::Cache& dcache() const { return dcache_; }
+    mem::HeapAllocator& heap() { return *heap_; }
+    mem::LockAllocator& locks() { return *locks_; }
+    const std::vector<i64>& output() const { return output_; }
+
+    /// Decompression config currently programmed in the CSRs.
+    metadata::CompressionConfig compression() const
+    {
+        return csrs_.compression();
+    }
+
+private:
+    hwst::Trap exec(const riscv::Instruction& in, u64& next_pc);
+    void classify(riscv::Opcode op);
+    hwst::Trap exec_hwst(const riscv::Instruction& in);
+    hwst::Trap exec_ecall();
+    void srf_effects(const riscv::Instruction& in);
+
+    u64 mem_load(u64 addr, unsigned width, bool sign_extend);
+    void mem_store(u64 addr, unsigned width, u64 value);
+    unsigned dcache_extra(u64 addr);
+
+    std::optional<hwst::Trap> spatial_check(Reg ptr_reg, u64 addr,
+                                            unsigned width);
+
+    const riscv::Program& program_;
+    MachineConfig cfg_;
+
+    std::array<u64, riscv::kNumRegs> regs_{};
+    u64 pc_ = 0;
+    u64 cycles_ = 0;
+    u64 instret_ = 0;
+    bool running_ = true;
+    i64 exit_code_ = 0;
+
+    mem::Memory mem_;
+    mem::Cache dcache_;
+    mem::Cache icache_;
+    metadata::ShadowRegFile srf_;
+    metadata::Keybuffer keybuffer_;
+    hwst::HwstCsrFile csrs_;
+    hwst::Smac smac_;
+    hwst::Scu scu_;
+    hwst::Tcu tcu_;
+
+    std::unique_ptr<mem::HeapAllocator> heap_;
+    std::unique_ptr<mem::LockAllocator> locks_;
+    std::vector<std::pair<u64, u64>> quarantine_; // addr, size
+    u64 quarantine_used_ = 0;
+
+    std::vector<i64> output_;
+
+    // Load-use hazard bookkeeping: destination of the previous
+    // instruction if it was a load, else Reg::zero.
+    Reg last_load_rd_ = Reg::zero;
+
+    InstrMix mix_;
+    TraceHook trace_;
+};
+
+} // namespace hwst::sim

@@ -1,0 +1,25 @@
+// Simulated runtime services (the proxy-kernel role in the paper's
+// FPGA setup). The instrumentation wrappers and workloads invoke these
+// via ECALL with the number in a7 and arguments in a0..a2.
+#pragma once
+
+#include "common/bitops.hpp"
+
+namespace hwst::sim {
+
+enum class Sys : common::u64 {
+    Exit = 0,        ///< exit(a0 = status)
+    Malloc = 1,      ///< a0 = malloc(a0 = size); 0 on exhaustion
+    Free = 2,        ///< free(a0 = ptr); a0 = block size, -1 if invalid
+    LockAlloc = 3,   ///< a0 = lock_location address, a1 = fresh key
+    LockFree = 4,    ///< lock_free(a0 = lock address)
+    PrintI64 = 5,    ///< append a0 to the run's output vector
+    ReadCycle = 6,   ///< a0 = current cycle count
+    SoftViolation = 7, ///< software check failed: a0 = 0 spatial / 1 temporal, a1 = addr
+    AsanReport = 8,  ///< ASAN runtime report: a1 = addr
+    StackGuardFail = 9, ///< __stack_chk_fail (the "GCC" baseline)
+    AsanPoison = 12, ///< poison(a0 = addr, a1 = len, a2 = 1 poison / 0 unpoison)
+    BogoScan = 13,   ///< BOGO free-time scan: poison bound-table entries whose base == a0
+};
+
+} // namespace hwst::sim

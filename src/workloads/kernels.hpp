@@ -1,0 +1,41 @@
+// Kernel builders, one per benchmark program (see workload.hpp for the
+// registry with suites and expected checksums).
+#pragma once
+
+#include <cmath>
+
+#include "mir/builder.hpp"
+#include "mir/ir.hpp"
+
+namespace hwst::workloads {
+
+// MiBench-like (paper Fig. 4 left group).
+mir::Module build_stringsearch();
+mir::Module build_crc32();
+mir::Module build_bitcount();
+mir::Module build_dijkstra();
+mir::Module build_sha();
+mir::Module build_math();
+mir::Module build_fft();
+mir::Module build_adpcm();
+mir::Module build_susan();
+
+// Olden-like (pointer-intensive heap structures).
+mir::Module build_tsp();
+mir::Module build_em3d();
+mir::Module build_health();
+mir::Module build_mst();
+mir::Module build_perimeter();
+mir::Module build_bisort();
+mir::Module build_treeadd();
+
+// SPEC2006-like.
+mir::Module build_milc();
+mir::Module build_lbm();
+mir::Module build_sphinx3();
+mir::Module build_sjeng();
+mir::Module build_gobmk();
+mir::Module build_bzip2();
+mir::Module build_hmmer();
+
+} // namespace hwst::workloads

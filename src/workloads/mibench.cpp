@@ -1,0 +1,741 @@
+// MiBench-like embedded kernels (paper Fig. 4, left group). Integer /
+// fixed-point reimplementations with the same memory-access character
+// as the originals (DESIGN.md §2): byte-table scans, CRC tables,
+// bit-twiddling, graph relaxation, hash rounds, fixed-point transforms,
+// sample quantisation and image smoothing.
+#include "workloads/kernels.hpp"
+
+#include "common/prng.hpp"
+#include "workloads/dsl.hpp"
+
+namespace hwst::workloads {
+
+using common::u8;
+using common::u32;
+using common::u64;
+using mir::Global;
+using mir::Ty;
+
+namespace {
+
+std::vector<u8> random_bytes(u64 n, u64 seed, u8 lo = 0, u8 hi = 255)
+{
+    common::Xoshiro256 rng{seed};
+    std::vector<u8> out(n);
+    for (auto& x : out) x = static_cast<u8>(rng.range(lo, hi));
+    return out;
+}
+
+void append_u32(std::vector<u8>& v, u32 x)
+{
+    for (int i = 0; i < 4; ++i) v.push_back(static_cast<u8>(x >> (8 * i)));
+}
+
+void append_u64(std::vector<u8>& v, u64 x)
+{
+    for (int i = 0; i < 8; ++i) v.push_back(static_cast<u8>(x >> (8 * i)));
+}
+
+} // namespace
+
+// ---- stringsearch ------------------------------------------------------
+
+mir::Module build_stringsearch()
+{
+    constexpr u64 kTextLen = 1024;
+    constexpr u64 kPatLen = 6;
+    constexpr u64 kPatterns = 8;
+
+    mir::Module m;
+    std::vector<u8> text = random_bytes(kTextLen, 0x5741, 'a', 'f');
+    // Patterns copied out of the text so matches exist.
+    std::vector<u8> pats;
+    for (u64 p = 0; p < kPatterns; ++p) {
+        const u64 pos = (p * 131) % (kTextLen - kPatLen);
+        for (u64 k = 0; k < kPatLen; ++k) pats.push_back(text[pos + k]);
+    }
+    const u32 gtext = m.add_global(Global{"text", kTextLen, 8, text});
+    const u32 gpats =
+        m.add_global(Global{"patterns", pats.size(), 8, pats});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p");
+    const auto i = b.local("i");
+    const auto k = b.local("k");
+    const auto ok = b.local("ok");
+    const auto hits = b.local("hits");
+
+    b.store_local(hits, b.const_i64(0));
+    for_range(b, p, 0, kPatterns, [&] {
+        for_range(b, i, 0, kTextLen - kPatLen, [&] {
+            b.store_local(ok, b.const_i64(1));
+            for_range(b, k, 0, kPatLen, [&] {
+                Value tv = b.load(
+                    b.gep(b.global_addr(gtext),
+                          b.add(b.load_local(i), b.load_local(k)), 1),
+                    1, false);
+                Value pv = b.load(
+                    b.gep(b.global_addr(gpats),
+                          b.add(b.mul(b.load_local(p), b.const_i64(kPatLen)),
+                                b.load_local(k)),
+                          1),
+                    1, false);
+                if_then(b, b.ne(tv, pv),
+                        [&] { b.store_local(ok, b.const_i64(0)); });
+            });
+            if_then(b, b.ne(b.load_local(ok), b.const_i64(0)), [&] {
+                b.store_local(
+                    hits, b.add(b.load_local(hits),
+                                b.add(b.load_local(i), b.const_i64(1))));
+            });
+        });
+    });
+    b.ret(b.load_local(hits));
+    return m;
+}
+
+// ---- CRC32 -------------------------------------------------------------
+
+mir::Module build_crc32()
+{
+    constexpr u64 kLen = 4096;
+    mir::Module m;
+    std::vector<u8> table;
+    for (u32 n = 0; n < 256; ++n) {
+        u32 c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        append_u32(table, c);
+    }
+    const u32 gtab = m.add_global(Global{"crc_table", 1024, 8, table});
+    const u32 gdata =
+        m.add_global(Global{"data", kLen, 8, random_bytes(kLen, 0xC12C)});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto i = b.local("i");
+    const auto crc = b.local("crc");
+    b.store_local(crc, b.const_i64(0xFFFFFFFFll));
+    for_range(b, i, 0, kLen, [&] {
+        Value byte = b.load(
+            b.gep(b.global_addr(gdata), b.load_local(i), 1), 1, false);
+        Value c = b.load_local(crc);
+        Value idx = b.and_(b.xor_(c, byte), b.const_i64(0xFF));
+        Value t =
+            b.load(b.gep(b.global_addr(gtab), idx, 4), 4, false);
+        b.store_local(crc, b.xor_(t, b.shr(c, b.const_i64(8))));
+    });
+    b.ret(b.and_(b.load_local(crc), b.const_i64(0xFFFFFFFFll)));
+    return m;
+}
+
+// ---- bitcount ----------------------------------------------------------
+
+mir::Module build_bitcount()
+{
+    constexpr u64 kIters = 4096;
+    mir::Module m;
+    std::vector<u8> nibble{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4};
+    const u32 gnib = m.add_global(Global{"nibble_table", 16, 8, nibble});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto i = b.local("i");
+    const auto state = b.local("state");
+    const auto total = b.local("total");
+    const auto x = b.local("x");
+    const auto n = b.local("n");
+
+    const auto v64 = b.local("v64");
+    b.store_local(state, b.const_i64(0x243F6A8885A308D3ll));
+    b.store_local(total, b.const_i64(0));
+    for_range(b, i, 0, kIters, [&] {
+        Value v = xorshift_step(b, state);
+        b.store_local(v64, v);
+        // Method 1: nibble-table popcount of the low 32 bits.
+        b.store_local(x, b.and_(v, b.const_i64(0xFFFFFFFFll)));
+        b.store_local(n, b.const_i64(0));
+        const auto j = b.local("j");
+        for_range(b, j, 0, 8, [&] {
+            Value xv = b.load_local(x);
+            Value nib = b.and_(xv, b.const_i64(15));
+            Value cnt = b.load(b.gep(b.global_addr(gnib), nib, 1), 1, false);
+            b.store_local(n, b.add(b.load_local(n), cnt));
+            b.store_local(x, b.shr(xv, b.const_i64(4)));
+        });
+        // Method 2: Kernighan on the high bits.
+        b.store_local(x, b.shr(b.load_local(v64), b.const_i64(32)));
+        while_loop(
+            b, [&] { return b.ne(b.load_local(x), b.const_i64(0)); },
+            [&] {
+                Value xv = b.load_local(x);
+                b.store_local(x, b.and_(xv, b.sub(xv, b.const_i64(1))));
+                b.store_local(n, b.add(b.load_local(n), b.const_i64(1)));
+            });
+        b.store_local(total, b.add(b.load_local(total), b.load_local(n)));
+    });
+    b.ret(b.load_local(total));
+    return m;
+}
+
+// ---- dijkstra ----------------------------------------------------------
+
+mir::Module build_dijkstra()
+{
+    constexpr u64 kN = 24;
+    constexpr i64 kInf = 1 << 28;
+    mir::Module m;
+    common::Xoshiro256 rng{0xD1115};
+    std::vector<u8> weights;
+    for (u64 r = 0; r < kN; ++r)
+        for (u64 c = 0; c < kN; ++c)
+            append_u32(weights,
+                       r == c ? 0 : static_cast<u32>(1 + rng.below(9)));
+    const u32 gw = m.add_global(Global{"weights", kN * kN * 4, 8, weights});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto dist = b.array("dist", kN * 8);
+    const auto seen = b.array("seen", kN * 8);
+    const auto i = b.local("i");
+    const auto it = b.local("it");
+    const auto best = b.local("best");
+    const auto bestv = b.local("bestv");
+    const auto u = b.local("u");
+    const auto sum = b.local("sum");
+
+    for_range(b, i, 0, kN, [&] {
+        b.store(b.const_i64(kInf),
+                b.gep(b.alloca_addr(dist), b.load_local(i), 8));
+        b.store(b.const_i64(0),
+                b.gep(b.alloca_addr(seen), b.load_local(i), 8));
+    });
+    b.store(b.const_i64(0), b.alloca_addr(dist));
+
+    for_range(b, it, 0, kN, [&] {
+        // pick unvisited min
+        b.store_local(best, b.const_i64(-1));
+        b.store_local(bestv, b.const_i64(kInf + 1));
+        for_range(b, i, 0, kN, [&] {
+            Value iv = b.load_local(i);
+            Value s = b.load(b.gep(b.alloca_addr(seen), iv, 8));
+            if_then(b, b.eq(s, b.const_i64(0)), [&] {
+                Value d =
+                    b.load(b.gep(b.alloca_addr(dist), b.load_local(i), 8));
+                if_then(b, b.lt(d, b.load_local(bestv)), [&] {
+                    b.store_local(bestv,
+                                  b.load(b.gep(b.alloca_addr(dist),
+                                               b.load_local(i), 8)));
+                    b.store_local(best, b.load_local(i));
+                });
+            });
+        });
+        if_then(b, b.ne(b.load_local(best), b.const_i64(-1)), [&] {
+            b.store_local(u, b.load_local(best));
+            b.store(b.const_i64(1),
+                    b.gep(b.alloca_addr(seen), b.load_local(u), 8));
+            for_range(b, i, 0, kN, [&] {
+                Value iv = b.load_local(i);
+                Value uv = b.load_local(u);
+                Value w = b.load(
+                    b.gep(b.global_addr(gw),
+                          b.add(b.mul(uv, b.const_i64(kN)), iv), 4),
+                    4, false);
+                Value du = b.load(b.gep(b.alloca_addr(dist), uv, 8));
+                Value cand = b.add(du, w);
+                Value di =
+                    b.load(b.gep(b.alloca_addr(dist), b.load_local(i), 8));
+                if_then(b, b.lt(cand, di), [&] {
+                    Value uv2 = b.load_local(u);
+                    Value w2 = b.load(
+                        b.gep(b.global_addr(gw),
+                              b.add(b.mul(uv2, b.const_i64(kN)),
+                                    b.load_local(i)),
+                              4),
+                        4, false);
+                    Value du2 =
+                        b.load(b.gep(b.alloca_addr(dist), uv2, 8));
+                    b.store(b.add(du2, w2),
+                            b.gep(b.alloca_addr(dist), b.load_local(i), 8));
+                });
+            });
+        });
+    });
+
+    b.store_local(sum, b.const_i64(0));
+    for_range(b, i, 0, kN, [&] {
+        b.store_local(sum,
+                      b.add(b.load_local(sum),
+                            b.load(b.gep(b.alloca_addr(dist),
+                                         b.load_local(i), 8))));
+    });
+    b.ret(b.load_local(sum));
+    return m;
+}
+
+// ---- sha (SHA-256-style compression rounds) ----------------------------
+
+mir::Module build_sha()
+{
+    constexpr u64 kBlocks = 8;
+    mir::Module m;
+    // Round constants (first 16 of SHA-256 K) and message blocks.
+    static constexpr u32 kK[16] = {
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+        0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+        0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+        0xc19bf174};
+    std::vector<u8> kbytes;
+    for (const u32 k : kK) append_u32(kbytes, k);
+    const u32 gk = m.add_global(Global{"sha_k", 64, 8, kbytes});
+    const u32 gmsg = m.add_global(
+        Global{"msg", kBlocks * 64, 8, random_bytes(kBlocks * 64, 0x5AA5)});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto state = b.array("state", 8 * 8);
+    const auto w = b.array("w", 16 * 8);
+    const auto blk = b.local("blk");
+    const auto t = b.local("t");
+    const auto i = b.local("i");
+    const auto mask = b.local("mask");
+
+    b.store_local(mask, b.const_i64(0xFFFFFFFFll));
+    static constexpr u64 kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                     0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                     0x1f83d9ab, 0x5be0cd19};
+    for (u64 s = 0; s < 8; ++s) {
+        b.store(b.const_i64(static_cast<i64>(kInit[s])),
+                b.gep_const(b.alloca_addr(state), static_cast<i64>(8 * s)));
+    }
+
+    const auto rotr = [&](Value x, i64 r) {
+        Value lo = b.shr(x, b.const_i64(r));
+        Value hi = b.and_(b.shl(x, b.const_i64(32 - r)), b.load_local(mask));
+        return b.or_(lo, hi);
+    };
+
+    for_range(b, blk, 0, kBlocks, [&] {
+        // Load the 16 message words.
+        for_range(b, i, 0, 16, [&] {
+            Value iv = b.load_local(i);
+            Value off = b.add(b.mul(b.load_local(blk), b.const_i64(64)),
+                              b.mul(iv, b.const_i64(4)));
+            Value word =
+                b.load(b.gep(b.global_addr(gmsg), off, 1), 4, false);
+            b.store(word, b.gep(b.alloca_addr(w), b.load_local(i), 8));
+        });
+        // 32 rounds over the schedule (wrapping the 16-entry window).
+        for_range(b, t, 0, 32, [&] {
+            Value tv = b.load_local(t);
+            Value wi = b.load(
+                b.gep(b.alloca_addr(w), b.and_(tv, b.const_i64(15)), 8));
+            Value ki = b.load(
+                b.gep(b.global_addr(gk), b.and_(tv, b.const_i64(15)), 4), 4,
+                false);
+            Value e = b.load(b.gep_const(b.alloca_addr(state), 32));
+            Value f = b.load(b.gep_const(b.alloca_addr(state), 40));
+            Value g = b.load(b.gep_const(b.alloca_addr(state), 48));
+            Value h = b.load(b.gep_const(b.alloca_addr(state), 56));
+            Value s1 = b.xor_(rotr(e, 6), b.xor_(rotr(e, 11), rotr(e, 25)));
+            Value ch = b.xor_(b.and_(e, f),
+                              b.and_(b.xor_(e, b.load_local(mask)), g));
+            Value t1 = b.and_(
+                b.add(b.add(b.add(h, s1), b.add(ch, ki)), wi),
+                b.load_local(mask));
+            Value a = b.load(b.alloca_addr(state));
+            Value bb = b.load(b.gep_const(b.alloca_addr(state), 8));
+            Value c = b.load(b.gep_const(b.alloca_addr(state), 16));
+            Value s0 = b.xor_(rotr(a, 2), b.xor_(rotr(a, 13), rotr(a, 22)));
+            Value maj = b.xor_(b.and_(a, bb),
+                               b.xor_(b.and_(a, c), b.and_(bb, c)));
+            Value t2 = b.and_(b.add(s0, maj), b.load_local(mask));
+            // Shift the working state down.
+            b.store(g, b.gep_const(b.alloca_addr(state), 56));
+            b.store(f, b.gep_const(b.alloca_addr(state), 48));
+            b.store(e, b.gep_const(b.alloca_addr(state), 40));
+            Value d = b.load(b.gep_const(b.alloca_addr(state), 24));
+            b.store(b.and_(b.add(d, t1), b.load_local(mask)),
+                    b.gep_const(b.alloca_addr(state), 32));
+            b.store(c, b.gep_const(b.alloca_addr(state), 24));
+            b.store(bb, b.gep_const(b.alloca_addr(state), 16));
+            b.store(a, b.gep_const(b.alloca_addr(state), 8));
+            b.store(b.and_(b.add(t1, t2), b.load_local(mask)),
+                    b.alloca_addr(state));
+            // Schedule update (simplified sigma mix).
+            Value wnext = b.and_(
+                b.add(wi, b.xor_(rotr(wi, 7), b.shr(wi, b.const_i64(3)))),
+                b.load_local(mask));
+            b.store(wnext, b.gep(b.alloca_addr(w),
+                                 b.and_(b.load_local(t), b.const_i64(15)),
+                                 8));
+        });
+    });
+
+    const auto digest = b.local("digest");
+    b.store_local(digest, b.const_i64(0));
+    for_range(b, i, 0, 8, [&] {
+        Value s =
+            b.load(b.gep(b.alloca_addr(state), b.load_local(i), 8));
+        Value d = b.load_local(digest);
+        b.store_local(digest,
+                      b.and_(b.add(b.mul(d, b.const_i64(31)), s),
+                             b.const_i64(0x7FFFFFFFFFFFll)));
+    });
+    b.ret(b.load_local(digest));
+    return m;
+}
+
+// ---- basicmath ("math") -------------------------------------------------
+
+mir::Module build_math()
+{
+    constexpr u64 kIters = 1200;
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto i = b.local("i");
+    const auto sum = b.local("sum");
+    const auto x = b.local("x");
+    const auto r = b.local("r");
+    const auto aa = b.local("aa");
+    const auto bb = b.local("bb");
+
+    b.store_local(sum, b.const_i64(0));
+    for_range(b, i, 1, kIters, [&] {
+        // Integer square root by Newton iteration.
+        Value iv = b.load_local(i);
+        b.store_local(x, b.mul(iv, b.add(iv, b.const_i64(17))));
+        b.store_local(r, b.load_local(x));
+        const auto it = b.local("it");
+        for_range(b, it, 0, 12, [&] {
+            Value rv = b.load_local(r);
+            if_then(b, b.ne(rv, b.const_i64(0)), [&] {
+                Value rv2 = b.load_local(r);
+                Value q = b.divs(b.load_local(x), rv2);
+                b.store_local(r, b.shr(b.add(rv2, q), b.const_i64(1)));
+            });
+        });
+        b.store_local(sum, b.add(b.load_local(sum), b.load_local(r)));
+        // gcd(i, i*7+3)
+        b.store_local(aa, b.load_local(i));
+        b.store_local(bb, b.add(b.mul(b.load_local(i), b.const_i64(7)),
+                                b.const_i64(3)));
+        while_loop(
+            b, [&] { return b.ne(b.load_local(bb), b.const_i64(0)); },
+            [&] {
+                Value av = b.load_local(aa);
+                Value bv = b.load_local(bb);
+                b.store_local(aa, bv);
+                b.store_local(bb, b.rems(av, bv));
+            });
+        b.store_local(sum, b.add(b.load_local(sum), b.load_local(aa)));
+    });
+    b.ret(b.load_local(sum));
+    return m;
+}
+
+// ---- FFT (fixed-point radix-2, N = 64) ----------------------------------
+
+mir::Module build_fft()
+{
+    constexpr u64 kN = 64;
+    constexpr u64 kRounds = 6; // log2(kN)
+    mir::Module m;
+    // Q14 twiddle tables, host-precomputed.
+    std::vector<u8> cos_t, sin_t;
+    for (u64 k = 0; k < kN / 2; ++k) {
+        const double ang = -2.0 * 3.14159265358979323846 *
+                           static_cast<double>(k) / static_cast<double>(kN);
+        append_u64(cos_t, static_cast<u64>(
+                              static_cast<i64>(16384.0 * std::cos(ang))));
+        append_u64(sin_t, static_cast<u64>(
+                              static_cast<i64>(16384.0 * std::sin(ang))));
+    }
+    const u32 gcos = m.add_global(Global{"cos_t", kN / 2 * 8, 8, cos_t});
+    const u32 gsin = m.add_global(Global{"sin_t", kN / 2 * 8, 8, sin_t});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto re = b.array("re", kN * 8);
+    const auto im = b.array("im", kN * 8);
+    const auto i = b.local("i");
+    const auto s = b.local("s");
+    const auto half = b.local("half");
+    const auto step = b.local("step");
+    const auto seed = b.local("seed");
+
+    // Input: deterministic pseudo-signal.
+    b.store_local(seed, b.const_i64(0x9E3779B97F4AULL & 0x7FFFFFFF));
+    for_range(b, i, 0, kN, [&] {
+        Value v = xorshift_step(b, seed);
+        b.store(b.sub(b.and_(v, b.const_i64(2047)), b.const_i64(1024)),
+                b.gep(b.alloca_addr(re), b.load_local(i), 8));
+        b.store(b.const_i64(0),
+                b.gep(b.alloca_addr(im), b.load_local(i), 8));
+    });
+
+    // Bit-reversal permutation (precomputed on host into a table).
+    std::vector<u8> rev_t;
+    for (u64 n = 0; n < kN; ++n) {
+        u64 r = 0;
+        for (u64 bit = 0; bit < kRounds; ++bit)
+            if (n & (1ull << bit)) r |= 1ull << (kRounds - 1 - bit);
+        append_u64(rev_t, r);
+    }
+    const u32 grev = m.add_global(Global{"rev_t", kN * 8, 8, rev_t});
+    for_range(b, i, 0, kN, [&] {
+        Value iv = b.load_local(i);
+        Value r = b.load(b.gep(b.global_addr(grev), iv, 8));
+        if_then(b, b.lt(iv, r), [&] {
+            Value iv2 = b.load_local(i);
+            Value r2 = b.load(b.gep(b.global_addr(grev), iv2, 8));
+            Value pa = b.gep(b.alloca_addr(re), iv2, 8);
+            Value pb = b.gep(b.alloca_addr(re), r2, 8);
+            Value tmp = b.load(pa);
+            b.store(b.load(pb), pa);
+            b.store(tmp, pb);
+        });
+    });
+
+    // Butterflies.
+    for_range(b, s, 1, kRounds + 1, [&] {
+        b.store_local(half,
+                      b.shl(b.const_i64(1),
+                            b.sub(b.load_local(s), b.const_i64(1))));
+        b.store_local(step, b.shl(b.const_i64(1), b.load_local(s)));
+        const auto base = b.local("base");
+        b.store_local(base, b.const_i64(0));
+        while_loop(
+            b,
+            [&] {
+                return b.lt(b.load_local(base), b.const_i64(kN));
+            },
+            [&] {
+                const auto jj = b.local("jj");
+                b.store_local(jj, b.const_i64(0));
+                while_loop(
+                    b,
+                    [&] {
+                        return b.lt(b.load_local(jj), b.load_local(half));
+                    },
+                    [&] {
+                        Value jv = b.load_local(jj);
+                        Value tw = b.mul(
+                            jv, b.divs(b.const_i64(kN / 2),
+                                       b.load_local(half)));
+                        Value wr =
+                            b.load(b.gep(b.global_addr(gcos), tw, 8));
+                        Value wi =
+                            b.load(b.gep(b.global_addr(gsin), tw, 8));
+                        Value lo =
+                            b.add(b.load_local(base), jv);
+                        Value hi = b.add(lo, b.load_local(half));
+                        Value xr = b.load(b.gep(b.alloca_addr(re), hi, 8));
+                        Value xi = b.load(b.gep(b.alloca_addr(im), hi, 8));
+                        Value tr = b.sra(
+                            b.sub(b.mul(xr, wr), b.mul(xi, wi)),
+                            b.const_i64(14));
+                        Value ti = b.sra(
+                            b.add(b.mul(xr, wi), b.mul(xi, wr)),
+                            b.const_i64(14));
+                        Value yr = b.load(b.gep(b.alloca_addr(re), lo, 8));
+                        Value yi = b.load(b.gep(b.alloca_addr(im), lo, 8));
+                        b.store(b.add(yr, tr),
+                                b.gep(b.alloca_addr(re), lo, 8));
+                        b.store(b.add(yi, ti),
+                                b.gep(b.alloca_addr(im), lo, 8));
+                        b.store(b.sub(yr, tr),
+                                b.gep(b.alloca_addr(re), hi, 8));
+                        b.store(b.sub(yi, ti),
+                                b.gep(b.alloca_addr(im), hi, 8));
+                        b.store_local(jj,
+                                      b.add(b.load_local(jj),
+                                            b.const_i64(1)));
+                    });
+                b.store_local(base, b.add(b.load_local(base),
+                                          b.load_local(step)));
+            });
+    });
+
+    const auto sum = b.local("sum");
+    b.store_local(sum, b.const_i64(0));
+    for_range(b, i, 0, kN, [&] {
+        Value r = b.load(b.gep(b.alloca_addr(re), b.load_local(i), 8));
+        Value v = b.load(b.gep(b.alloca_addr(im), b.load_local(i), 8));
+        Value rabs = b.xor_(r, b.sra(r, b.const_i64(63)));
+        Value vabs = b.xor_(v, b.sra(v, b.const_i64(63)));
+        b.store_local(sum, b.add(b.load_local(sum), b.add(rabs, vabs)));
+    });
+    b.ret(b.and_(b.load_local(sum), b.const_i64(0xFFFFFFFFll)));
+    return m;
+}
+
+// ---- adpcm --------------------------------------------------------------
+
+mir::Module build_adpcm()
+{
+    constexpr u64 kSamples = 2048;
+    mir::Module m;
+    static constexpr int kStep[16] = {7,  8,  9,  10, 11, 12,  13,  14,
+                                      16, 17, 19, 21, 23, 25,  28,  31};
+    std::vector<u8> steps;
+    for (const int s : kStep) append_u32(steps, static_cast<u32>(s));
+    const u32 gstep = m.add_global(Global{"step_table", 64, 8, steps});
+
+    // Pseudo speech samples (16-bit).
+    common::Xoshiro256 rng{0xADCC};
+    std::vector<u8> samples;
+    int acc = 0;
+    for (u64 s = 0; s < kSamples; ++s) {
+        acc += static_cast<int>(rng.below(257)) - 128;
+        const auto v = static_cast<std::int16_t>(acc);
+        samples.push_back(static_cast<u8>(v & 0xFF));
+        samples.push_back(static_cast<u8>((v >> 8) & 0xFF));
+    }
+    const u32 gsamp =
+        m.add_global(Global{"samples", kSamples * 2, 8, samples});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto i = b.local("i");
+    const auto pred = b.local("pred");
+    const auto index = b.local("index");
+    const auto out = b.local("out");
+
+    b.store_local(pred, b.const_i64(0));
+    b.store_local(index, b.const_i64(0));
+    b.store_local(out, b.const_i64(0));
+    for_range(b, i, 0, kSamples, [&] {
+        Value sample = b.load(
+            b.gep(b.global_addr(gsamp), b.load_local(i), 2), 2, true);
+        Value diff = b.sub(sample, b.load_local(pred));
+        Value sign = b.lt(diff, b.const_i64(0));
+        Value mag = b.xor_(diff, b.sra(diff, b.const_i64(63)));
+        Value step = b.load(
+            b.gep(b.global_addr(gstep), b.load_local(index), 4), 4, true);
+        Value code = b.divs(b.mul(mag, b.const_i64(4)), step);
+        // clamp code to 0..7
+        Value code3 = b.add(b.mul(b.lt(code, b.const_i64(7)), code),
+                            b.mul(b.le(b.const_i64(7), code),
+                                  b.const_i64(7)));
+        Value delta = b.divs(
+            b.mul(b.add(b.mul(code3, b.const_i64(2)), b.const_i64(1)),
+                  step),
+            b.const_i64(8));
+        // pred += sign ? -delta : delta (branchless).
+        Value sgnmask = b.sub(b.const_i64(0), sign);
+        Value sdelta = b.sub(b.xor_(delta, sgnmask), sgnmask);
+        b.store_local(pred, b.add(b.load_local(pred), sdelta));
+        b.store_local(out,
+                      b.add(b.load_local(out),
+                            b.add(code3, b.mul(sign, b.const_i64(8)))));
+        // index += code > 3 ? 2 : -1, clamped to [0, 15].
+        Value up = b.lt(b.const_i64(3), code3);
+        Value bump = b.sub(b.mul(up, b.const_i64(3)), b.const_i64(1));
+        const auto nidx = b.local("nidx");
+        b.store_local(nidx, b.add(b.load_local(index), bump));
+        if_else(
+            b, b.lt(b.load_local(nidx), b.const_i64(0)),
+            [&] { b.store_local(index, b.const_i64(0)); },
+            [&] {
+                if_else(
+                    b,
+                    b.lt(b.const_i64(15), b.load_local(nidx)),
+                    [&] { b.store_local(index, b.const_i64(15)); },
+                    [&] { b.store_local(index, b.load_local(nidx)); });
+            });
+    });
+    b.ret(b.load_local(out));
+    return m;
+}
+
+// ---- susan (image smoothing) ---------------------------------------------
+
+mir::Module build_susan()
+{
+    constexpr u64 kW = 32, kH = 32;
+    mir::Module m;
+    const u32 gimg = m.add_global(
+        Global{"image", kW * kH, 8, random_bytes(kW * kH, 0x5005)});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto out = b.array("out", kW * kH * 8);
+    const auto y = b.local("y");
+    const auto x = b.local("x");
+    const auto dy = b.local("dy");
+    const auto dx = b.local("dx");
+    const auto acc = b.local("acc");
+    const auto cnt = b.local("cnt");
+    const auto sum = b.local("sum");
+
+    for_range(b, y, 1, kH - 1, [&] {
+        for_range(b, x, 1, kW - 1, [&] {
+            b.store_local(acc, b.const_i64(0));
+            b.store_local(cnt, b.const_i64(0));
+            Value centre = b.load(
+                b.gep(b.global_addr(gimg),
+                      b.add(b.mul(b.load_local(y), b.const_i64(kW)),
+                            b.load_local(x)),
+                      1),
+                1, false);
+            const auto c = b.local("c");
+            b.store_local(c, centre);
+            for_range(b, dy, -1, 2, [&] {
+                for_range(b, dx, -1, 2, [&] {
+                    Value yy = b.add(b.load_local(y), b.load_local(dy));
+                    Value xx = b.add(b.load_local(x), b.load_local(dx));
+                    Value pix = b.load(
+                        b.gep(b.global_addr(gimg),
+                              b.add(b.mul(yy, b.const_i64(kW)), xx), 1),
+                        1, false);
+                    Value d = b.sub(pix, b.load_local(c));
+                    Value ad = b.xor_(d, b.sra(d, b.const_i64(63)));
+                    if_then(b, b.lt(ad, b.const_i64(20)), [&] {
+                        Value yy2 =
+                            b.add(b.load_local(y), b.load_local(dy));
+                        Value xx2 =
+                            b.add(b.load_local(x), b.load_local(dx));
+                        Value pix2 = b.load(
+                            b.gep(b.global_addr(gimg),
+                                  b.add(b.mul(yy2, b.const_i64(kW)), xx2),
+                                  1),
+                            1, false);
+                        b.store_local(acc,
+                                      b.add(b.load_local(acc), pix2));
+                        b.store_local(cnt, b.add(b.load_local(cnt),
+                                                 b.const_i64(1)));
+                    });
+                });
+            });
+            Value idx = b.add(b.mul(b.load_local(y), b.const_i64(kW)),
+                              b.load_local(x));
+            b.store(b.divs(b.load_local(acc), b.load_local(cnt)),
+                    b.gep(b.alloca_addr(out), idx, 8));
+        });
+    });
+
+    b.store_local(sum, b.const_i64(0));
+    const auto i = b.local("i");
+    for_range(b, i, 0, kW * kH, [&] {
+        b.store_local(sum,
+                      b.add(b.load_local(sum),
+                            b.load(b.gep(b.alloca_addr(out),
+                                         b.load_local(i), 8))));
+    });
+    b.ret(b.load_local(sum));
+    return m;
+}
+
+} // namespace hwst::workloads

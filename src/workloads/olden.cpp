@@ -1,0 +1,742 @@
+// Olden-like kernels (paper Fig. 4 middle group): heap-allocated
+// pointer structures — trees, lists, graphs — where metadata follows
+// pointers through memory constantly. These stress exactly the
+// through-memory propagation path HWST128 accelerates.
+#include "workloads/kernels.hpp"
+
+#include "common/prng.hpp"
+#include "workloads/dsl.hpp"
+
+namespace hwst::workloads {
+
+using common::u32;
+using common::u64;
+using mir::Ty;
+
+namespace {
+
+mir::Value is_null(mir::FunctionBuilder& b, mir::Value p)
+{
+    return b.eq(b.ptr_to_int(p), b.const_i64(0));
+}
+
+} // namespace
+
+// ---- treeadd -------------------------------------------------------------
+// node: { value @0, left @8, right @16 }, 24 bytes.
+
+mir::Module build_treeadd()
+{
+    constexpr i64 kDepth = 8;
+    mir::Module m;
+
+    {
+        auto& fn = m.add_function("ta_build", {Ty::I64}, Ty::Ptr);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto d = b.local("d");
+        const auto n = b.local("n", Ty::Ptr);
+        b.store_local(d, b.param(0));
+        b.store_local(n, b.malloc_(b.const_i64(24)));
+        b.store(b.load_local(d), b.load_local(n));
+        if_else(
+            b, b.lt(b.const_i64(1), b.load_local(d)),
+            [&] {
+                Value child = b.call(
+                    "ta_build",
+                    {b.sub(b.load_local(d), b.const_i64(1))}, Ty::Ptr);
+                b.store(child, b.gep_const(b.load_local(n), 8));
+                Value child2 = b.call(
+                    "ta_build",
+                    {b.sub(b.load_local(d), b.const_i64(1))}, Ty::Ptr);
+                b.store(child2, b.gep_const(b.load_local(n), 16));
+            },
+            [&] {
+                b.store(b.null_ptr(), b.gep_const(b.load_local(n), 8));
+                b.store(b.null_ptr(), b.gep_const(b.load_local(n), 16));
+            });
+        b.ret(b.load_local(n));
+    }
+
+    {
+        auto& fn = m.add_function("ta_sum", {Ty::Ptr}, Ty::I64);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto n = b.local("n", Ty::Ptr);
+        const auto s = b.local("s");
+        b.store_local(n, b.param(0));
+        b.store_local(s, b.load(b.load_local(n)));
+        const auto l = b.local("l", Ty::Ptr);
+        b.store_local(l, b.load_ptr(b.gep_const(b.load_local(n), 8)));
+        if_then(b, b.eq(is_null(b, b.load_local(l)), b.const_i64(0)), [&] {
+            Value sub = b.call("ta_sum", {b.load_local(l)}, Ty::I64);
+            b.store_local(s, b.add(b.load_local(s), sub));
+        });
+        const auto r = b.local("r", Ty::Ptr);
+        b.store_local(r, b.load_ptr(b.gep_const(b.load_local(n), 16)));
+        if_then(b, b.eq(is_null(b, b.load_local(r)), b.const_i64(0)), [&] {
+            Value sub = b.call("ta_sum", {b.load_local(r)}, Ty::I64);
+            b.store_local(s, b.add(b.load_local(s), sub));
+        });
+        b.ret(b.load_local(s));
+    }
+
+    {
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto root = b.local("root", Ty::Ptr);
+        b.store_local(root,
+                      b.call("ta_build", {b.const_i64(kDepth)}, Ty::Ptr));
+        const auto total = b.local("total");
+        b.store_local(total, b.const_i64(0));
+        const auto pass = b.local("pass");
+        for_range(b, pass, 0, 4, [&] {
+            Value s = b.call("ta_sum", {b.load_local(root)}, Ty::I64);
+            b.store_local(total, b.add(b.load_local(total), s));
+        });
+        b.ret(b.load_local(total));
+    }
+    return m;
+}
+
+// ---- bisort ---------------------------------------------------------------
+// node: { value @0, left @8, right @16 }. Build a tree of pseudo-random
+// values, then recursively order children by subtree minimum (pointer
+// swaps), twice; checksum = weighted in-order reduction.
+
+mir::Module build_bisort()
+{
+    constexpr i64 kDepth = 7;
+    mir::Module m;
+
+    {
+        auto& fn = m.add_function("bs_build", {Ty::I64, Ty::I64}, Ty::Ptr);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto d = b.local("d");
+        const auto seed = b.local("seed");
+        const auto n = b.local("n", Ty::Ptr);
+        b.store_local(d, b.param(0));
+        b.store_local(seed, b.param(1));
+        b.store_local(n, b.malloc_(b.const_i64(24)));
+        Value v = xorshift_step(b, seed);
+        b.store(b.and_(v, b.const_i64(0xFFFF)), b.load_local(n));
+        if_else(
+            b, b.lt(b.const_i64(1), b.load_local(d)),
+            [&] {
+                Value l = b.call("bs_build",
+                                 {b.sub(b.load_local(d), b.const_i64(1)),
+                                  b.xor_(b.load_local(seed),
+                                         b.const_i64(0x9E37))},
+                                 Ty::Ptr);
+                b.store(l, b.gep_const(b.load_local(n), 8));
+                Value r = b.call("bs_build",
+                                 {b.sub(b.load_local(d), b.const_i64(1)),
+                                  b.xor_(b.load_local(seed),
+                                         b.const_i64(0x79B9))},
+                                 Ty::Ptr);
+                b.store(r, b.gep_const(b.load_local(n), 16));
+            },
+            [&] {
+                b.store(b.null_ptr(), b.gep_const(b.load_local(n), 8));
+                b.store(b.null_ptr(), b.gep_const(b.load_local(n), 16));
+            });
+        b.ret(b.load_local(n));
+    }
+
+    {
+        // Returns the subtree minimum; swaps children so the smaller
+        // minimum is on the left (the pointer-rewiring the benchmark is
+        // famous for).
+        auto& fn = m.add_function("bs_fix", {Ty::Ptr}, Ty::I64);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto n = b.local("n", Ty::Ptr);
+        const auto mn = b.local("mn");
+        const auto lv = b.local("lv");
+        const auto rv = b.local("rv");
+        const auto l = b.local("l", Ty::Ptr);
+        const auto r = b.local("r", Ty::Ptr);
+        b.store_local(n, b.param(0));
+        b.store_local(mn, b.load(b.load_local(n)));
+        b.store_local(l, b.load_ptr(b.gep_const(b.load_local(n), 8)));
+        if_then(b, b.eq(is_null(b, b.load_local(l)), b.const_i64(0)), [&] {
+            b.store_local(lv, b.call("bs_fix", {b.load_local(l)}, Ty::I64));
+            b.store_local(r,
+                          b.load_ptr(b.gep_const(b.load_local(n), 16)));
+            b.store_local(rv, b.call("bs_fix", {b.load_local(r)}, Ty::I64));
+            if_then(b, b.lt(b.load_local(rv), b.load_local(lv)), [&] {
+                // swap child pointers
+                Value left =
+                    b.load_ptr(b.gep_const(b.load_local(n), 8));
+                Value right =
+                    b.load_ptr(b.gep_const(b.load_local(n), 16));
+                b.store(right, b.gep_const(b.load_local(n), 8));
+                b.store(left, b.gep_const(b.load_local(n), 16));
+                Value t = b.load_local(lv);
+                b.store_local(lv, b.load_local(rv));
+                b.store_local(rv, t);
+            });
+            if_then(b, b.lt(b.load_local(lv), b.load_local(mn)),
+                    [&] { b.store_local(mn, b.load_local(lv)); });
+        });
+        b.ret(b.load_local(mn));
+    }
+
+    {
+        auto& fn = m.add_function("bs_sum", {Ty::Ptr, Ty::I64}, Ty::I64);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto n = b.local("n", Ty::Ptr);
+        const auto w = b.local("w");
+        const auto s = b.local("s");
+        b.store_local(n, b.param(0));
+        b.store_local(w, b.param(1));
+        b.store_local(s, b.mul(b.load(b.load_local(n)), b.load_local(w)));
+        const auto l = b.local("l", Ty::Ptr);
+        b.store_local(l, b.load_ptr(b.gep_const(b.load_local(n), 8)));
+        if_then(b, b.eq(is_null(b, b.load_local(l)), b.const_i64(0)), [&] {
+            Value sub = b.call("bs_sum",
+                               {b.load_local(l),
+                                b.mul(b.load_local(w), b.const_i64(2))},
+                               Ty::I64);
+            b.store_local(s, b.add(b.load_local(s), sub));
+            Value r = b.load_ptr(b.gep_const(b.load_local(n), 16));
+            Value sub2 =
+                b.call("bs_sum",
+                       {r, b.add(b.mul(b.load_local(w), b.const_i64(2)),
+                                 b.const_i64(1))},
+                       Ty::I64);
+            b.store_local(s, b.add(b.load_local(s), sub2));
+        });
+        b.ret(b.and_(b.load_local(s), b.const_i64(0xFFFFFFFFFFll)));
+    }
+
+    {
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto root = b.local("root", Ty::Ptr);
+        b.store_local(root, b.call("bs_build",
+                                   {b.const_i64(kDepth), b.const_i64(42)},
+                                   Ty::Ptr));
+        const auto pass = b.local("pass");
+        for_range(b, pass, 0, 2, [&] {
+            Value mn = b.call("bs_fix", {b.load_local(root)}, Ty::I64);
+            (void)mn;
+        });
+        Value chk = b.call("bs_sum",
+                           {b.load_local(root), b.const_i64(1)}, Ty::I64);
+        b.ret(chk);
+    }
+    return m;
+}
+
+// ---- mst ------------------------------------------------------------------
+// vertices: heap array of pointers to { key @0, in_tree @8 }; weights
+// from a deterministic hash. Prim O(V^2) through the pointer table.
+
+mir::Module build_mst()
+{
+    constexpr i64 kV = 48;
+    mir::Module m;
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto verts = b.local("verts", Ty::Ptr);
+    const auto i = b.local("i");
+    const auto it = b.local("it");
+    const auto best = b.local("best");
+    const auto bestv = b.local("bestv");
+    const auto total = b.local("total");
+    const auto u = b.local("u");
+
+    b.store_local(verts, b.malloc_(b.const_i64(kV * 8)));
+    for_range(b, i, 0, kV, [&] {
+        Value v = b.malloc_(b.const_i64(16));
+        b.store(b.const_i64(1 << 28), v); // key
+        b.store(b.const_i64(0), b.gep_const(v, 8));
+        b.store(v, b.gep(b.load_local(verts), b.load_local(i), 8));
+    });
+    // vertex 0 is the root
+    {
+        Value v0 = b.load_ptr(b.load_local(verts));
+        b.store(b.const_i64(0), v0);
+    }
+
+    // weight(u, i) = ((u * 31 + i * 17) % 61) + 1  (symmetric enough)
+    const auto weight = [&](Value a, Value c) {
+        Value h = b.add(b.mul(a, b.const_i64(31)),
+                        b.mul(c, b.const_i64(17)));
+        return b.add(b.rems(h, b.const_i64(61)), b.const_i64(1));
+    };
+
+    b.store_local(total, b.const_i64(0));
+    for_range(b, it, 0, kV, [&] {
+        b.store_local(best, b.const_i64(-1));
+        b.store_local(bestv, b.const_i64((1 << 28) + 1));
+        for_range(b, i, 0, kV, [&] {
+            Value vp =
+                b.load_ptr(b.gep(b.load_local(verts), b.load_local(i), 8));
+            Value in_tree = b.load(b.gep_const(vp, 8));
+            if_then(b, b.eq(in_tree, b.const_i64(0)), [&] {
+                Value vp2 = b.load_ptr(
+                    b.gep(b.load_local(verts), b.load_local(i), 8));
+                Value key = b.load(vp2);
+                if_then(b, b.lt(key, b.load_local(bestv)), [&] {
+                    Value vp3 = b.load_ptr(b.gep(b.load_local(verts),
+                                                 b.load_local(i), 8));
+                    b.store_local(bestv, b.load(vp3));
+                    b.store_local(best, b.load_local(i));
+                });
+            });
+        });
+        b.store_local(u, b.load_local(best));
+        if_then(b, b.ne(b.load_local(u), b.const_i64(-1)), [&] {
+            Value up =
+                b.load_ptr(b.gep(b.load_local(verts), b.load_local(u), 8));
+            b.store(b.const_i64(1), b.gep_const(up, 8)); // in_tree
+            Value key = b.load(up);
+            if_then(b, b.lt(key, b.const_i64(1 << 28)), [&] {
+                Value up2 = b.load_ptr(
+                    b.gep(b.load_local(verts), b.load_local(u), 8));
+                b.store_local(total,
+                              b.add(b.load_local(total), b.load(up2)));
+            });
+            for_range(b, i, 0, kV, [&] {
+                Value vp = b.load_ptr(
+                    b.gep(b.load_local(verts), b.load_local(i), 8));
+                Value in_tree = b.load(b.gep_const(vp, 8));
+                if_then(b, b.eq(in_tree, b.const_i64(0)), [&] {
+                    Value w =
+                        weight(b.load_local(u), b.load_local(i));
+                    Value vp2 = b.load_ptr(b.gep(b.load_local(verts),
+                                                 b.load_local(i), 8));
+                    Value key2 = b.load(vp2);
+                    if_then(b, b.lt(w, key2), [&] {
+                        Value w2 = weight(b.load_local(u),
+                                          b.load_local(i));
+                        Value vp3 =
+                            b.load_ptr(b.gep(b.load_local(verts),
+                                             b.load_local(i), 8));
+                        b.store(w2, vp3);
+                    });
+                });
+            });
+        });
+    });
+    b.ret(b.load_local(total));
+    return m;
+}
+
+// ---- perimeter -------------------------------------------------------------
+// Quadtree { color @0, children @8/@16/@24/@32 }; perimeter of the black
+// region, counted on leaves.
+
+mir::Module build_perimeter()
+{
+    constexpr i64 kDepth = 5;
+    mir::Module m;
+
+    {
+        // pm_build(depth, x, y) — colour from a deterministic pattern.
+        auto& fn =
+            m.add_function("pm_build", {Ty::I64, Ty::I64, Ty::I64}, Ty::Ptr);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto d = b.local("d");
+        const auto x = b.local("x");
+        const auto y = b.local("y");
+        const auto n = b.local("n", Ty::Ptr);
+        b.store_local(d, b.param(0));
+        b.store_local(x, b.param(1));
+        b.store_local(y, b.param(2));
+        b.store_local(n, b.malloc_(b.const_i64(40)));
+        if_else(
+            b, b.eq(b.load_local(d), b.const_i64(0)),
+            [&] {
+                // leaf colour: black iff (x*x + y*y) mod 7 < 3
+                Value xx = b.load_local(x);
+                Value yy = b.load_local(y);
+                Value h = b.add(b.mul(xx, xx), b.mul(yy, yy));
+                Value black = b.lt(b.rems(h, b.const_i64(7)),
+                                   b.const_i64(3));
+                b.store(black, b.load_local(n));
+                const auto ci = b.local("ci");
+                for_range(b, ci, 0, 4, [&] {
+                    Value slot = b.gep(b.load_local(n), b.load_local(ci),
+                                       8, 8);
+                    b.store(b.null_ptr(), slot);
+                });
+            },
+            [&] {
+                b.store(b.const_i64(2), b.load_local(n)); // grey
+                const auto ci = b.local("ci2");
+                for_range(b, ci, 0, 4, [&] {
+                    Value civ = b.load_local(ci);
+                    Value nx = b.add(b.mul(b.load_local(x), b.const_i64(2)),
+                                     b.and_(civ, b.const_i64(1)));
+                    Value ny = b.add(b.mul(b.load_local(y), b.const_i64(2)),
+                                     b.shr(civ, b.const_i64(1)));
+                    Value child =
+                        b.call("pm_build",
+                               {b.sub(b.load_local(d), b.const_i64(1)), nx,
+                                ny},
+                               Ty::Ptr);
+                    Value slot = b.gep(b.load_local(n), b.load_local(ci),
+                                       8, 8);
+                    b.store(child, slot);
+                });
+            });
+        b.ret(b.load_local(n));
+    }
+
+    {
+        // pm_count(node, depth): black leaves contribute 4 >> depth-ish
+        // edge weight (simplified perimeter accounting).
+        auto& fn = m.add_function("pm_count", {Ty::Ptr, Ty::I64}, Ty::I64);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto n = b.local("n", Ty::Ptr);
+        const auto d = b.local("d");
+        const auto s = b.local("s");
+        b.store_local(n, b.param(0));
+        b.store_local(d, b.param(1));
+        b.store_local(s, b.const_i64(0));
+        Value color = b.load(b.load_local(n));
+        if_else(
+            b, b.eq(color, b.const_i64(2)),
+            [&] {
+                const auto ci = b.local("ci");
+                for_range(b, ci, 0, 4, [&] {
+                    Value slot = b.gep(b.load_local(n), b.load_local(ci),
+                                       8, 8);
+                    Value child = b.load_ptr(slot);
+                    Value sub =
+                        b.call("pm_count",
+                               {child, b.add(b.load_local(d),
+                                             b.const_i64(1))},
+                               Ty::I64);
+                    b.store_local(s, b.add(b.load_local(s), sub));
+                });
+            },
+            [&] {
+                Value c2 = b.load(b.load_local(n));
+                if_then(b, b.eq(c2, b.const_i64(1)), [&] {
+                    Value w = b.shl(b.const_i64(4), b.load_local(d));
+                    b.store_local(s, w);
+                });
+            });
+        b.ret(b.load_local(s));
+    }
+
+    {
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        mir::FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        Value root = b.call("pm_build",
+                            {b.const_i64(kDepth), b.const_i64(0),
+                             b.const_i64(0)},
+                            Ty::Ptr);
+        Value total = b.call("pm_count", {root, b.const_i64(0)}, Ty::I64);
+        b.ret(total);
+    }
+    return m;
+}
+
+// ---- health ----------------------------------------------------------------
+// Linked patient lists per "village": traversal, aging, and transfers
+// between lists (pointer removal/insertion).
+
+mir::Module build_health()
+{
+    constexpr i64 kLists = 16;
+    constexpr i64 kInitPerList = 12;
+    constexpr i64 kSteps = 24;
+    mir::Module m;
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    // heads: heap array of list-head pointers. node { age @0, next @8 }.
+    const auto heads = b.local("heads", Ty::Ptr);
+    const auto li = b.local("li");
+    const auto k = b.local("k");
+    const auto step = b.local("step");
+    const auto chk = b.local("chk");
+
+    b.store_local(heads, b.malloc_(b.const_i64(kLists * 8)));
+    for_range(b, li, 0, kLists, [&] {
+        Value slot = b.gep(b.load_local(heads), b.load_local(li), 8);
+        b.store(b.null_ptr(), slot);
+        for_range(b, k, 0, kInitPerList, [&] {
+            Value node = b.malloc_(b.const_i64(16));
+            b.store(b.add(b.mul(b.load_local(li), b.const_i64(3)),
+                          b.load_local(k)),
+                    node);
+            Value slot2 =
+                b.gep(b.load_local(heads), b.load_local(li), 8);
+            Value old = b.load_ptr(slot2);
+            b.store(old, b.gep_const(node, 8));
+            b.store(node, slot2);
+        });
+    });
+
+    for_range(b, step, 0, kSteps, [&] {
+        for_range(b, li, 0, kLists, [&] {
+            // age every patient in list li
+            const auto cur = b.local("cur", Ty::Ptr);
+            b.store_local(cur,
+                          b.load_ptr(b.gep(b.load_local(heads),
+                                           b.load_local(li), 8)));
+            while_loop(
+                b,
+                [&] {
+                    return b.eq(is_null(b, b.load_local(cur)),
+                                b.const_i64(0));
+                },
+                [&] {
+                    Value node = b.load_local(cur);
+                    Value age = b.load(node);
+                    b.store(b.add(age, b.const_i64(1)), node);
+                    b.store_local(cur,
+                                  b.load_ptr(b.gep_const(node, 8)));
+                });
+            // transfer the head patient to list (li + step) % kLists if
+            // old enough
+            Value slot = b.gep(b.load_local(heads), b.load_local(li), 8);
+            const auto head = b.local("head", Ty::Ptr);
+            b.store_local(head, b.load_ptr(slot));
+            if_then(
+                b, b.eq(is_null(b, b.load_local(head)), b.const_i64(0)),
+                [&] {
+                    Value age = b.load(b.load_local(head));
+                    if_then(b, b.lt(b.const_i64(20), age), [&] {
+                        Value slot2 = b.gep(b.load_local(heads),
+                                            b.load_local(li), 8);
+                        Value h = b.load_ptr(slot2);
+                        Value next = b.load_ptr(b.gep_const(h, 8));
+                        b.store(next, slot2);
+                        Value dst = b.rems(
+                            b.add(b.load_local(li), b.load_local(step)),
+                            b.const_i64(kLists));
+                        Value dslot =
+                            b.gep(b.load_local(heads), dst, 8);
+                        Value dhead = b.load_ptr(dslot);
+                        b.store(dhead, b.gep_const(h, 8));
+                        b.store(b.const_i64(0), h); // reset age
+                        b.store(h, dslot);
+                    });
+                });
+        });
+    });
+
+    b.store_local(chk, b.const_i64(0));
+    for_range(b, li, 0, kLists, [&] {
+        const auto cur = b.local("cur2", Ty::Ptr);
+        b.store_local(cur, b.load_ptr(b.gep(b.load_local(heads),
+                                            b.load_local(li), 8)));
+        while_loop(
+            b,
+            [&] {
+                return b.eq(is_null(b, b.load_local(cur)), b.const_i64(0));
+            },
+            [&] {
+                Value node = b.load_local(cur);
+                b.store_local(
+                    chk, b.add(b.load_local(chk),
+                               b.add(b.load(node),
+                                     b.add(b.load_local(li),
+                                           b.const_i64(1)))));
+                b.store_local(cur, b.load_ptr(b.gep_const(node, 8)));
+            });
+    });
+    b.ret(b.load_local(chk));
+    return m;
+}
+
+// ---- em3d ------------------------------------------------------------------
+// Bipartite relaxation: node { value @0, deps(ptr->ptr array) @8 },
+// dependency arrays are heap arrays of node pointers.
+
+mir::Module build_em3d()
+{
+    constexpr i64 kNodes = 48;  // per side
+    constexpr i64 kDeps = 4;
+    constexpr i64 kIters = 10;
+    mir::Module m;
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto enodes = b.local("enodes", Ty::Ptr);
+    const auto hnodes = b.local("hnodes", Ty::Ptr);
+    const auto i = b.local("i");
+    const auto d = b.local("d");
+    const auto it = b.local("it");
+    const auto chk = b.local("chk");
+
+    const auto build_side = [&](u32 table, i64 seed_mul) {
+        b.store_local(table, b.malloc_(b.const_i64(kNodes * 8)));
+        for_range(b, i, 0, kNodes, [&] {
+            Value node = b.malloc_(b.const_i64(16)); // value + deps ptr
+            Value iv = b.load_local(i);
+            b.store(b.add(b.mul(iv, b.const_i64(seed_mul)),
+                          b.const_i64(7)),
+                    node);
+            Value deps = b.malloc_(b.const_i64(kDeps * 8));
+            b.store(deps, b.gep_const(node, 8));
+            b.store(node, b.gep(b.load_local(table), b.load_local(i), 8));
+        });
+    };
+    build_side(enodes, 3);
+    build_side(hnodes, 5);
+
+    // wire deps: e[i] depends on h[(i*7+d*13)%kNodes] and vice versa
+    const auto wire = [&](u32 from, u32 to) {
+        for_range(b, i, 0, kNodes, [&] {
+            for_range(b, d, 0, kDeps, [&] {
+                Value iv = b.load_local(i);
+                Value dv = b.load_local(d);
+                Value idx = b.rems(
+                    b.add(b.mul(iv, b.const_i64(7)),
+                          b.mul(dv, b.const_i64(13))),
+                    b.const_i64(kNodes));
+                Value target =
+                    b.load_ptr(b.gep(b.load_local(to), idx, 8));
+                Value node =
+                    b.load_ptr(b.gep(b.load_local(from),
+                                     b.load_local(i), 8));
+                Value deps = b.load_ptr(b.gep_const(node, 8));
+                b.store(target, b.gep(deps, b.load_local(d), 8));
+            });
+        });
+    };
+    wire(enodes, hnodes);
+    wire(hnodes, enodes);
+
+    const auto relax = [&](u32 table) {
+        for_range(b, i, 0, kNodes, [&] {
+            Value node = b.load_ptr(
+                b.gep(b.load_local(table), b.load_local(i), 8));
+            Value deps = b.load_ptr(b.gep_const(node, 8));
+            const auto acc = b.local("acc");
+            b.store_local(acc, b.const_i64(0));
+            for_range(b, d, 0, kDeps, [&] {
+                Value node2 = b.load_ptr(
+                    b.gep(b.load_local(table), b.load_local(i), 8));
+                Value deps2 = b.load_ptr(b.gep_const(node2, 8));
+                Value dep =
+                    b.load_ptr(b.gep(deps2, b.load_local(d), 8));
+                b.store_local(acc,
+                              b.add(b.load_local(acc), b.load(dep)));
+                (void)deps;
+            });
+            Value node3 = b.load_ptr(
+                b.gep(b.load_local(table), b.load_local(i), 8));
+            Value old = b.load(node3);
+            b.store(b.sub(old, b.sra(b.load_local(acc), b.const_i64(1))),
+                    node3);
+        });
+    };
+    for_range(b, it, 0, kIters, [&] {
+        relax(enodes);
+        relax(hnodes);
+    });
+
+    b.store_local(chk, b.const_i64(0));
+    const auto sum_side = [&](u32 table) {
+        for_range(b, i, 0, kNodes, [&] {
+            Value node = b.load_ptr(
+                b.gep(b.load_local(table), b.load_local(i), 8));
+            b.store_local(chk, b.add(b.load_local(chk), b.load(node)));
+        });
+    };
+    sum_side(enodes);
+    sum_side(hnodes);
+    b.ret(b.and_(b.load_local(chk), b.const_i64(0xFFFFFFFFll)));
+    return m;
+}
+
+// ---- tsp -------------------------------------------------------------------
+// Nearest-neighbour tour over heap point structs { x @0, y @8, used @16 }.
+
+mir::Module build_tsp()
+{
+    constexpr i64 kPts = 56;
+    mir::Module m;
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto pts = b.local("pts", Ty::Ptr);
+    const auto i = b.local("i");
+    const auto cur = b.local("cur");
+    const auto total = b.local("total");
+    const auto seed = b.local("seed");
+    const auto step = b.local("step");
+    const auto best = b.local("best");
+    const auto bestd = b.local("bestd");
+
+    b.store_local(pts, b.malloc_(b.const_i64(kPts * 8)));
+    b.store_local(seed, b.const_i64(0x7357));
+    for_range(b, i, 0, kPts, [&] {
+        Value p = b.malloc_(b.const_i64(24));
+        Value r1 = xorshift_step(b, seed);
+        b.store(b.and_(r1, b.const_i64(1023)), p);
+        Value r2 = xorshift_step(b, seed);
+        b.store(b.and_(r2, b.const_i64(1023)), b.gep_const(p, 8));
+        b.store(b.const_i64(0), b.gep_const(p, 16));
+        b.store(p, b.gep(b.load_local(pts), b.load_local(i), 8));
+    });
+
+    b.store_local(cur, b.const_i64(0));
+    b.store_local(total, b.const_i64(0));
+    {
+        Value p0 = b.load_ptr(b.load_local(pts));
+        b.store(b.const_i64(1), b.gep_const(p0, 16));
+    }
+    for_range(b, step, 1, kPts, [&] {
+        b.store_local(best, b.const_i64(-1));
+        b.store_local(bestd, b.const_i64(1ll << 40));
+        for_range(b, i, 0, kPts, [&] {
+            Value cand = b.load_ptr(
+                b.gep(b.load_local(pts), b.load_local(i), 8));
+            Value used = b.load(b.gep_const(cand, 16));
+            if_then(b, b.eq(used, b.const_i64(0)), [&] {
+                Value cp = b.load_ptr(
+                    b.gep(b.load_local(pts), b.load_local(cur), 8));
+                Value np = b.load_ptr(
+                    b.gep(b.load_local(pts), b.load_local(i), 8));
+                Value dx = b.sub(b.load(cp), b.load(np));
+                Value dy = b.sub(b.load(b.gep_const(cp, 8)),
+                                 b.load(b.gep_const(np, 8)));
+                Value dist = b.add(b.mul(dx, dx), b.mul(dy, dy));
+                if_then(b, b.lt(dist, b.load_local(bestd)), [&] {
+                    Value cp2 = b.load_ptr(b.gep(b.load_local(pts),
+                                                 b.load_local(cur), 8));
+                    Value np2 = b.load_ptr(b.gep(b.load_local(pts),
+                                                 b.load_local(i), 8));
+                    Value dx2 = b.sub(b.load(cp2), b.load(np2));
+                    Value dy2 = b.sub(b.load(b.gep_const(cp2, 8)),
+                                      b.load(b.gep_const(np2, 8)));
+                    b.store_local(bestd, b.add(b.mul(dx2, dx2),
+                                               b.mul(dy2, dy2)));
+                    b.store_local(best, b.load_local(i));
+                });
+            });
+        });
+        Value bp = b.load_ptr(
+            b.gep(b.load_local(pts), b.load_local(best), 8));
+        b.store(b.const_i64(1), b.gep_const(bp, 16));
+        b.store_local(cur, b.load_local(best));
+        b.store_local(total, b.add(b.load_local(total),
+                                   b.load_local(bestd)));
+    });
+    b.ret(b.and_(b.load_local(total), b.const_i64(0xFFFFFFFFll)));
+    return m;
+}
+
+} // namespace hwst::workloads

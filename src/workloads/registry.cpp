@@ -1,0 +1,58 @@
+#include "workloads/workload.hpp"
+
+#include "common/error.hpp"
+#include "workloads/kernels.hpp"
+
+namespace hwst::workloads {
+
+// Expected checksums are pinned from the uninstrumented baseline run
+// (tests assert that every instrumentation scheme reproduces them).
+const std::vector<Workload>& all_workloads()
+{
+    static const std::vector<Workload> table = {
+        // MiBench (paper Fig. 4 order)
+        {"stringsearch", Suite::MiBench, build_stringsearch, 3676ll},
+        {"crc32", Suite::MiBench, build_crc32, 2170106659ll},
+        {"bitcounts", Suite::MiBench, build_bitcount, 130716ll},
+        {"dijkstra", Suite::MiBench, build_dijkstra, 96ll},
+        {"sha", Suite::MiBench, build_sha, 9633830651011ll},
+        {"math", Suite::MiBench, build_math, 731202ll},
+        {"fft", Suite::MiBench, build_fft, 327452ll},
+        {"adpcm", Suite::MiBench, build_adpcm, 18863ll},
+        {"susan", Suite::MiBench, build_susan, 111894ll},
+        // Olden
+        {"tsp", Suite::Olden, build_tsp, 2245379ll},
+        {"em3d", Suite::Olden, build_em3d, 1533875785ll},
+        {"health", Suite::Olden, build_health, 10583ll},
+        {"mst", Suite::Olden, build_mst, 112ll},
+        {"perimeter", Suite::Olden, build_perimeter, 46976ll},
+        {"bisort", Suite::Olden, build_bisort, 267542673ll},
+        {"treeadd", Suite::Olden, build_treeadd, 2008ll},
+        // SPEC
+        {"milc", Suite::Spec, build_milc, 2676313667ll},
+        {"lbm", Suite::Spec, build_lbm, 475803ll},
+        {"sphinx3", Suite::Spec, build_sphinx3, 13868ll},
+        {"sjeng", Suite::Spec, build_sjeng, 139680ll},
+        {"gobmk", Suite::Spec, build_gobmk, 517ll},
+        {"bzip2", Suite::Spec, build_bzip2, 109327ll},
+        {"hmmer", Suite::Spec, build_hmmer, 153032ll},
+    };
+    return table;
+}
+
+const Workload& workload(const std::string& name)
+{
+    for (const Workload& w : all_workloads())
+        if (w.name == name) return w;
+    throw common::ToolchainError{"unknown workload: " + name};
+}
+
+std::vector<const Workload*> spec_workloads()
+{
+    std::vector<const Workload*> out;
+    for (const Workload& w : all_workloads())
+        if (w.suite == Suite::Spec) out.push_back(&w);
+    return out;
+}
+
+} // namespace hwst::workloads

@@ -1,0 +1,701 @@
+// SPEC2006-like kernels (paper Fig. 4 right group / Fig. 5). bzip2 and
+// hmmer are deliberately pointer-load dense (linked MTF list, row-
+// pointer DP tables): the paper saw 7.98x / 7.78x speedups there
+// because the software temporal checks dominate — the keybuffer removes
+// them.
+#include "workloads/kernels.hpp"
+
+#include "common/prng.hpp"
+#include "workloads/dsl.hpp"
+
+namespace hwst::workloads {
+
+using common::u8;
+using common::u32;
+using common::u64;
+using mir::Global;
+using mir::Ty;
+
+namespace {
+
+std::vector<u8> random_bytes(u64 n, u64 seed, u8 lo = 0, u8 hi = 255)
+{
+    common::Xoshiro256 rng{seed};
+    std::vector<u8> out(n);
+    for (auto& x : out) x = static_cast<u8>(rng.range(lo, hi));
+    return out;
+}
+
+} // namespace
+
+// ---- milc (su3-like fixed-point 3x3 complex matrix products) -------------
+
+mir::Module build_milc()
+{
+    constexpr i64 kSites = 48;
+    mir::Module m;
+    const u32 gdata = m.add_global(Global{
+        "lattice", kSites * 18 * 2 * 2, 8,
+        random_bytes(kSites * 18 * 2 * 2, 0x311C)});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto amat = b.local("amat", Ty::Ptr);
+    const auto bmat = b.local("bmat", Ty::Ptr);
+    const auto cmat = b.local("cmat", Ty::Ptr);
+    const auto site = b.local("site");
+    const auto r = b.local("r");
+    const auto c = b.local("c");
+    const auto k = b.local("k");
+    const auto chk = b.local("chk");
+
+    b.store_local(amat, b.malloc_(b.const_i64(18 * 8)));
+    b.store_local(bmat, b.malloc_(b.const_i64(18 * 8)));
+    b.store_local(cmat, b.malloc_(b.const_i64(18 * 8)));
+    b.store_local(chk, b.const_i64(0));
+
+    for_range(b, site, 0, kSites, [&] {
+        // load A and B (Q8 fixed point) from the lattice data
+        const auto e = b.local("e");
+        for_range(b, e, 0, 18, [&] {
+            Value sv = b.load_local(site);
+            Value ev = b.load_local(e);
+            Value off = b.add(b.mul(sv, b.const_i64(72)),
+                              b.mul(ev, b.const_i64(2)));
+            Value raw =
+                b.load(b.gep(b.global_addr(gdata), off, 1), 2, false);
+            b.store(b.sub(raw, b.const_i64(128)),
+                    b.gep(b.load_local(amat), b.load_local(e), 8));
+            Value raw2 = b.load(
+                b.gep(b.global_addr(gdata),
+                      b.add(b.mul(b.load_local(site), b.const_i64(72)),
+                            b.add(b.mul(b.load_local(e), b.const_i64(2)),
+                                  b.const_i64(36))),
+                      1),
+                2, false);
+            b.store(b.sub(raw2, b.const_i64(128)),
+                    b.gep(b.load_local(bmat), b.load_local(e), 8));
+        });
+        // C = A * B (3x3 complex: entries (re,im) at idx (r*3+c)*2)
+        for_range(b, r, 0, 3, [&] {
+            for_range(b, c, 0, 3, [&] {
+                const auto accr = b.local("accr");
+                const auto acci = b.local("acci");
+                b.store_local(accr, b.const_i64(0));
+                b.store_local(acci, b.const_i64(0));
+                for_range(b, k, 0, 3, [&] {
+                    Value rv = b.load_local(r);
+                    Value cv = b.load_local(c);
+                    Value kv = b.load_local(k);
+                    Value ai = b.mul(
+                        b.add(b.mul(rv, b.const_i64(3)), kv),
+                        b.const_i64(2));
+                    Value bi = b.mul(
+                        b.add(b.mul(kv, b.const_i64(3)), cv),
+                        b.const_i64(2));
+                    Value ar =
+                        b.load(b.gep(b.load_local(amat), ai, 8));
+                    Value aiim = b.load(b.gep(b.load_local(amat), ai, 8, 8));
+                    Value br =
+                        b.load(b.gep(b.load_local(bmat), bi, 8));
+                    Value bim = b.load(b.gep(b.load_local(bmat), bi, 8, 8));
+                    b.store_local(
+                        accr,
+                        b.add(b.load_local(accr),
+                              b.sub(b.mul(ar, br), b.mul(aiim, bim))));
+                    b.store_local(
+                        acci,
+                        b.add(b.load_local(acci),
+                              b.add(b.mul(ar, bim), b.mul(aiim, br))));
+                });
+                Value ci = b.mul(
+                    b.add(b.mul(b.load_local(r), b.const_i64(3)),
+                          b.load_local(c)),
+                    b.const_i64(2));
+                b.store(b.sra(b.load_local(accr), b.const_i64(8)),
+                        b.gep(b.load_local(cmat), ci, 8));
+                b.store(b.sra(b.load_local(acci), b.const_i64(8)),
+                        b.gep(b.load_local(cmat), ci, 8, 8));
+            });
+        });
+        const auto e2 = b.local("e2");
+        for_range(b, e2, 0, 18, [&] {
+            b.store_local(chk,
+                          b.add(b.load_local(chk),
+                                b.load(b.gep(b.load_local(cmat),
+                                             b.load_local(e2), 8))));
+        });
+    });
+    b.ret(b.and_(b.load_local(chk), b.const_i64(0xFFFFFFFFll)));
+    return m;
+}
+
+// ---- lbm (D2Q5 stream + collide, fixed point) -----------------------------
+
+mir::Module build_lbm()
+{
+    constexpr i64 kW = 20, kH = 20, kQ = 5, kSteps = 6;
+    constexpr i64 kCells = kW * kH;
+    mir::Module m;
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto src = b.local("src", Ty::Ptr);
+    const auto dst = b.local("dst", Ty::Ptr);
+    const auto x = b.local("x");
+    const auto y = b.local("y");
+    const auto q = b.local("q");
+    const auto t = b.local("t");
+    const auto chk = b.local("chk");
+
+    b.store_local(src, b.malloc_(b.const_i64(kCells * kQ * 8)));
+    b.store_local(dst, b.malloc_(b.const_i64(kCells * kQ * 8)));
+
+    // init: density 256 + deterministic ripple
+    for_range(b, y, 0, kH, [&] {
+        for_range(b, x, 0, kW, [&] {
+            for_range(b, q, 0, kQ, [&] {
+                Value yv = b.load_local(y);
+                Value xv = b.load_local(x);
+                Value qv = b.load_local(q);
+                Value cell = b.add(b.mul(yv, b.const_i64(kW)), xv);
+                Value idx =
+                    b.add(b.mul(cell, b.const_i64(kQ)), qv);
+                Value init = b.add(
+                    b.const_i64(256),
+                    b.rems(b.add(b.mul(xv, b.const_i64(5)),
+                                 b.mul(yv, b.const_i64(3))),
+                           b.const_i64(17)));
+                b.store(init, b.gep(b.load_local(src), idx, 8));
+            });
+        });
+    });
+
+    // directions: rest, +x, -x, +y, -y
+    static constexpr i64 kDx[kQ] = {0, 1, -1, 0, 0};
+    static constexpr i64 kDy[kQ] = {0, 0, 0, 1, -1};
+
+    for_range(b, t, 0, kSteps, [&] {
+        for_range(b, y, 1, kH - 1, [&] {
+            for_range(b, x, 1, kW - 1, [&] {
+                // collide: relax toward the mean of the 5 populations
+                const auto rho = b.local("rho");
+                b.store_local(rho, b.const_i64(0));
+                for_range(b, q, 0, kQ, [&] {
+                    Value cell =
+                        b.add(b.mul(b.load_local(y), b.const_i64(kW)),
+                              b.load_local(x));
+                    Value idx = b.add(b.mul(cell, b.const_i64(kQ)),
+                                      b.load_local(q));
+                    b.store_local(
+                        rho, b.add(b.load_local(rho),
+                                   b.load(b.gep(b.load_local(src), idx,
+                                                8))));
+                });
+                for (i64 dir = 0; dir < kQ; ++dir) {
+                    Value cell =
+                        b.add(b.mul(b.load_local(y), b.const_i64(kW)),
+                              b.load_local(x));
+                    Value idx = b.add(b.mul(cell, b.const_i64(kQ)),
+                                      b.const_i64(dir));
+                    Value f = b.load(b.gep(b.load_local(src), idx, 8));
+                    Value eq = b.divs(b.load_local(rho), b.const_i64(kQ));
+                    // f' = f + (eq - f)/2
+                    Value relaxed =
+                        b.add(f, b.sra(b.sub(eq, f), b.const_i64(1)));
+                    // stream to (x+dx, y+dy)
+                    Value nx = b.add(b.load_local(x), b.const_i64(kDx[dir]));
+                    Value ny = b.add(b.load_local(y), b.const_i64(kDy[dir]));
+                    Value ncell =
+                        b.add(b.mul(ny, b.const_i64(kW)), nx);
+                    Value nidx = b.add(b.mul(ncell, b.const_i64(kQ)),
+                                       b.const_i64(dir));
+                    b.store(relaxed, b.gep(b.load_local(dst), nidx, 8));
+                }
+            });
+        });
+        // swap src/dst
+        const auto tmp = b.local("tmp", Ty::Ptr);
+        b.store_local(tmp, b.load_local(src));
+        b.store_local(src, b.load_local(dst));
+        b.store_local(dst, b.load_local(tmp));
+    });
+
+    b.store_local(chk, b.const_i64(0));
+    const auto i = b.local("i");
+    for_range(b, i, 0, kCells * kQ, [&] {
+        b.store_local(chk, b.add(b.load_local(chk),
+                                 b.load(b.gep(b.load_local(src),
+                                              b.load_local(i), 8))));
+    });
+    b.ret(b.and_(b.load_local(chk), b.const_i64(0xFFFFFFFFll)));
+    return m;
+}
+
+// ---- sphinx3 (GMM scoring, fixed point) -----------------------------------
+
+mir::Module build_sphinx3()
+{
+    constexpr i64 kFrames = 24, kDims = 12, kDens = 24;
+    mir::Module m;
+    const u32 gfeat = m.add_global(
+        Global{"features", kFrames * kDims, 8,
+               random_bytes(kFrames * kDims, 0x5F1)});
+    const u32 gmean = m.add_global(Global{
+        "means", kDens * kDims, 8, random_bytes(kDens * kDims, 0x3EA)});
+    const u32 gvar = m.add_global(Global{
+        "vars", kDens * kDims, 8, random_bytes(kDens * kDims, 0x7A2, 1)});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto f = b.local("f");
+    const auto dnr = b.local("dnr");
+    const auto dim = b.local("dim");
+    const auto best = b.local("best");
+    const auto score = b.local("score");
+    const auto total = b.local("total");
+
+    b.store_local(total, b.const_i64(0));
+    for_range(b, f, 0, kFrames, [&] {
+        b.store_local(best, b.const_i64(1ll << 40));
+        for_range(b, dnr, 0, kDens, [&] {
+            b.store_local(score, b.const_i64(0));
+            for_range(b, dim, 0, kDims, [&] {
+                Value fv = b.load_local(f);
+                Value dv = b.load_local(dnr);
+                Value mv = b.load_local(dim);
+                Value xi = b.load(
+                    b.gep(b.global_addr(gfeat),
+                          b.add(b.mul(fv, b.const_i64(kDims)), mv), 1),
+                    1, false);
+                Value mu = b.load(
+                    b.gep(b.global_addr(gmean),
+                          b.add(b.mul(dv, b.const_i64(kDims)), mv), 1),
+                    1, false);
+                Value var = b.load(
+                    b.gep(b.global_addr(gvar),
+                          b.add(b.mul(dv, b.const_i64(kDims)), mv), 1),
+                    1, false);
+                Value diff = b.sub(xi, mu);
+                b.store_local(
+                    score,
+                    b.add(b.load_local(score),
+                          b.divs(b.mul(diff, diff),
+                                 b.add(var, b.const_i64(1)))));
+            });
+            if_then(b, b.lt(b.load_local(score), b.load_local(best)),
+                    [&] { b.store_local(best, b.load_local(score)); });
+        });
+        b.store_local(total, b.add(b.load_local(total),
+                                   b.load_local(best)));
+    });
+    b.ret(b.load_local(total));
+    return m;
+}
+
+// ---- sjeng (mailbox move generation + evaluation) --------------------------
+
+mir::Module build_sjeng()
+{
+    constexpr i64 kIters = 48;
+    mir::Module m;
+    // 10x12 mailbox board: 0 empty, 1..6 white, 7..12 black, 99 border.
+    common::Xoshiro256 rng{0x53E6};
+    std::vector<u8> board(120, 99);
+    for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) {
+            const auto v = rng.below(14);
+            board[(r + 2) * 10 + c + 1] =
+                static_cast<u8>(v <= 12 ? v : 0);
+        }
+    }
+    const u32 gboard = m.add_global(Global{"board", 120, 8, board});
+    // Knight move offsets.
+    std::vector<u8> koff;
+    static constexpr int kKnight[8] = {-21, -19, -12, -8, 8, 12, 19, 21};
+    for (const int o : kKnight)
+        for (int i = 0; i < 4; ++i)
+            koff.push_back(static_cast<u8>((o >> (8 * i)) & 0xFF));
+    const u32 gkoff = m.add_global(Global{"knight_off", 32, 8, koff});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto it = b.local("it");
+    const auto sq = b.local("sq");
+    const auto mv = b.local("mv");
+    const auto score = b.local("score");
+
+    b.store_local(score, b.const_i64(0));
+    for_range(b, it, 0, kIters, [&] {
+        for_range(b, sq, 21, 99, [&] {
+            Value piece = b.load(
+                b.gep(b.global_addr(gboard), b.load_local(sq), 1), 1,
+                false);
+            // knights (2 and 8): generate moves
+            Value isn = b.or_(b.eq(piece, b.const_i64(2)),
+                              b.eq(piece, b.const_i64(8)));
+            if_then(b, isn, [&] {
+                for_range(b, mv, 0, 8, [&] {
+                    Value off = b.load(
+                        b.gep(b.global_addr(gkoff), b.load_local(mv), 4),
+                        4, true);
+                    Value tgt = b.add(b.load_local(sq), off);
+                    Value tp = b.load(
+                        b.gep(b.global_addr(gboard), tgt, 1), 1, false);
+                    if_then(b, b.ne(tp, b.const_i64(99)), [&] {
+                        Value tp2 = b.load(
+                            b.gep(b.global_addr(gboard),
+                                  b.add(b.load_local(sq),
+                                        b.load(b.gep(b.global_addr(gkoff),
+                                                     b.load_local(mv), 4),
+                                               4, true)),
+                                  1),
+                            1, false);
+                        b.store_local(
+                            score,
+                            b.add(b.load_local(score),
+                                  b.add(tp2, b.const_i64(1))));
+                    });
+                });
+            });
+            // material evaluation
+            Value piece2 = b.load(
+                b.gep(b.global_addr(gboard), b.load_local(sq), 1), 1,
+                false);
+            if_then(b, b.and_(b.lt(b.const_i64(0), piece2),
+                              b.lt(piece2, b.const_i64(13))),
+                    [&] {
+                        Value p2 = b.load(b.gep(b.global_addr(gboard),
+                                                b.load_local(sq), 1),
+                                          1, false);
+                        b.store_local(score,
+                                      b.add(b.load_local(score),
+                                            b.mul(p2, p2)));
+                    });
+        });
+    });
+    b.ret(b.load_local(score));
+    return m;
+}
+
+// ---- gobmk (flood-fill liberty counting) -----------------------------------
+
+mir::Module build_gobmk()
+{
+    constexpr i64 kN = 13; // board size
+    mir::Module m;
+    common::Xoshiro256 rng{0x60B0};
+    std::vector<u8> board(kN * kN);
+    for (auto& c : board) c = static_cast<u8>(rng.below(3)); // 0/1/2
+    const u32 gboard = m.add_global(Global{"goboard", kN * kN, 8, board});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto mark = b.array("mark", kN * kN * 8);
+    const auto stack = b.array("stack", kN * kN * 8);
+    const auto start = b.local("start");
+    const auto sp = b.local("sp");
+    const auto libs = b.local("libs");
+    const auto total = b.local("total");
+    const auto i = b.local("i");
+
+    b.store_local(total, b.const_i64(0));
+    for_range(b, start, 0, kN * kN, [&] {
+        Value colour = b.load(
+            b.gep(b.global_addr(gboard), b.load_local(start), 1), 1,
+            false);
+        if_then(b, b.ne(colour, b.const_i64(0)), [&] {
+            // clear marks
+            for_range(b, i, 0, kN * kN, [&] {
+                b.store(b.const_i64(0),
+                        b.gep(b.alloca_addr(mark), b.load_local(i), 8));
+            });
+            b.store_local(libs, b.const_i64(0));
+            b.store(b.load_local(start), b.alloca_addr(stack));
+            b.store_local(sp, b.const_i64(1));
+            b.store(b.const_i64(1),
+                    b.gep(b.alloca_addr(mark), b.load_local(start), 8));
+            while_loop(
+                b,
+                [&] {
+                    return b.lt(b.const_i64(0), b.load_local(sp));
+                },
+                [&] {
+                    b.store_local(sp, b.sub(b.load_local(sp),
+                                            b.const_i64(1)));
+                    const auto cell = b.local("cell");
+                    b.store_local(
+                        cell, b.load(b.gep(b.alloca_addr(stack),
+                                           b.load_local(sp), 8)));
+                    // 4 neighbours
+                    static constexpr i64 kD[4] = {-1, 1, -kN, kN};
+                    for (const i64 d : kD) {
+                        Value cv = b.load_local(cell);
+                        Value nb = b.add(cv, b.const_i64(d));
+                        Value in_range = b.and_(
+                            b.le(b.const_i64(0), nb),
+                            b.lt(nb, b.const_i64(kN * kN)));
+                        // avoid row wrap for +-1
+                        Value row_ok =
+                            d == -1 || d == 1
+                                ? b.eq(b.divs(nb, b.const_i64(kN)),
+                                       b.divs(cv, b.const_i64(kN)))
+                                : b.const_i64(1);
+                        if_then(b, b.and_(in_range, row_ok), [&] {
+                            Value cv2 = b.load_local(cell);
+                            Value nb2 = b.add(cv2, b.const_i64(d));
+                            Value nc = b.load(
+                                b.gep(b.global_addr(gboard), nb2, 1), 1,
+                                false);
+                            Value seen = b.load(
+                                b.gep(b.alloca_addr(mark), nb2, 8));
+                            if_then(b,
+                                    b.and_(b.eq(seen, b.const_i64(0)),
+                                           b.eq(nc, b.const_i64(0))),
+                                    [&] {
+                                        b.store_local(
+                                            libs,
+                                            b.add(b.load_local(libs),
+                                                  b.const_i64(1)));
+                                    });
+                            // Recompute in this block (block-local SSA).
+                            Value cvr = b.load_local(cell);
+                            Value nbr = b.add(cvr, b.const_i64(d));
+                            Value ncr = b.load(
+                                b.gep(b.global_addr(gboard), nbr, 1), 1,
+                                false);
+                            Value seenr = b.load(
+                                b.gep(b.alloca_addr(mark), nbr, 8));
+                            Value startr = b.load(
+                                b.gep(b.global_addr(gboard),
+                                      b.load_local(start), 1),
+                                1, false);
+                            if_then(
+                                b,
+                                b.and_(b.eq(seenr, b.const_i64(0)),
+                                       b.eq(ncr, startr)),
+                                [&] {
+                                    Value cv3 = b.load_local(cell);
+                                    Value nb3 =
+                                        b.add(cv3, b.const_i64(d));
+                                    b.store(
+                                        b.const_i64(1),
+                                        b.gep(b.alloca_addr(mark), nb3,
+                                              8));
+                                    b.store(nb3,
+                                            b.gep(b.alloca_addr(stack),
+                                                  b.load_local(sp), 8));
+                                    b.store_local(
+                                        sp, b.add(b.load_local(sp),
+                                                  b.const_i64(1)));
+                                });
+                        });
+                    }
+                });
+            b.store_local(total,
+                          b.add(b.load_local(total), b.load_local(libs)));
+        });
+    });
+    b.ret(b.load_local(total));
+    return m;
+}
+
+// ---- bzip2 (MTF over a linked symbol list + RLE) ----------------------------
+// The MTF list is 256 heap nodes chained by pointers; every input byte
+// chases the chain (pointer loads), then rewires the front (pointer
+// stores). Pointer-load density is what made the paper's bzip2 7.98x.
+
+mir::Module build_bzip2()
+{
+    constexpr i64 kLen = 3072;
+    mir::Module m;
+    const u32 gdata = m.add_global(
+        Global{"bzdata", kLen, 8, random_bytes(kLen, 0xB21, 0, 23)});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    // node { sym @0, next @8 }
+    const auto head = b.local("head", Ty::Ptr);
+    const auto i = b.local("i");
+    const auto chk = b.local("chk");
+    const auto run = b.local("run");
+    const auto last = b.local("last");
+
+    // Build the MTF chain 0..23 (only small symbols occur in the data).
+    b.store_local(head, b.null_ptr());
+    for_range(b, i, 0, 24, [&] {
+        Value node = b.malloc_(b.const_i64(16));
+        b.store(b.sub(b.const_i64(23), b.load_local(i)), node);
+        Value old = b.load_local(head);
+        b.store(old, b.gep_const(node, 8));
+        b.store_local(head, node);
+    });
+
+    b.store_local(chk, b.const_i64(0));
+    b.store_local(run, b.const_i64(0));
+    b.store_local(last, b.const_i64(-1));
+    for_range(b, i, 0, kLen, [&] {
+        Value byte = b.load(
+            b.gep(b.global_addr(gdata), b.load_local(i), 1), 1, false);
+        // find position of byte in the chain
+        const auto pos = b.local("pos");
+        const auto cur = b.local("cur", Ty::Ptr);
+        const auto prev = b.local("prev", Ty::Ptr);
+        const auto target = b.local("target");
+        b.store_local(target, byte);
+        b.store_local(pos, b.const_i64(0));
+        b.store_local(cur, b.load_local(head));
+        b.store_local(prev, b.null_ptr());
+        while_loop(
+            b,
+            [&] {
+                Value sym = b.load(b.load_local(cur));
+                return b.ne(sym, b.load_local(target));
+            },
+            [&] {
+                b.store_local(prev, b.load_local(cur));
+                b.store_local(cur,
+                              b.load_ptr(b.gep_const(b.load_local(cur),
+                                                     8)));
+                b.store_local(pos, b.add(b.load_local(pos),
+                                         b.const_i64(1)));
+            });
+        // move to front (if not already there)
+        if_then(
+            b,
+            b.eq(b.eq(b.ptr_to_int(b.load_local(prev)), b.const_i64(0)),
+                 b.const_i64(0)),
+            [&] {
+                Value nxt =
+                    b.load_ptr(b.gep_const(b.load_local(cur), 8));
+                b.store(nxt, b.gep_const(b.load_local(prev), 8));
+                Value oldh = b.load_local(head);
+                b.store(oldh, b.gep_const(b.load_local(cur), 8));
+                b.store_local(head, b.load_local(cur));
+            });
+        // RLE of the MTF positions
+        if_else(
+            b, b.eq(b.load_local(pos), b.load_local(last)),
+            [&] {
+                b.store_local(run, b.add(b.load_local(run),
+                                         b.const_i64(1)));
+            },
+            [&] {
+                b.store_local(
+                    chk, b.add(b.load_local(chk),
+                               b.mul(b.load_local(run),
+                                     b.load_local(run))));
+                b.store_local(run, b.const_i64(1));
+                b.store_local(last, b.load_local(pos));
+            });
+        b.store_local(chk,
+                      b.add(b.load_local(chk),
+                            b.mul(b.load_local(pos), b.const_i64(3))));
+    });
+    b.ret(b.and_(b.load_local(chk), b.const_i64(0xFFFFFFFFll)));
+    return m;
+}
+
+// ---- hmmer (Viterbi DP over row-pointer tables) -----------------------------
+
+mir::Module build_hmmer()
+{
+    constexpr i64 kStates = 20, kSeq = 40;
+    mir::Module m;
+    const u32 gseq = m.add_global(
+        Global{"sequence", kSeq, 8, random_bytes(kSeq, 0x4E4, 0, 3)});
+    const u32 gemit = m.add_global(Global{
+        "emissions", kStates * 4, 8, random_bytes(kStates * 4, 0xE51, 1)});
+
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    // rows: heap array of row pointers; row = heap array of i64 scores.
+    const auto rows = b.local("rows", Ty::Ptr);
+    const auto t = b.local("t");
+    const auto s = b.local("s");
+    const auto chk = b.local("chk");
+
+    b.store_local(rows, b.malloc_(b.const_i64((kSeq + 1) * 8)));
+    for_range(b, t, 0, kSeq + 1, [&] {
+        Value row = b.malloc_(b.const_i64(kStates * 8));
+        b.store(row, b.gep(b.load_local(rows), b.load_local(t), 8));
+    });
+    // init row 0
+    for_range(b, s, 0, kStates, [&] {
+        Value row0 = b.load_ptr(b.load_local(rows));
+        b.store(b.mul(b.load_local(s), b.const_i64(2)),
+                b.gep(row0, b.load_local(s), 8));
+    });
+
+    for_range(b, t, 1, kSeq + 1, [&] {
+        for_range(b, s, 0, kStates, [&] {
+            Value tv = b.load_local(t);
+            Value sv = b.load_local(s);
+            // prev row pointer (loaded from the table each time — the
+            // pointer-dense pattern)
+            Value prow = b.load_ptr(
+                b.gep(b.load_local(rows), b.sub(tv, b.const_i64(1)), 8));
+            // match: stay, from s-1, from s-2 (clamped)
+            Value stay = b.load(b.gep(prow, sv, 8));
+            const auto bestv = b.local("bestv");
+            b.store_local(bestv, stay);
+            if_then(b, b.lt(b.const_i64(0), b.load_local(s)), [&] {
+                Value tv2 = b.load_local(t);
+                Value prow2 = b.load_ptr(
+                    b.gep(b.load_local(rows),
+                          b.sub(tv2, b.const_i64(1)), 8));
+                Value from1 = b.add(
+                    b.load(b.gep(prow2,
+                                 b.sub(b.load_local(s), b.const_i64(1)),
+                                 8)),
+                    b.const_i64(1));
+                if_then(b, b.lt(b.load_local(bestv), from1), [&] {
+                    Value tv3 = b.load_local(t);
+                    Value prow3 = b.load_ptr(
+                        b.gep(b.load_local(rows),
+                              b.sub(tv3, b.const_i64(1)), 8));
+                    b.store_local(
+                        bestv,
+                        b.add(b.load(b.gep(prow3,
+                                           b.sub(b.load_local(s),
+                                                 b.const_i64(1)),
+                                           8)),
+                              b.const_i64(1)));
+                });
+            });
+            Value sym = b.load(
+                b.gep(b.global_addr(gseq),
+                      b.sub(b.load_local(t), b.const_i64(1)), 1),
+                1, false);
+            Value emit = b.load(
+                b.gep(b.global_addr(gemit),
+                      b.add(b.mul(b.load_local(s), b.const_i64(4)), sym),
+                      1),
+                1, false);
+            Value row = b.load_ptr(
+                b.gep(b.load_local(rows), b.load_local(t), 8));
+            b.store(b.add(b.load_local(bestv), emit),
+                    b.gep(row, b.load_local(s), 8));
+        });
+    });
+
+    b.store_local(chk, b.const_i64(0));
+    for_range(b, s, 0, kStates, [&] {
+        Value lastrow = b.load_ptr(
+            b.gep(b.load_local(rows), b.const_i64(kSeq), 8));
+        b.store_local(chk, b.add(b.load_local(chk),
+                                 b.load(b.gep(lastrow,
+                                              b.load_local(s), 8))));
+    });
+    b.ret(b.load_local(chk));
+    return m;
+}
+
+} // namespace hwst::workloads

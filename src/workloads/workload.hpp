@@ -1,0 +1,46 @@
+// Workload registry: the benchmark programs of the paper's evaluation
+// (MiBench / Olden / SPEC2006 stand-ins, DESIGN.md §2). Every workload
+// builds a self-contained mir::Module whose main() returns a checksum;
+// `expected` lets the tests assert that instrumentation never changes
+// program semantics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mir/ir.hpp"
+
+namespace hwst::workloads {
+
+using common::i64;
+
+enum class Suite { MiBench, Olden, Spec };
+
+constexpr std::string_view suite_name(Suite s)
+{
+    switch (s) {
+    case Suite::MiBench: return "MiBench";
+    case Suite::Olden: return "Olden";
+    case Suite::Spec: return "SPEC";
+    }
+    return "?";
+}
+
+struct Workload {
+    std::string name;
+    Suite suite;
+    std::function<mir::Module()> build;
+    i64 expected; ///< main()'s return value (semantic checksum)
+};
+
+/// All workloads in paper order (MiBench 9, Olden 7, SPEC 7).
+const std::vector<Workload>& all_workloads();
+
+/// Lookup by name; throws common::ToolchainError if unknown.
+const Workload& workload(const std::string& name);
+
+/// The SPEC subset used by Fig. 5.
+std::vector<const Workload*> spec_workloads();
+
+} // namespace hwst::workloads

@@ -1,0 +1,227 @@
+// End-to-end codegen semantics: every scheme must preserve program
+// behaviour for well-behaved programs (instrumentation is transparent).
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "mir/builder.hpp"
+#include "workloads/dsl.hpp"
+
+namespace {
+
+using namespace hwst;
+using compiler::Scheme;
+using mir::FunctionBuilder;
+using mir::Ty;
+using mir::Value;
+using workloads::for_range;
+using workloads::if_then;
+
+class CodegenAllSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(CodegenAllSchemes, RecursionAndCalls)
+{
+    mir::Module m;
+    {
+        auto& fn = m.add_function("fib", {Ty::I64}, Ty::I64);
+        FunctionBuilder b{m, fn};
+        const auto entry = b.block("entry");
+        const auto rec = b.block("rec");
+        const auto basecase = b.block("base");
+        const auto n = b.local("n");
+        b.set_insert(entry);
+        b.store_local(n, b.param(0));
+        b.br(b.lt(b.load_local(n), b.const_i64(2)), basecase, rec);
+        b.set_insert(basecase);
+        b.ret(b.load_local(n));
+        b.set_insert(rec);
+        Value f1 = b.call(
+            "fib", {b.sub(b.load_local(n), b.const_i64(1))}, Ty::I64);
+        const auto acc = b.local("acc");
+        b.store_local(acc, f1);
+        Value f2 = b.call(
+            "fib", {b.sub(b.load_local(n), b.const_i64(2))}, Ty::I64);
+        b.ret(b.add(b.load_local(acc), f2));
+    }
+    {
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        b.ret(b.call("fib", {b.const_i64(15)}, Ty::I64));
+    }
+    const auto r = compiler::run(m, GetParam());
+    ASSERT_TRUE(r.ok()) << trap_name(r.trap.kind);
+    EXPECT_EQ(r.exit_code, 610);
+}
+
+TEST_P(CodegenAllSchemes, PointerArgsAndReturns)
+{
+    mir::Module m;
+    {
+        // pick(p, i) -> &p[i]
+        auto& fn = m.add_function("pick", {Ty::Ptr, Ty::I64}, Ty::Ptr);
+        FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        b.ret(b.gep(b.param(0), b.param(1), 8));
+    }
+    {
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto arr = b.local("arr", Ty::Ptr);
+        const auto i = b.local("i");
+        b.store_local(arr, b.malloc_(b.const_i64(10 * 8)));
+        for_range(b, i, 0, 10, [&] {
+            Value slot = b.call(
+                "pick", {b.load_local(arr), b.load_local(i)}, Ty::Ptr);
+            b.store(b.mul(b.load_local(i), b.const_i64(7)), slot);
+        });
+        const auto sum = b.local("sum");
+        b.store_local(sum, b.const_i64(0));
+        for_range(b, i, 0, 10, [&] {
+            Value slot = b.call(
+                "pick", {b.load_local(arr), b.load_local(i)}, Ty::Ptr);
+            b.store_local(sum, b.add(b.load_local(sum), b.load(slot)));
+        });
+        b.free_(b.load_local(arr));
+        b.ret(b.load_local(sum));
+    }
+    const auto r = compiler::run(m, GetParam());
+    ASSERT_TRUE(r.ok()) << trap_name(r.trap.kind);
+    EXPECT_EQ(r.exit_code, 7 * 45);
+}
+
+TEST_P(CodegenAllSchemes, GlobalsAndByteAccess)
+{
+    mir::Module m;
+    std::vector<common::u8> init{10, 20, 30, 40};
+    const auto g = m.add_global(mir::Global{"tbl", 4, 8, init});
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto i = b.local("i");
+    const auto sum = b.local("sum");
+    b.store_local(sum, b.const_i64(0));
+    for_range(b, i, 0, 4, [&] {
+        Value v = b.load(b.gep(b.global_addr(g), b.load_local(i), 1), 1,
+                         false);
+        b.store_local(sum, b.add(b.load_local(sum), v));
+    });
+    b.ret(b.load_local(sum));
+    const auto r = compiler::run(m, GetParam());
+    ASSERT_TRUE(r.ok()) << trap_name(r.trap.kind);
+    EXPECT_EQ(r.exit_code, 100);
+}
+
+TEST_P(CodegenAllSchemes, MemcpyMemsetPreservePointers)
+{
+    // A pointer copied by rt_memcpy must keep working (metadata moves
+    // with it); a memset over its container must not fault later
+    // in-bounds uses of other data.
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto box_a = b.local("box_a", Ty::Ptr);
+    const auto box_b = b.local("box_b", Ty::Ptr);
+    const auto obj = b.local("obj", Ty::Ptr);
+    b.store_local(obj, b.malloc_(b.const_i64(16)));
+    b.store(b.const_i64(4321), b.load_local(obj));
+    b.store_local(box_a, b.malloc_(b.const_i64(32)));
+    b.store_local(box_b, b.malloc_(b.const_i64(32)));
+    // box_a[0] = obj; memcpy(box_b, box_a, 32); read through box_b[0].
+    b.store(b.load_local(obj), b.load_local(box_a));
+    b.memcpy_(b.load_local(box_b), b.load_local(box_a), b.const_i64(32));
+    const auto out = b.local("out");
+    Value copied = b.load_ptr(b.load_local(box_b));
+    b.store_local(out, b.load(copied));
+    // memset box_a; its metadata for the stored pointer must be gone,
+    // but ordinary data access still works.
+    b.memset_(b.load_local(box_a), b.const_i64(0), b.const_i64(32));
+    b.store_local(out, b.add(b.load_local(out),
+                             b.load(b.load_local(box_a))));
+    b.ret(b.load_local(out));
+    const auto r = compiler::run(m, GetParam());
+    ASSERT_TRUE(r.ok()) << trap_name(r.trap.kind);
+    EXPECT_EQ(r.exit_code, 4321);
+}
+
+TEST_P(CodegenAllSchemes, LargeFrameOffsets)
+{
+    // Arrays big enough to push frame offsets beyond imm12.
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto big = b.array("big", 16 * 1024);
+    const auto i = b.local("i");
+    const auto sum = b.local("sum");
+    for_range(b, i, 0, 2048, [&] {
+        Value slot = b.gep(b.alloca_addr(big), b.load_local(i), 8);
+        b.store(b.and_(b.load_local(i), b.const_i64(7)), slot);
+    });
+    b.store_local(sum, b.const_i64(0));
+    for_range(b, i, 0, 2048, [&] {
+        Value slot = b.gep(b.alloca_addr(big), b.load_local(i), 8);
+        b.store_local(sum, b.add(b.load_local(sum), b.load(slot)));
+    });
+    b.ret(b.load_local(sum));
+    const auto r = compiler::run(m, GetParam());
+    ASSERT_TRUE(r.ok()) << trap_name(r.trap.kind);
+    EXPECT_EQ(r.exit_code, 2048 / 8 * 28);
+}
+
+TEST_P(CodegenAllSchemes, PrintOutputOrdering)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto i = b.local("i");
+    for_range(b, i, 0, 5, [&] { b.print(b.load_local(i)); });
+    b.ret(b.const_i64(0));
+    const auto r = compiler::run(m, GetParam());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.output, (std::vector<common::i64>{0, 1, 2, 3, 4}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, CodegenAllSchemes,
+    ::testing::ValuesIn(compiler::kAllSchemes),
+    [](const auto& info) {
+        return std::string{compiler::scheme_name(info.param)};
+    });
+
+TEST(Codegen, RequiresMain)
+{
+    mir::Module m;
+    auto& fn = m.add_function("not_main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    b.ret(b.const_i64(0));
+    EXPECT_THROW(compiler::compile(m, Scheme::None),
+                 common::ToolchainError);
+}
+
+TEST(Codegen, InstrumentationGrowsCodeMonotonically)
+{
+    mir::Module m = [] {
+        mir::Module mm;
+        auto& fn = mm.add_function("main", {}, Ty::I64);
+        FunctionBuilder b{mm, fn};
+        b.set_insert(b.block("entry"));
+        const auto p = b.local("p", Ty::Ptr);
+        b.store_local(p, b.malloc_(b.const_i64(64)));
+        b.store(b.const_i64(1), b.load_local(p));
+        Value v = b.load(b.load_local(p));
+        b.free_(b.load_local(p));
+        b.ret(v);
+        return mm;
+    }();
+    const auto none = compiler::compile(m, Scheme::None);
+    const auto hwst = compiler::compile(m, Scheme::Hwst128Tchk);
+    const auto sb = compiler::compile(m, Scheme::Sbcets);
+    EXPECT_LT(none.program.code().size(), hwst.program.code().size());
+    EXPECT_LT(hwst.program.code().size(), sb.program.code().size());
+}
+
+} // namespace

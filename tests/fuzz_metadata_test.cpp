@@ -1,0 +1,180 @@
+// Differential fuzzing of the metadata machinery: random sequences of
+// bind / move / pointer-arithmetic / clobber / spill+reload / checked
+// dereference are mirrored by a host-side model of the SRF and shadow
+// memory. The machine's pass/violation outcome must match the model —
+// including the 8-byte compression granularity of the bound.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "common/prng.hpp"
+#include "riscv/program.hpp"
+#include "sim/machine.hpp"
+#include "sim/syscalls.hpp"
+
+namespace {
+
+using namespace hwst::riscv;
+namespace sim = hwst::sim;
+using hwst::common::align_up;
+using hwst::common::i64;
+using hwst::common::u64;
+using hwst::common::Xoshiro256;
+using TrapKind = hwst::hwst::TrapKind;
+
+struct HostMeta {
+    u64 base = 0;
+    u64 bound = 0; ///< already rounded up to the 8-byte granule
+    bool valid = false;
+};
+
+struct HostModel {
+    std::map<unsigned, HostMeta> srf;      // reg index -> spatial meta
+    std::map<u64, HostMeta> shadow;        // container addr -> meta
+    std::map<unsigned, u64> regval;        // reg index -> value
+
+    bool would_pass(unsigned r, i64 off, unsigned width) const
+    {
+        const auto it = srf.find(r);
+        if (it == srf.end() || !it->second.valid) return true; // unchecked
+        const u64 addr = regval.at(r) + static_cast<u64>(off);
+        return addr >= it->second.base &&
+               addr + width <= it->second.bound;
+    }
+};
+
+// Work registers for the fuzzer.
+const Reg kRegs[] = {Reg::s2, Reg::s3, Reg::s4, Reg::s5, Reg::s6, Reg::s7};
+
+class MetadataFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MetadataFuzz, MachineMatchesHostModel)
+{
+    Xoshiro256 rng{0x3E7ADA7A + GetParam() * 31337};
+
+    Program p;
+    p.label("main");
+    const u64 data = p.layout().data_base;
+    HostModel host;
+
+    const auto pick_reg = [&] {
+        return kRegs[rng.below(std::size(kRegs))];
+    };
+
+    // Pre-point every work register at a distinct object.
+    for (unsigned i = 0; i < std::size(kRegs); ++i) {
+        const u64 base = data + 512 * i;
+        p.emit_li(kRegs[i], static_cast<i64>(base));
+        host.regval[reg_index(kRegs[i])] = base;
+        host.srf[reg_index(kRegs[i])] = HostMeta{}; // no metadata yet
+    }
+
+    // Random operation stream (all expected to pass); then one final
+    // dereference whose outcome the model predicts.
+    for (int step = 0; step < 120; ++step) {
+        const Reg r = pick_reg();
+        const unsigned ri = reg_index(r);
+        switch (rng.below(6)) {
+        case 0: { // bind to a fresh object at the reg's position
+            // The binding base must be 8-aligned (Eq. 3); allocators
+            // guarantee that, so the fuzzer aligns down like one.
+            const u64 addr = host.regval[ri] & ~u64{7};
+            const u64 size = 8 + rng.below(30) * 4; // non-granule sizes
+            p.emit_li(r, static_cast<i64>(addr)); // re-materialise
+            p.emit_li(Reg::t4, static_cast<i64>(addr + size));
+            p.emit(rtype(Opcode::BNDRS, r, r, Reg::t4));
+            // Compression: the bound rounds up to the 8-byte granule.
+            host.regval[ri] = addr;
+            host.srf[ri] = HostMeta{addr, addr + align_up(size, 8), true};
+            break;
+        }
+        case 1: { // register move propagates
+            const Reg dst = pick_reg();
+            if (dst == r) break;
+            p.emit(mv(dst, r));
+            host.regval[reg_index(dst)] = host.regval[ri];
+            host.srf[reg_index(dst)] = host.srf[ri];
+            break;
+        }
+        case 2: { // pointer arithmetic keeps metadata
+            const auto& m = host.srf[ri];
+            if (!m.valid) break;
+            const u64 span = m.bound - m.base;
+            if (span < 16) break;
+            const i64 delta = static_cast<i64>(rng.below(8)) - 4;
+            const u64 next = host.regval[ri] + static_cast<u64>(delta);
+            if (next < m.base || next >= m.bound) break;
+            p.emit(itype(Opcode::ADDI, r, r, delta));
+            host.regval[ri] = next;
+            break;
+        }
+        case 3: { // clobber destroys metadata
+            p.emit(rtype(Opcode::XOR, r, r, Reg::zero));
+            host.srf[ri].valid = false;
+            break;
+        }
+        case 4: { // spill + reload through the LMSM
+            const u64 container = data + 3072 + 8 * rng.below(64);
+            p.emit_li(Reg::t5, static_cast<i64>(container));
+            p.emit(stype(Opcode::SD, Reg::t5, r, 0));
+            p.emit(stype(Opcode::SBDL, Reg::t5, r, 0));
+            p.emit(stype(Opcode::SBDU, Reg::t5, r, 0));
+            host.shadow[container] = host.srf[ri];
+            const Reg dst = pick_reg();
+            p.emit(itype(Opcode::LD, dst, Reg::t5, 0));
+            p.emit(itype(Opcode::LBDLS, dst, Reg::t5, 0));
+            p.emit(itype(Opcode::LBDUS, dst, Reg::t5, 0));
+            host.regval[reg_index(dst)] = host.regval[ri];
+            host.srf[reg_index(dst)] = host.shadow[container];
+            break;
+        }
+        case 5: { // in-bounds checked access (must pass)
+            const auto& m = host.srf[ri];
+            u64 addr = host.regval[ri];
+            i64 off = 0;
+            if (m.valid) {
+                if (addr < m.base || addr + 8 > m.bound) break;
+                off = static_cast<i64>(
+                    rng.below((m.bound - addr) / 8)) * 8;
+                if (addr + static_cast<u64>(off) + 8 > m.bound) off = 0;
+            }
+            ASSERT_TRUE(host.would_pass(ri, off, 8));
+            p.emit(itype(Opcode::CLD, Reg::t4, r, off));
+            break;
+        }
+        }
+    }
+
+    // Final dereference with a model-predicted outcome.
+    const Reg r = kRegs[rng.below(std::size(kRegs))];
+    const unsigned ri = reg_index(r);
+    // Metadata-less pointers must stay in mapped memory (no SCU to stop
+    // the access); tracked pointers may also probe below the base.
+    const bool tracked = host.srf[ri].valid;
+    const i64 off = tracked ? static_cast<i64>(rng.below(96)) - 16
+                            : static_cast<i64>(rng.below(96));
+    const bool expect_pass = host.would_pass(ri, off, 8);
+    p.emit(itype(Opcode::CLD, Reg::t4, r, off));
+
+    p.emit_li(Reg::a0, 0);
+    p.emit_li(Reg::a7, static_cast<i64>(sim::Sys::Exit));
+    p.emit(Instruction{Opcode::ECALL});
+    p.finalize();
+
+    sim::Machine machine{p};
+    const auto result = machine.run();
+    if (expect_pass) {
+        EXPECT_TRUE(result.ok())
+            << "model: pass, machine: " << trap_name(result.trap.kind)
+            << " at 0x" << std::hex << result.trap.addr;
+    } else {
+        EXPECT_EQ(result.trap.kind, TrapKind::SpatialViolation)
+            << "model: violation, machine: "
+            << trap_name(result.trap.kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetadataFuzz, ::testing::Range<u64>(0, 40));
+
+} // namespace

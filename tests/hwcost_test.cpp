@@ -1,0 +1,68 @@
+// Hardware-cost model tests (paper §5.3).
+#include <gtest/gtest.h>
+
+#include "hwcost/model.hpp"
+
+namespace {
+
+using namespace hwst::hwcost;
+
+TEST(HwCost, MatchesPaperTotals)
+{
+    const auto rep = estimate();
+    // +1536 LUTs (+4.11 %), +112 FFs (+0.66 %), 6.45 ns.
+    EXPECT_NEAR(rep.added_luts, 1536, 40);
+    EXPECT_NEAR(rep.lut_pct(), 4.11, 0.15);
+    EXPECT_NEAR(rep.added_ffs, 112, 10);
+    EXPECT_NEAR(rep.ff_pct(), 0.66, 0.1);
+    EXPECT_NEAR(rep.critical_path_ns, 6.45, 0.05);
+    EXPECT_DOUBLE_EQ(rep.baseline.critical_path_ns, 5.26);
+}
+
+TEST(HwCost, InventoryCoversEveryUnit)
+{
+    const auto rep = estimate();
+    const auto has = [&](const char* name) {
+        for (const auto& m : rep.modules)
+            if (m.name.find(name) != std::string::npos) return true;
+        return false;
+    };
+    EXPECT_TRUE(has("COMP"));
+    EXPECT_TRUE(has("DECOMP"));
+    EXPECT_TRUE(has("SMAC"));
+    EXPECT_TRUE(has("SCU"));
+    EXPECT_TRUE(has("TCU"));
+    EXPECT_TRUE(has("keybuffer"));
+    EXPECT_TRUE(has("SRF"));
+    EXPECT_TRUE(has("bypass"));
+}
+
+TEST(HwCost, KeybufferSizeScalesMonotonically)
+{
+    unsigned last = 0;
+    for (const unsigned n : {2u, 4u, 8u, 16u, 32u}) {
+        const auto rep = estimate(hwst::metadata::CompressionConfig{}, n);
+        EXPECT_GT(rep.added_luts, last);
+        last = rep.added_luts;
+    }
+}
+
+TEST(HwCost, WiderFieldsCostMore)
+{
+    hwst::metadata::CompressionConfig narrow{29, 25, 16, 0};
+    hwst::metadata::CompressionConfig wide{37, 27, 22, 0};
+    EXPECT_LT(estimate(narrow).added_luts, estimate(wide).added_luts);
+}
+
+TEST(HwCost, Primitives)
+{
+    EXPECT_EQ(prim::adder(64).luts, 64u);
+    EXPECT_EQ(prim::regs(10).ffs, 10u);
+    EXPECT_EQ(prim::regs(10).luts, 0u);
+    EXPECT_GT(prim::comparator_mag(64).luts,
+              prim::comparator_eq(64).luts);
+    EXPECT_EQ(prim::muxn(8, 1).luts, 0u);
+    EXPECT_GT(prim::lutram(32, 128).luts, prim::lutram(8, 44).luts);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+// Program-image tests: hex emission, binary container round trip, and
+// the image-decodes-back-to-the-program property.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "compiler/driver.hpp"
+#include "mir/builder.hpp"
+#include "riscv/image.hpp"
+
+namespace {
+
+using namespace hwst::riscv;
+using hwst::common::u64;
+namespace compiler = hwst::compiler;
+namespace mir = hwst::mir;
+
+Program sample_program()
+{
+    Program p;
+    p.label("main");
+    p.emit_li(Reg::a0, 7);
+    p.emit(itype(Opcode::ADDI, Reg::a0, Reg::a0, 1));
+    p.emit_li(Reg::a7, 0);
+    p.emit(Instruction{Opcode::ECALL});
+    const std::vector<hwst::common::u8> blob{9, 8, 7, 6, 5};
+    p.add_data(blob, 8);
+    p.finalize();
+    return p;
+}
+
+TEST(Image, BuildHasTextAndData)
+{
+    const auto image = build_image(sample_program());
+    ASSERT_NE(image.find("text"), nullptr);
+    ASSERT_NE(image.find("data"), nullptr);
+    EXPECT_EQ(image.find("text")->base, MemoryLayout{}.text_base);
+    EXPECT_EQ(image.find("text")->bytes.size() % 4, 0u);
+    EXPECT_EQ(image.entry, MemoryLayout{}.text_base);
+}
+
+TEST(Image, BinaryContainerRoundTrip)
+{
+    const auto image = build_image(sample_program());
+    std::stringstream ss;
+    write_image(image, ss);
+    const auto back = read_image(ss);
+    ASSERT_EQ(back.segments.size(), image.segments.size());
+    EXPECT_EQ(back.entry, image.entry);
+    for (std::size_t i = 0; i < image.segments.size(); ++i) {
+        EXPECT_EQ(back.segments[i].name, image.segments[i].name);
+        EXPECT_EQ(back.segments[i].base, image.segments[i].base);
+        EXPECT_EQ(back.segments[i].bytes, image.segments[i].bytes);
+    }
+}
+
+TEST(Image, RejectsCorruptContainer)
+{
+    std::stringstream ss;
+    ss << "NOTMAGIC garbage";
+    EXPECT_THROW(read_image(ss), hwst::common::ToolchainError);
+
+    const auto image = build_image(sample_program());
+    std::stringstream good;
+    write_image(image, good);
+    std::string bytes = good.str();
+    bytes.resize(bytes.size() / 2); // truncate
+    std::stringstream bad{bytes};
+    EXPECT_THROW(read_image(bad), hwst::common::ToolchainError);
+}
+
+TEST(Image, HexStreamHasAddressesAndWords)
+{
+    const auto image = build_image(sample_program());
+    std::ostringstream os;
+    write_hex(image, os);
+    const std::string hex = os.str();
+    EXPECT_NE(hex.find('@'), std::string::npos);
+    EXPECT_NE(hex.find("segment text"), std::string::npos);
+    EXPECT_NE(hex.find("segment data"), std::string::npos);
+    // Every non-comment, non-@ line is exactly 8 hex digits.
+    std::istringstream is{hex};
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '@' || line.rfind("//", 0) == 0)
+            continue;
+        EXPECT_EQ(line.size(), 8u) << line;
+        EXPECT_EQ(line.find_first_not_of("0123456789abcdef"),
+                  std::string::npos)
+            << line;
+    }
+}
+
+TEST(Image, TextDecodesBackToProgram)
+{
+    const Program p = sample_program();
+    const auto image = build_image(p);
+    const std::string disasm = disassemble_text(image);
+    EXPECT_NE(disasm.find("addi a0, a0, 1"), std::string::npos);
+    EXPECT_NE(disasm.find("ecall"), std::string::npos);
+    // Every instruction decodes (no .word fallbacks in our own code).
+    EXPECT_EQ(disasm.find(".word"), std::string::npos);
+}
+
+TEST(Image, CompiledWorkloadImageDecodes)
+{
+    // A full instrumented program's image must also fully decode —
+    // including every custom HWST instruction.
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, mir::Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", mir::Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(32)));
+    b.store(b.const_i64(1), b.load_local(p));
+    b.free_(b.load_local(p));
+    b.ret(b.const_i64(0));
+    const auto cp = compiler::compile(m, compiler::Scheme::Hwst128Tchk);
+    const auto image = build_image(cp.program);
+    const std::string disasm = disassemble_text(image);
+    EXPECT_EQ(disasm.find(".word"), std::string::npos);
+    EXPECT_NE(disasm.find("bndrs"), std::string::npos);
+    EXPECT_NE(disasm.find("tchk"), std::string::npos);
+    EXPECT_NE(disasm.find("sbdl"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+// Static instrumentation properties: what each scheme's codegen emits
+// (opcode inventory of the generated program), independent of
+// execution. These pin the instrumentation contracts of DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/driver.hpp"
+#include "mir/builder.hpp"
+#include "riscv/encoding.hpp"
+
+namespace {
+
+using namespace hwst;
+using compiler::Scheme;
+using riscv::Opcode;
+
+mir::Module pointer_program()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, mir::Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", mir::Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(64)));
+    b.store(b.const_i64(1), b.load_local(p));       // deref store
+    const auto v = b.local("v");
+    b.store_local(v, b.load(b.load_local(p)));      // deref load
+    b.free_(b.load_local(p));
+    b.ret(b.load_local(v));
+    return m;
+}
+
+std::map<Opcode, unsigned> opcode_histogram(Scheme s)
+{
+    const auto cp = compiler::compile(pointer_program(), s);
+    std::map<Opcode, unsigned> h;
+    for (const auto& in : cp.program.code()) ++h[in.op];
+    return h;
+}
+
+unsigned count(const std::map<Opcode, unsigned>& h, Opcode op)
+{
+    const auto it = h.find(op);
+    return it == h.end() ? 0 : it->second;
+}
+
+TEST(Instrumentation, BaselineEmitsNoSafetyOps)
+{
+    const auto h = opcode_histogram(Scheme::None);
+    EXPECT_EQ(count(h, Opcode::BNDRS), 0u);
+    EXPECT_EQ(count(h, Opcode::TCHK), 0u);
+    EXPECT_EQ(count(h, Opcode::SBDL), 0u);
+    EXPECT_EQ(count(h, Opcode::CLD), 0u);
+    EXPECT_EQ(count(h, Opcode::CSD), 0u);
+}
+
+TEST(Instrumentation, HwstEmitsTheWholeExtension)
+{
+    const auto h = opcode_histogram(Scheme::Hwst128Tchk);
+    EXPECT_GT(count(h, Opcode::BNDRS), 0u); // spatial bind
+    EXPECT_GT(count(h, Opcode::BNDRT), 0u); // temporal bind
+    EXPECT_GT(count(h, Opcode::SBDL), 0u);  // through-memory store
+    EXPECT_GT(count(h, Opcode::SBDU), 0u);
+    EXPECT_GT(count(h, Opcode::LBDLS), 0u); // through-memory load
+    EXPECT_GT(count(h, Opcode::LBDUS), 0u);
+    EXPECT_GT(count(h, Opcode::TCHK), 0u);
+    // Checked memory replaces plain memory at dereference sites.
+    EXPECT_GT(count(h, Opcode::CLD), 0u);
+    EXPECT_GT(count(h, Opcode::CSD), 0u);
+    // The free wrapper reads fields via lbas/lloc.
+    EXPECT_GT(count(h, Opcode::LBAS), 0u);
+    EXPECT_GT(count(h, Opcode::LLOC), 0u);
+}
+
+TEST(Instrumentation, HwstWithoutTchkUsesFieldLoads)
+{
+    const auto with = opcode_histogram(Scheme::Hwst128Tchk);
+    const auto without = opcode_histogram(Scheme::Hwst128);
+    EXPECT_GT(count(with, Opcode::TCHK), 0u);
+    // Without tchk the temporal check is a software key load through
+    // lkey/lloc (paper 5.1), with at most wrapper-only tchk-free flow.
+    EXPECT_EQ(count(without, Opcode::TCHK), 0u);
+    EXPECT_GT(count(without, Opcode::LKEY), 0u);
+    EXPECT_GT(count(without, Opcode::LLOC), count(with, Opcode::LLOC));
+}
+
+TEST(Instrumentation, SbcetsIsPureSoftware)
+{
+    const auto h = opcode_histogram(Scheme::Sbcets);
+    for (unsigned i = 0; i < riscv::kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        if (riscv::is_hwst(op)) {
+            EXPECT_EQ(count(h, op), 0u) << riscv::op_name(op);
+        }
+    }
+}
+
+TEST(Instrumentation, SbcetsBiggerThanHwstBiggerThanBaseline)
+{
+    const auto none = compiler::compile(pointer_program(), Scheme::None);
+    const auto hwst =
+        compiler::compile(pointer_program(), Scheme::Hwst128Tchk);
+    const auto sb = compiler::compile(pointer_program(), Scheme::Sbcets);
+    EXPECT_LT(none.program.code().size(), hwst.program.code().size());
+    EXPECT_LT(hwst.program.code().size(), sb.program.code().size());
+}
+
+TEST(Instrumentation, TchkCountMatchesDerefs)
+{
+    // Every IR-level load/store is a checked dereference — including
+    // accesses to locals (allocas), exactly like -O0 SBCETS: the two
+    // explicit derefs, six local accesses, and one in the free wrapper.
+    const auto h = opcode_histogram(Scheme::Hwst128Tchk);
+    EXPECT_EQ(count(h, Opcode::TCHK), 9u);
+}
+
+TEST(Instrumentation, GccOnlyAddsCanaryAroundArrays)
+{
+    mir::Module with_array;
+    {
+        auto& fn = with_array.add_function("main", {}, mir::Ty::I64);
+        mir::FunctionBuilder b{with_array, fn};
+        b.set_insert(b.block("entry"));
+        const auto buf = b.array("buf", 32);
+        b.store(b.const_i64(1), b.alloca_addr(buf));
+        b.ret(b.const_i64(0));
+    }
+    const auto guarded = compiler::compile(with_array, Scheme::Gcc);
+    const auto plain = compiler::compile(with_array, Scheme::None);
+    // Canary store + check add a handful of instructions, nothing else.
+    const auto diff = guarded.program.code().size() -
+                      plain.program.code().size();
+    EXPECT_GE(diff, 4u);
+    EXPECT_LE(diff, 12u);
+}
+
+TEST(Instrumentation, MachineConfigsFollowScheme)
+{
+    EXPECT_TRUE(compiler::compile(pointer_program(), Scheme::Asan)
+                    .machine_config.runtime.quarantine);
+    EXPECT_GT(compiler::compile(pointer_program(), Scheme::Asan)
+                  .machine_config.runtime.asan_redzone,
+              0u);
+    EXPECT_TRUE(compiler::compile(pointer_program(), Scheme::Sbcets)
+                    .machine_config.runtime.init_sw_trie);
+    EXPECT_FALSE(compiler::compile(pointer_program(), Scheme::None)
+                     .machine_config.runtime.init_sw_trie);
+}
+
+TEST(Instrumentation, EveryInstructionEncodes)
+{
+    // The whole instrumented stream must survive the wire format (the
+    // Machine encodes it into simulated memory at load time).
+    for (const Scheme s : compiler::kAllSchemes) {
+        const auto cp = compiler::compile(pointer_program(), s);
+        for (const auto& in : cp.program.code()) {
+            const auto back = riscv::decode(riscv::encode(in));
+            ASSERT_TRUE(back.has_value()) << compiler::scheme_name(s);
+        }
+    }
+}
+
+} // namespace

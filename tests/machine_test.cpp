@@ -1,0 +1,312 @@
+// Functional + timing tests of the Machine on hand-assembled programs.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "riscv/program.hpp"
+#include "sim/machine.hpp"
+#include "sim/syscalls.hpp"
+
+namespace {
+
+using namespace hwst::riscv;
+namespace sim = hwst::sim;
+using hwst::common::i64;
+using hwst::common::u64;
+using hwst::hwst::TrapKind;
+using sim::Machine;
+using sim::Sys;
+
+/// Assemble: set up regs, run `body`, exit with a0.
+sim::RunResult run_program(const std::function<void(Program&)>& body,
+                           sim::MachineConfig cfg = {})
+{
+    Program p;
+    p.label("main");
+    body(p);
+    p.emit_li(Reg::a7, static_cast<i64>(Sys::Exit));
+    p.emit(Instruction{Opcode::ECALL});
+    p.finalize();
+    Machine m{p, cfg};
+    return m.run();
+}
+
+TEST(MachineIsa, Arithmetic)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 100);
+        p.emit_li(Reg::t1, 42);
+        p.emit(rtype(Opcode::ADD, Reg::a0, Reg::t0, Reg::t1));
+        p.emit(rtype(Opcode::SUB, Reg::a0, Reg::a0, Reg::t1)); // 100
+        p.emit(rtype(Opcode::MUL, Reg::a0, Reg::a0, Reg::t1)); // 4200
+        p.emit(itype(Opcode::ADDI, Reg::a0, Reg::a0, -200));   // 4000
+    });
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.exit_code, 4000);
+}
+
+TEST(MachineIsa, DivRemSpecialCases)
+{
+    // RISC-V: x/0 = -1, x%0 = x, INT_MIN/-1 = INT_MIN, INT_MIN%-1 = 0.
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 7);
+        p.emit_li(Reg::t1, 0);
+        p.emit(rtype(Opcode::DIV, Reg::t2, Reg::t0, Reg::t1)); // -1
+        p.emit(rtype(Opcode::REM, Reg::t3, Reg::t0, Reg::t1)); // 7
+        p.emit_li(Reg::t4, std::numeric_limits<i64>::min());
+        p.emit_li(Reg::t5, -1);
+        p.emit(rtype(Opcode::DIV, Reg::t6, Reg::t4, Reg::t5)); // INT_MIN
+        p.emit(rtype(Opcode::REM, Reg::s2, Reg::t4, Reg::t5)); // 0
+        // a0 = (t2 == -1) + (t3 == 7) + (t6 == INT_MIN) + (s2 == 0)
+        p.emit_li(Reg::a0, 0);
+        p.emit(itype(Opcode::ADDI, Reg::t2, Reg::t2, 1)); // 0 if ok
+        p.emit(rtype(Opcode::SLTU, Reg::t2, Reg::zero, Reg::t2));
+        p.emit(itype(Opcode::XORI, Reg::t2, Reg::t2, 1));
+        p.emit(rtype(Opcode::ADD, Reg::a0, Reg::a0, Reg::t2));
+        p.emit(itype(Opcode::ADDI, Reg::t3, Reg::t3, -7));
+        p.emit(rtype(Opcode::SLTU, Reg::t3, Reg::zero, Reg::t3));
+        p.emit(itype(Opcode::XORI, Reg::t3, Reg::t3, 1));
+        p.emit(rtype(Opcode::ADD, Reg::a0, Reg::a0, Reg::t3));
+        p.emit(rtype(Opcode::XOR, Reg::t6, Reg::t6, Reg::t4));
+        p.emit(rtype(Opcode::SLTU, Reg::t6, Reg::zero, Reg::t6));
+        p.emit(itype(Opcode::XORI, Reg::t6, Reg::t6, 1));
+        p.emit(rtype(Opcode::ADD, Reg::a0, Reg::a0, Reg::t6));
+        p.emit(rtype(Opcode::SLTU, Reg::s2, Reg::zero, Reg::s2));
+        p.emit(itype(Opcode::XORI, Reg::s2, Reg::s2, 1));
+        p.emit(rtype(Opcode::ADD, Reg::a0, Reg::a0, Reg::s2));
+    });
+    EXPECT_EQ(r.exit_code, 4);
+}
+
+TEST(MachineIsa, WordOpsSignExtend)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 0x7FFFFFFF);
+        p.emit(itype(Opcode::ADDIW, Reg::a0, Reg::t0, 1)); // -2^31
+    });
+    EXPECT_EQ(r.exit_code, -(i64{1} << 31));
+}
+
+TEST(MachineIsa, ShiftsUseLow6Bits)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 1);
+        p.emit_li(Reg::t1, 65); // & 63 == 1
+        p.emit(rtype(Opcode::SLL, Reg::a0, Reg::t0, Reg::t1));
+    });
+    EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(MachineIsa, BranchesAndLoop)
+{
+    // sum 1..10 with a bne loop
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 0);  // i
+        p.emit_li(Reg::a0, 0);  // sum
+        p.label("loop");
+        p.emit(itype(Opcode::ADDI, Reg::t0, Reg::t0, 1));
+        p.emit(rtype(Opcode::ADD, Reg::a0, Reg::a0, Reg::t0));
+        p.emit_li(Reg::t1, 10);
+        p.emit_branch(Opcode::BNE, Reg::t0, Reg::t1, "loop");
+    });
+    EXPECT_EQ(r.exit_code, 55);
+}
+
+TEST(MachineIsa, MemoryWidths)
+{
+    const auto r = run_program([](Program& p) {
+        const auto& lay = p.layout();
+        p.emit_li(Reg::t0, static_cast<i64>(lay.data_base));
+        p.emit_li(Reg::t1, -2);
+        p.emit(stype(Opcode::SW, Reg::t0, Reg::t1, 0));
+        p.emit(itype(Opcode::LW, Reg::t2, Reg::t0, 0));  // -2 (sext)
+        p.emit(itype(Opcode::LWU, Reg::t3, Reg::t0, 0)); // 0xFFFFFFFE
+        p.emit(rtype(Opcode::ADD, Reg::a0, Reg::t2, Reg::t3));
+    });
+    EXPECT_EQ(r.exit_code, -2 + static_cast<i64>(0xFFFFFFFEull));
+}
+
+TEST(MachineIsa, JalLinksReturnAddress)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::a0, 1);
+        p.emit_jal(Reg::ra, "sub");
+        p.emit(itype(Opcode::ADDI, Reg::a0, Reg::a0, 100));
+        p.emit_jal(Reg::zero, "end");
+        p.label("sub");
+        p.emit(itype(Opcode::ADDI, Reg::a0, Reg::a0, 10));
+        p.emit_ret();
+        p.label("end");
+    });
+    EXPECT_EQ(r.exit_code, 111);
+}
+
+TEST(MachineTrap, NullDereferenceFaults)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit(itype(Opcode::LD, Reg::a0, Reg::zero, 0));
+    });
+    EXPECT_EQ(r.trap.kind, TrapKind::AccessFault);
+    EXPECT_EQ(r.trap.addr, 0u);
+}
+
+TEST(MachineTrap, WildAccessFaults)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 0x7777777000ll);
+        p.emit(itype(Opcode::LD, Reg::a0, Reg::t0, 0));
+    });
+    EXPECT_EQ(r.trap.kind, TrapKind::AccessFault);
+}
+
+TEST(MachineTrap, EbreakStops)
+{
+    const auto r = run_program(
+        [](Program& p) { p.emit(Instruction{Opcode::EBREAK}); });
+    EXPECT_EQ(r.trap.kind, TrapKind::Breakpoint);
+}
+
+TEST(MachineTrap, FuelExhaustion)
+{
+    sim::MachineConfig cfg;
+    cfg.fuel = 100;
+    const auto r = run_program(
+        [](Program& p) {
+            p.label("spin");
+            p.emit_jal(Reg::zero, "spin");
+        },
+        cfg);
+    EXPECT_EQ(r.trap.kind, TrapKind::FuelExhausted);
+    EXPECT_EQ(r.instret, 100u);
+}
+
+TEST(MachineRuntime, MallocFreePrint)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::a0, 64);
+        p.emit_li(Reg::a7, static_cast<i64>(Sys::Malloc));
+        p.emit(Instruction{Opcode::ECALL});
+        p.emit(mv(Reg::s2, Reg::a0));
+        p.emit_li(Reg::t1, 77);
+        p.emit(stype(Opcode::SD, Reg::s2, Reg::t1, 0));
+        p.emit(itype(Opcode::LD, Reg::a0, Reg::s2, 0));
+        p.emit_li(Reg::a7, static_cast<i64>(Sys::PrintI64));
+        p.emit(Instruction{Opcode::ECALL});
+        p.emit(mv(Reg::a0, Reg::s2));
+        p.emit_li(Reg::a7, static_cast<i64>(Sys::Free));
+        p.emit(Instruction{Opcode::ECALL});
+        p.emit_li(Reg::a0, 0);
+    });
+    EXPECT_TRUE(r.ok());
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_EQ(r.output[0], 77);
+}
+
+TEST(MachineRuntime, InvalidFreeIsLibcAbort)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::a0, static_cast<i64>(p.layout().heap_base + 24));
+        p.emit_li(Reg::a7, static_cast<i64>(Sys::Free));
+        p.emit(Instruction{Opcode::ECALL});
+    });
+    EXPECT_EQ(r.trap.kind, TrapKind::LibcAbort);
+}
+
+TEST(MachineRuntime, LockAllocWritesKey)
+{
+    Program p;
+    p.label("main");
+    p.emit_li(Reg::a7, static_cast<i64>(Sys::LockAlloc));
+    p.emit(Instruction{Opcode::ECALL});
+    p.emit(itype(Opcode::LD, Reg::a0, Reg::a0, 0)); // key @ lock_location
+    p.emit(rtype(Opcode::SUB, Reg::a0, Reg::a0, Reg::a1)); // == a1
+    p.emit_li(Reg::a7, static_cast<i64>(Sys::Exit));
+    p.emit(Instruction{Opcode::ECALL});
+    p.finalize();
+    Machine m{p};
+    const auto r = m.run();
+    EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(MachineTiming, TakenBranchCostsMore)
+{
+    const auto taken = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 1);
+        p.emit_branch(Opcode::BNE, Reg::t0, Reg::zero, "skip");
+        p.emit(nop());
+        p.label("skip");
+        p.emit_li(Reg::a0, 0);
+    });
+    const auto not_taken = run_program([](Program& p) {
+        p.emit_li(Reg::t0, 0);
+        p.emit_branch(Opcode::BNE, Reg::t0, Reg::zero, "skip");
+        p.emit(nop());
+        p.label("skip");
+        p.emit_li(Reg::a0, 0);
+    });
+    // Same instruction count modulo the skipped nop; taken pays the
+    // flush penalty.
+    EXPECT_GT(taken.cycles + 1, not_taken.cycles);
+    EXPECT_EQ(taken.instret + 1, not_taken.instret);
+}
+
+TEST(MachineTiming, LoadUseStalls)
+{
+    const auto dependent = run_program([](Program& p) {
+        const auto base = static_cast<i64>(p.layout().data_base);
+        p.emit_li(Reg::t0, base);
+        p.emit(itype(Opcode::LD, Reg::t1, Reg::t0, 0));
+        p.emit(itype(Opcode::ADDI, Reg::a0, Reg::t1, 0)); // uses t1 at once
+    });
+    const auto independent = run_program([](Program& p) {
+        const auto base = static_cast<i64>(p.layout().data_base);
+        p.emit_li(Reg::t0, base);
+        p.emit(itype(Opcode::LD, Reg::t1, Reg::t0, 0));
+        p.emit(itype(Opcode::ADDI, Reg::a0, Reg::zero, 0)); // no dep
+    });
+    EXPECT_EQ(dependent.cycles, independent.cycles + 1);
+}
+
+TEST(MachineTiming, CacheMissCostsCycles)
+{
+    // Two loads to the same line vs two lines far apart.
+    const auto near = run_program([](Program& p) {
+        const auto base = static_cast<i64>(p.layout().data_base);
+        p.emit_li(Reg::t0, base);
+        p.emit(itype(Opcode::LD, Reg::t1, Reg::t0, 0));
+        p.emit(itype(Opcode::LD, Reg::t2, Reg::t0, 8)); // same line: hit
+        p.emit_li(Reg::a0, 0);
+    });
+    const auto far = run_program([](Program& p) {
+        const auto base = static_cast<i64>(p.layout().data_base);
+        p.emit_li(Reg::t0, base);
+        p.emit(itype(Opcode::LD, Reg::t1, Reg::t0, 0));
+        p.emit(itype(Opcode::LD, Reg::t2, Reg::t0, 512)); // new line: miss
+        p.emit_li(Reg::a0, 0);
+    });
+    EXPECT_GT(far.cycles, near.cycles);
+    EXPECT_EQ(far.dcache.misses, 2u);
+    EXPECT_EQ(near.dcache.misses, 1u);
+}
+
+TEST(MachineCsr, CycleAndInstretReadable)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit(csr_op(Opcode::CSRRS, Reg::t0, Reg::zero, ::hwst::hwst::kCsrCycle));
+        p.emit(csr_op(Opcode::CSRRS, Reg::a0, Reg::zero,
+                      ::hwst::hwst::kCsrInstret));
+    });
+    EXPECT_TRUE(r.ok());
+    EXPECT_GT(r.exit_code, 0); // some instructions retired before read
+}
+
+TEST(MachineCsr, UnknownCsrIsIllegal)
+{
+    const auto r = run_program([](Program& p) {
+        p.emit(csr_op(Opcode::CSRRW, Reg::t0, Reg::t0, 0x123));
+    });
+    EXPECT_EQ(r.trap.kind, TrapKind::IllegalInstruction);
+}
+
+} // namespace

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "metadata/compress.hpp"
+#include "metadata/keybuffer.hpp"
+#include "metadata/srf.hpp"
+
+namespace {
+
+using namespace hwst;
+using namespace hwst::metadata;
+using common::u64;
+using riscv::Reg;
+
+constexpr u64 kLockBase = 0x40000000;
+
+CompressionConfig paper_cfg()
+{
+    return CompressionConfig::for_system(u64{1} << 38, u64{1} << 32,
+                                         u64{1} << 20, kLockBase);
+}
+
+TEST(Compression, PaperDesignPoint)
+{
+    const auto cfg = paper_cfg();
+    EXPECT_EQ(cfg.base_bits, 35u);  // Eq. 3: 38 - 3
+    EXPECT_EQ(cfg.range_bits, 29u); // Eq. 4: 32 - 3
+    EXPECT_EQ(cfg.lock_bits, 20u);  // Eq. 5
+    EXPECT_EQ(cfg.key_bits(), 44u); // Eq. 6 (upper half)
+}
+
+TEST(Compression, CsrRoundTrip)
+{
+    const auto cfg = paper_cfg();
+    const auto back = CompressionConfig::from_csr(cfg.to_csr(), kLockBase);
+    EXPECT_EQ(back, cfg);
+    EXPECT_LE(cfg.to_csr(), 0xFFFFFFu); // fits the 24-bit CSR
+}
+
+TEST(Compression, ValidateRejectsBadConfigs)
+{
+    CompressionConfig bad = paper_cfg();
+    bad.range_bits = 40; // 35 + 40 > 64
+    EXPECT_THROW(bad.validate(), common::ConfigError);
+    bad = paper_cfg();
+    bad.lock_base = 0x40000001;
+    EXPECT_THROW(bad.validate(), common::ConfigError);
+    bad = paper_cfg();
+    bad.base_bits = 0;
+    EXPECT_THROW(bad.validate(), common::ConfigError);
+}
+
+// Property: round trip is exact for representable metadata.
+class CompressionProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CompressionProperty, ExactWhenRepresentable)
+{
+    const auto cfg = paper_cfg();
+    common::Xoshiro256 rng{GetParam()};
+    for (int i = 0; i < 500; ++i) {
+        Metadata md;
+        md.base = rng.below(u64{1} << 35) << 3; // 8-aligned, 38-bit
+        md.bound = md.base + rng.below((u64{1} << 29) - 1) * 8;
+        md.key = rng.below(u64{1} << 44);
+        md.lock = kLockBase + 8 * rng.below(u64{1} << 20);
+        ASSERT_TRUE(representable(md, cfg));
+        const auto back = decompress(compress(md, cfg), cfg);
+        EXPECT_EQ(back, md);
+    }
+}
+
+TEST_P(CompressionProperty, BoundNeverShrinks)
+{
+    // Unaligned sizes round the bound *up* by at most 7 bytes — the
+    // sub-granule slack behind the paper's CWE122 gap (never down:
+    // rounding down would cause false positives).
+    const auto cfg = paper_cfg();
+    common::Xoshiro256 rng{GetParam() ^ 0x5A5A};
+    for (int i = 0; i < 500; ++i) {
+        Metadata md;
+        md.base = rng.below(u64{1} << 30) * 8;
+        md.bound = md.base + rng.range(1, 100000); // arbitrary size
+        md.key = 1;
+        md.lock = kLockBase + 8;
+        const auto back = decompress(compress(md, cfg), cfg);
+        EXPECT_GE(back.bound, md.bound);
+        EXPECT_LE(back.bound - md.bound, 7u);
+        EXPECT_EQ(back.base, md.base);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Compression, RepresentableRejections)
+{
+    const auto cfg = paper_cfg();
+    Metadata md{8, 16, 1, kLockBase + 8};
+    EXPECT_TRUE(representable(md, cfg));
+    md.base = 9; // unaligned
+    EXPECT_FALSE(representable(md, cfg));
+    md = Metadata{8, 16, u64{1} << 50, kLockBase + 8}; // key too wide
+    EXPECT_FALSE(representable(md, cfg));
+    md = Metadata{8, 16, 1, kLockBase - 8}; // lock below the region
+    EXPECT_FALSE(representable(md, cfg));
+    md = Metadata{16, 8, 1, kLockBase + 8}; // inverted bounds
+    EXPECT_FALSE(representable(md, cfg));
+    md = Metadata{u64{1} << 40, (u64{1} << 40) + 8, 1,
+                  kLockBase + 8}; // base beyond 38 bits
+    EXPECT_FALSE(representable(md, cfg));
+}
+
+TEST(Compression, ZeroMeansNoMetadata)
+{
+    const auto cfg = paper_cfg();
+    // lo == 0 decompresses to base 0, bound 0 (the "unchecked" value);
+    // hi == 0 decompresses to key 0 and a *null* lock (index 0 is
+    // reserved so software sequences can beqz-test it).
+    u64 base = 1, bound = 1, key = 1, lock = 1;
+    decompress_spatial(0, cfg, base, bound);
+    EXPECT_EQ(base, 0u);
+    EXPECT_EQ(bound, 0u);
+    decompress_temporal(0, cfg, key, lock);
+    EXPECT_EQ(key, 0u);
+    EXPECT_EQ(lock, 0u);
+}
+
+TEST(Metadata, InBounds)
+{
+    const Metadata md{100, 200, 1, kLockBase};
+    EXPECT_TRUE(md.in_bounds(100, 1));
+    EXPECT_TRUE(md.in_bounds(192, 8));
+    EXPECT_FALSE(md.in_bounds(193, 8));
+    EXPECT_FALSE(md.in_bounds(99, 1));
+    EXPECT_FALSE(md.in_bounds(200, 1));
+}
+
+TEST(Srf, HalvesAreIndependent)
+{
+    ShadowRegFile srf;
+    srf.bind_spatial(Reg::a0, 0x1111);
+    EXPECT_TRUE(srf.entry(Reg::a0).valid_lo);
+    EXPECT_FALSE(srf.entry(Reg::a0).valid_hi);
+    EXPECT_FALSE(srf.entry(Reg::a0).valid());
+    srf.bind_temporal(Reg::a0, 0x2222);
+    EXPECT_TRUE(srf.entry(Reg::a0).valid());
+    EXPECT_EQ(srf.entry(Reg::a0).value.lo, 0x1111u);
+    EXPECT_EQ(srf.entry(Reg::a0).value.hi, 0x2222u);
+}
+
+TEST(Srf, PropagateCopiesEverything)
+{
+    ShadowRegFile srf;
+    srf.bind_spatial(Reg::a0, 0xAB);
+    srf.bind_temporal(Reg::a0, 0xCD);
+    srf.propagate(Reg::t3, Reg::a0);
+    EXPECT_EQ(srf.entry(Reg::t3).value.lo, 0xABu);
+    EXPECT_EQ(srf.entry(Reg::t3).value.hi, 0xCDu);
+    EXPECT_TRUE(srf.entry(Reg::t3).valid());
+}
+
+TEST(Srf, X0NeverTakesMetadata)
+{
+    ShadowRegFile srf;
+    srf.bind_spatial(Reg::a0, 0xAB);
+    srf.propagate(Reg::zero, Reg::a0);
+    EXPECT_FALSE(srf.entry(Reg::zero).valid_lo);
+}
+
+TEST(Srf, ClearInvalidates)
+{
+    ShadowRegFile srf;
+    srf.bind_spatial(Reg::a0, 0xAB);
+    srf.clear(Reg::a0);
+    EXPECT_FALSE(srf.entry(Reg::a0).valid_lo);
+    srf.bind_spatial(Reg::a1, 1);
+    srf.clear_all();
+    EXPECT_FALSE(srf.entry(Reg::a1).valid_lo);
+}
+
+TEST(Keybuffer, HitAfterInsert)
+{
+    Keybuffer kb{4};
+    EXPECT_FALSE(kb.lookup(0x40000010).has_value());
+    kb.insert(0x40000010, 42);
+    const auto hit = kb.lookup(0x40000010);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 42u);
+    EXPECT_EQ(kb.stats().hits, 1u);
+    EXPECT_EQ(kb.stats().lookups, 2u);
+}
+
+TEST(Keybuffer, LruEviction)
+{
+    Keybuffer kb{2};
+    kb.insert(8, 1);
+    kb.insert(16, 2);
+    kb.lookup(8);       // refresh 8
+    kb.insert(24, 3);   // evicts 16
+    EXPECT_TRUE(kb.lookup(8).has_value());
+    EXPECT_FALSE(kb.lookup(16).has_value());
+    EXPECT_TRUE(kb.lookup(24).has_value());
+}
+
+TEST(Keybuffer, InsertUpdatesExisting)
+{
+    Keybuffer kb{2};
+    kb.insert(8, 1);
+    kb.insert(8, 9);
+    EXPECT_EQ(kb.lookup(8).value(), 9u);
+    EXPECT_EQ(kb.size(), 1u);
+}
+
+TEST(Keybuffer, FlushEmptiesAndCounts)
+{
+    Keybuffer kb{4};
+    kb.insert(8, 1);
+    kb.flush();
+    EXPECT_EQ(kb.size(), 0u);
+    EXPECT_FALSE(kb.lookup(8).has_value());
+    EXPECT_EQ(kb.stats().flushes, 1u);
+}
+
+TEST(Keybuffer, ZeroCapacityRejected)
+{
+    EXPECT_THROW(Keybuffer{0}, common::ConfigError);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+// Cross-validation: the IR interpreter is an independent semantic
+// oracle. Every workload's checksum must agree between the interpreter
+// and the compiled machine runs — catching codegen bugs and interpreter
+// bugs against each other.
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "mir/builder.hpp"
+#include "mir/interp.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace hwst;
+using compiler::Scheme;
+
+class OracleAgreement : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OracleAgreement, InterpreterMatchesMachine)
+{
+    const auto& w = workloads::workload(GetParam());
+    const auto module = w.build();
+    const auto oracle = mir::interpret(module);
+    ASSERT_TRUE(oracle.ok()) << *oracle.fault;
+    EXPECT_EQ(oracle.exit_code, w.expected);
+
+    const auto machine = compiler::run(module, Scheme::None);
+    ASSERT_TRUE(machine.ok());
+    EXPECT_EQ(machine.exit_code, oracle.exit_code);
+    EXPECT_EQ(machine.output, oracle.output);
+}
+
+std::vector<std::string> names()
+{
+    std::vector<std::string> out;
+    for (const auto& w : workloads::all_workloads()) out.push_back(w.name);
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, OracleAgreement,
+                         ::testing::ValuesIn(names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Oracle, DetectsRunawayPrograms)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, mir::Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    const auto spin = b.block("spin");
+    b.set_insert(spin);
+    const auto x = b.local("x");
+    b.store_local(x, b.const_i64(1));
+    b.jmp(spin);
+    const auto r = mir::interpret(m, mir::InterpOptions{10'000});
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Oracle, FaultsOnWildAccess)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, mir::Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", mir::Ty::Ptr);
+    b.store_local(p, b.int_to_ptr(b.const_i64(0x77777000)));
+    b.ret(b.load(b.load_local(p)));
+    const auto r = mir::interpret(m);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Oracle, DoubleFreeFaults)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, mir::Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", mir::Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(16)));
+    b.free_(b.load_local(p));
+    b.free_(b.load_local(p));
+    b.ret(b.const_i64(0));
+    const auto r = mir::interpret(m);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.fault->find("invalid pointer"), std::string::npos);
+}
+
+TEST(Oracle, PrintOrderingMatches)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, mir::Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    b.print(b.const_i64(1));
+    b.print(b.const_i64(2));
+    b.print(b.const_i64(3));
+    b.ret(b.const_i64(0));
+    const auto r = mir::interpret(m);
+    EXPECT_EQ(r.output, (std::vector<common::i64>{1, 2, 3}));
+}
+
+} // namespace

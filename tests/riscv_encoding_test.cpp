@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "riscv/disasm.hpp"
+#include "riscv/encoding.hpp"
+
+namespace {
+
+using namespace hwst;
+using namespace hwst::riscv;
+using common::i64;
+using common::u32;
+
+Instruction sample_instruction(Opcode op, common::Xoshiro256& rng)
+{
+    Instruction in;
+    in.op = op;
+    in.rd = reg_from_index(static_cast<unsigned>(rng.below(32)));
+    in.rs1 = reg_from_index(static_cast<unsigned>(rng.below(32)));
+    in.rs2 = reg_from_index(static_cast<unsigned>(rng.below(32)));
+    switch (op_format(op)) {
+    case Format::R:
+        break;
+    case Format::I:
+        in.imm = static_cast<i64>(rng.below(4096)) - 2048;
+        break;
+    case Format::ShiftI:
+        in.imm = static_cast<i64>(rng.below(64));
+        break;
+    case Format::ShiftIW:
+        in.imm = static_cast<i64>(rng.below(32));
+        break;
+    case Format::S:
+        in.imm = static_cast<i64>(rng.below(4096)) - 2048;
+        break;
+    case Format::B:
+        in.imm = (static_cast<i64>(rng.below(4096)) - 2048) * 2;
+        break;
+    case Format::U:
+        in.imm = (static_cast<i64>(rng.below(1u << 20)) - (1 << 19)) * 4096;
+        break;
+    case Format::J:
+        in.imm = (static_cast<i64>(rng.below(1u << 20)) - (1 << 19)) * 2;
+        break;
+    case Format::Csr:
+        in.csr = static_cast<u32>(rng.below(4096));
+        break;
+    case Format::CsrI:
+        in.csr = static_cast<u32>(rng.below(4096));
+        in.imm = static_cast<i64>(rng.below(32));
+        break;
+    case Format::Sys:
+        in.rd = Reg::zero;
+        in.rs1 = Reg::zero;
+        in.rs2 = Reg::zero;
+        break;
+    }
+    // Formats that do not encode all three register fields must have
+    // the unused ones zeroed for an exact round-trip comparison.
+    switch (op_format(op)) {
+    case Format::I: case Format::ShiftI: case Format::ShiftIW:
+        in.rs2 = Reg::zero;
+        break;
+    case Format::U: case Format::J:
+        in.rs1 = Reg::zero;
+        in.rs2 = Reg::zero;
+        break;
+    case Format::S: case Format::B:
+        in.rd = Reg::zero;
+        break;
+    case Format::Csr:
+        in.rs2 = Reg::zero;
+        break;
+    case Format::CsrI:
+        in.rs1 = Reg::zero;
+        in.rs2 = Reg::zero;
+        break;
+    default:
+        break;
+    }
+    return in;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EncodingRoundTrip, DecodeOfEncodeIsIdentity)
+{
+    const auto op = static_cast<Opcode>(GetParam());
+    common::Xoshiro256 rng{0xE27C0DE + GetParam()};
+    for (int trial = 0; trial < 64; ++trial) {
+        const Instruction in = sample_instruction(op, rng);
+        const u32 word = encode(in);
+        const auto back = decode(word);
+        ASSERT_TRUE(back.has_value())
+            << op_name(op) << " word=0x" << std::hex << word;
+        EXPECT_EQ(*back, in) << op_name(op) << " trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodingRoundTrip,
+    ::testing::Range(0u, kNumOpcodes),
+    [](const auto& info) {
+        return std::string{
+            op_name(static_cast<Opcode>(info.param))};
+    });
+
+TEST(Encoding, RejectsOversizedImmediates)
+{
+    EXPECT_THROW(encode(itype(Opcode::ADDI, Reg::a0, Reg::a0, 2048)),
+                 common::ToolchainError);
+    EXPECT_THROW(encode(itype(Opcode::ADDI, Reg::a0, Reg::a0, -2049)),
+                 common::ToolchainError);
+    EXPECT_THROW(encode(btype(Opcode::BEQ, Reg::a0, Reg::a1, 3)),
+                 common::ToolchainError); // odd branch offset
+    EXPECT_THROW(encode(utype(Opcode::LUI, Reg::a0, 123)),
+                 common::ToolchainError); // not 4096-aligned
+    EXPECT_THROW(encode(itype(Opcode::SLLI, Reg::a0, Reg::a0, 64)),
+                 common::ToolchainError);
+}
+
+TEST(Encoding, UnknownWordsDecodeToNothing)
+{
+    EXPECT_FALSE(decode(0x00000000).has_value());
+    EXPECT_FALSE(decode(0xFFFFFFFF).has_value());
+    // major opcode 0x0B with unused funct3/funct7 combination
+    EXPECT_FALSE(decode(0x0000700Bu).has_value());
+}
+
+TEST(Encoding, HwstOpcodesLiveInCustomSpace)
+{
+    EXPECT_TRUE(is_hwst(Opcode::BNDRS));
+    EXPECT_TRUE(is_hwst(Opcode::SBDL));
+    EXPECT_TRUE(is_hwst(Opcode::LBDLS));
+    EXPECT_TRUE(is_hwst(Opcode::TCHK));
+    EXPECT_TRUE(is_hwst(Opcode::CLD));
+    EXPECT_TRUE(is_hwst(Opcode::CSD));
+    EXPECT_FALSE(is_hwst(Opcode::LD));
+    EXPECT_FALSE(is_hwst(Opcode::ADD));
+}
+
+TEST(Encoding, OpcodeClassifiers)
+{
+    EXPECT_TRUE(is_load(Opcode::LBU));
+    EXPECT_TRUE(is_load(Opcode::CLD));
+    EXPECT_TRUE(is_store(Opcode::SD));
+    EXPECT_TRUE(is_store(Opcode::CSB));
+    EXPECT_TRUE(is_checked_mem(Opcode::CLW));
+    EXPECT_FALSE(is_checked_mem(Opcode::LW));
+    EXPECT_EQ(mem_width(Opcode::CLH), 2u);
+    EXPECT_EQ(mem_width(Opcode::SD), 8u);
+    EXPECT_TRUE(is_branch(Opcode::BGEU));
+    EXPECT_FALSE(is_branch(Opcode::JAL));
+}
+
+TEST(Disasm, RendersConventionalSyntax)
+{
+    EXPECT_EQ(disassemble(itype(Opcode::ADDI, Reg::a0, Reg::sp, -16)),
+              "addi a0, sp, -16");
+    EXPECT_EQ(disassemble(itype(Opcode::LD, Reg::t0, Reg::s0, 24)),
+              "ld t0, 24(s0)");
+    EXPECT_EQ(disassemble(stype(Opcode::SD, Reg::sp, Reg::ra, 0)),
+              "sd ra, 0(sp)");
+    EXPECT_EQ(disassemble(rtype(Opcode::BNDRS, Reg::a0, Reg::a0, Reg::t1)),
+              "bndrs a0, a0, t1");
+    EXPECT_EQ(disassemble(Instruction{Opcode::ECALL}), "ecall");
+}
+
+} // namespace

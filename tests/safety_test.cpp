@@ -1,0 +1,339 @@
+// Detection semantics per scheme: which defects each protection
+// mechanism catches, with what trap — the mechanics behind Fig. 6.
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "mir/builder.hpp"
+#include "workloads/dsl.hpp"
+
+namespace {
+
+using namespace hwst;
+using compiler::Scheme;
+using TrapKind = ::hwst::hwst::TrapKind;
+using mir::FunctionBuilder;
+using mir::Ty;
+using mir::Value;
+
+/// Heap overflow: malloc(`size`), byte write at `off`, optionally
+/// through a laundered pointer.
+mir::Module heap_write(common::i64 size, common::i64 off, bool launder)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(size)));
+    if (launder) {
+        const auto pi = b.local("pi");
+        b.store_local(pi, b.ptr_to_int(b.load_local(p)));
+        b.store_local(p, b.int_to_ptr(b.load_local(pi)));
+    }
+    b.store(b.const_i64(0x41), b.gep_const(b.load_local(p), off), 1);
+    b.ret(b.const_i64(0));
+    return m;
+}
+
+mir::Module use_after_free()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(32)));
+    b.free_(b.load_local(p));
+    b.ret(b.load(b.load_local(p)));
+    return m;
+}
+
+mir::Module double_free()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(32)));
+    b.free_(b.load_local(p));
+    b.free_(b.load_local(p));
+    b.ret(b.const_i64(0));
+    return m;
+}
+
+mir::Module use_after_return()
+{
+    mir::Module m;
+    {
+        // leak() returns the address of its own stack buffer.
+        auto& fn = m.add_function("leak", {}, Ty::Ptr);
+        FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto buf = b.array("buf", 32);
+        Value p = b.alloca_addr(buf);
+        b.store(b.const_i64(9), p);
+        b.ret(p);
+    }
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.call("leak", {}, Ty::Ptr));
+    b.ret(b.load(b.load_local(p)));
+    return m;
+}
+
+TrapKind trap_of(const mir::Module& m, Scheme s)
+{
+    return compiler::run(m, s).trap.kind;
+}
+
+TEST(Safety, HeapOverflowDetectionMatrix)
+{
+    const auto m = heap_write(64, 64, false); // first OOB byte
+    EXPECT_EQ(trap_of(m, Scheme::None), TrapKind::None);
+    EXPECT_EQ(trap_of(m, Scheme::Gcc), TrapKind::None);
+    EXPECT_EQ(trap_of(m, Scheme::Asan), TrapKind::AsanReport);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets), TrapKind::SoftSpatialViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128), TrapKind::SpatialViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk), TrapKind::SpatialViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Bogo), TrapKind::SoftSpatialViolation);
+}
+
+TEST(Safety, LaunderedOverflowEvadesPointerSchemes)
+{
+    const auto m = heap_write(64, 64, true);
+    // Pointer-based schemes lose provenance through int<->ptr...
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets), TrapKind::None);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk), TrapKind::None);
+    // ...but ASAN's shadow bytes do not care.
+    EXPECT_EQ(trap_of(m, Scheme::Asan), TrapKind::AsanReport);
+}
+
+TEST(Safety, SubGranuleHeapOverflow)
+{
+    // size 60: the compressed bound rounds to 64 — HWST128 misses a +2
+    // overflow that byte-exact SBCETS catches (the paper's CWE122 gap).
+    const auto m = heap_write(60, 61, false);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets), TrapKind::SoftSpatialViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk), TrapKind::None);
+    // Beyond the granule both catch.
+    const auto m2 = heap_write(60, 64, false);
+    EXPECT_EQ(trap_of(m2, Scheme::Sbcets), TrapKind::SoftSpatialViolation);
+    EXPECT_EQ(trap_of(m2, Scheme::Hwst128Tchk),
+              TrapKind::SpatialViolation);
+}
+
+TEST(Safety, UseAfterFreeDetectionMatrix)
+{
+    const auto m = use_after_free();
+    EXPECT_EQ(trap_of(m, Scheme::None), TrapKind::None);
+    EXPECT_EQ(trap_of(m, Scheme::Gcc), TrapKind::None);
+    EXPECT_EQ(trap_of(m, Scheme::Asan), TrapKind::AsanReport);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets),
+              TrapKind::SoftTemporalViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128),
+              TrapKind::SoftTemporalViolation); // software key load
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk),
+              TrapKind::TemporalViolation); // tchk + keybuffer
+}
+
+TEST(Safety, DoubleFreeDetectionMatrix)
+{
+    const auto m = double_free();
+    // Even the baseline aborts (libc heap consistency).
+    EXPECT_EQ(trap_of(m, Scheme::None), TrapKind::LibcAbort);
+    EXPECT_EQ(trap_of(m, Scheme::Gcc), TrapKind::LibcAbort);
+    EXPECT_EQ(trap_of(m, Scheme::Asan), TrapKind::AsanReport);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets),
+              TrapKind::SoftTemporalViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk),
+              TrapKind::TemporalViolation);
+}
+
+TEST(Safety, UseAfterReturnCaughtByFrameLocks)
+{
+    // CETS-style stack temporal safety: the frame lock's key is erased
+    // on return, so the leaked pointer's key no longer matches (the
+    // paper's use-after-return claim, §3.1).
+    const auto m = use_after_return();
+    EXPECT_EQ(trap_of(m, Scheme::None), TrapKind::None);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets),
+              TrapKind::SoftTemporalViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk),
+              TrapKind::TemporalViolation);
+}
+
+TEST(Safety, NullDereference)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.null_ptr());
+    b.ret(b.load(b.load_local(p)));
+    // Pointer schemes flag it via the key-0 temporal check *before* the
+    // access; the baseline takes the access fault.
+    EXPECT_EQ(trap_of(m, Scheme::None), TrapKind::AccessFault);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets),
+              TrapKind::SoftTemporalViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk),
+              TrapKind::TemporalViolation);
+}
+
+TEST(Safety, FreeNotAtStart)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(64)));
+    b.free_(b.gep_const(b.load_local(p), 16));
+    b.ret(b.const_i64(0));
+    EXPECT_EQ(trap_of(m, Scheme::None), TrapKind::LibcAbort);
+    EXPECT_EQ(trap_of(m, Scheme::Asan), TrapKind::AsanReport);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets),
+              TrapKind::SoftTemporalViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk),
+              TrapKind::SoftTemporalViolation); // wrapper base check
+}
+
+TEST(Safety, StackOverflowCanaryNeedsReturn)
+{
+    // Contiguous stack smash: GCC flags it at function return.
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto i = b.local("i");
+    const auto buf = b.array("buf", 32);
+    workloads::for_range(b, i, 0, 64, [&] {
+        Value addr = b.gep(b.alloca_addr(buf), b.load_local(i), 1);
+        b.store(b.const_i64(0x42), addr, 1);
+    });
+    b.ret(b.const_i64(0));
+    EXPECT_EQ(trap_of(m, Scheme::Gcc), TrapKind::StackGuardViolation);
+    EXPECT_EQ(trap_of(m, Scheme::None), TrapKind::None);
+    EXPECT_EQ(trap_of(m, Scheme::Sbcets), TrapKind::SoftSpatialViolation);
+    EXPECT_EQ(trap_of(m, Scheme::Hwst128Tchk),
+              TrapKind::SpatialViolation);
+}
+
+TEST(Safety, QuarantineKeepsFreedMemoryPoisoned)
+{
+    // Alloc/free churn then a dangling read: without quarantine the
+    // block would be re-unpoisoned by the next malloc.
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    const auto q = b.local("q", Ty::Ptr);
+    b.store_local(p, b.malloc_(b.const_i64(48)));
+    b.free_(b.load_local(p));
+    b.store_local(q, b.malloc_(b.const_i64(48))); // must not reuse p
+    b.ret(b.load(b.load_local(p)));
+    EXPECT_EQ(trap_of(m, Scheme::Asan), TrapKind::AsanReport);
+}
+
+TEST(Safety, WdlModelsStillDetectTemporal)
+{
+    // The WDL cost models keep full temporal checking (software key
+    // loads, no keybuffer).
+    const auto m = use_after_free();
+    EXPECT_EQ(trap_of(m, Scheme::WdlWide), TrapKind::SoftTemporalViolation);
+    EXPECT_EQ(trap_of(m, Scheme::WdlNarrow),
+              TrapKind::SoftTemporalViolation);
+}
+
+TEST(Safety, BogoPartialTemporal)
+{
+    // BOGO nullifies bounds on free: the dangling *deref through the
+    // same metadata* trips the spatial check (partial temporal safety).
+    const auto m = use_after_free();
+    EXPECT_EQ(trap_of(m, Scheme::Bogo), TrapKind::SoftSpatialViolation);
+}
+
+TEST(Safety, MemcpyOverflowCaughtByWrappers)
+{
+    // memcpy with a length that overruns dst: the SoftBoundCETS-style
+    // wrapper (software) and the SCU probe (hardware) both flag it.
+    const auto build = [](common::i64 len) {
+        mir::Module m;
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto d = b.local("d", Ty::Ptr);
+        const auto s2 = b.local("s", Ty::Ptr);
+        b.store_local(d, b.malloc_(b.const_i64(32)));
+        b.store_local(s2, b.malloc_(b.const_i64(64)));
+        b.memcpy_(b.load_local(d), b.load_local(s2), b.const_i64(len));
+        b.ret(b.const_i64(0));
+        return m;
+    };
+    const auto bad = build(48); // dst is only 32 bytes
+    EXPECT_EQ(trap_of(bad, Scheme::Sbcets), TrapKind::SoftSpatialViolation);
+    EXPECT_EQ(trap_of(bad, Scheme::Hwst128Tchk),
+              TrapKind::SpatialViolation);
+    EXPECT_EQ(trap_of(bad, Scheme::Gcc), TrapKind::None);
+    const auto good = build(32);
+    EXPECT_EQ(trap_of(good, Scheme::Sbcets), TrapKind::None);
+    EXPECT_EQ(trap_of(good, Scheme::Hwst128Tchk), TrapKind::None);
+}
+
+TEST(Safety, MemsetOverflowCaughtByWrappers)
+{
+    const auto build = [](common::i64 len) {
+        mir::Module m;
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        FunctionBuilder b{m, fn};
+        b.set_insert(b.block("entry"));
+        const auto d = b.local("d", Ty::Ptr);
+        b.store_local(d, b.malloc_(b.const_i64(32)));
+        b.memset_(b.load_local(d), b.const_i64(0xAA), b.const_i64(len));
+        b.ret(b.const_i64(0));
+        return m;
+    };
+    EXPECT_EQ(trap_of(build(40), Scheme::Sbcets),
+              TrapKind::SoftSpatialViolation);
+    EXPECT_EQ(trap_of(build(40), Scheme::Hwst128Tchk),
+              TrapKind::SpatialViolation);
+    EXPECT_EQ(trap_of(build(32), Scheme::Sbcets), TrapKind::None);
+    EXPECT_EQ(trap_of(build(32), Scheme::Hwst128Tchk), TrapKind::None);
+}
+
+TEST(Safety, NoFalsePositivesOnCleanProgram)
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto p = b.local("p", Ty::Ptr);
+    const auto i = b.local("i");
+    const auto sum = b.local("sum");
+    b.store_local(p, b.malloc_(b.const_i64(64)));
+    workloads::for_range(b, i, 0, 8, [&] {
+        b.store(b.load_local(i),
+                b.gep(b.load_local(p), b.load_local(i), 8));
+    });
+    b.store_local(sum, b.const_i64(0));
+    workloads::for_range(b, i, 0, 8, [&] {
+        b.store_local(sum,
+                      b.add(b.load_local(sum),
+                            b.load(b.gep(b.load_local(p),
+                                         b.load_local(i), 8))));
+    });
+    b.free_(b.load_local(p));
+    b.ret(b.load_local(sum));
+    for (const Scheme s : compiler::kAllSchemes) {
+        const auto r = compiler::run(m, s);
+        EXPECT_TRUE(r.ok()) << compiler::scheme_name(s) << ": "
+                            << trap_name(r.trap.kind);
+        EXPECT_EQ(r.exit_code, 28) << compiler::scheme_name(s);
+    }
+}
+
+} // namespace

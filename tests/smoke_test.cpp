@@ -1,0 +1,167 @@
+// End-to-end smoke: small programs compiled under every scheme must
+// produce identical architectural results (outputs / exit codes); only
+// the cycle counts may differ.
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "mir/builder.hpp"
+
+namespace {
+
+using namespace hwst;
+using compiler::Scheme;
+using mir::BinKind;
+using mir::CmpKind;
+using mir::FunctionBuilder;
+using mir::Ty;
+using mir::Value;
+
+/// main() { s = 0; for (i = 0; i < 10; ++i) s += i*i; return s; } == 285
+mir::Module loop_module()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, Ty::I64);
+    FunctionBuilder b{m, fn};
+    const auto entry = b.block("entry");
+    const auto head = b.block("head");
+    const auto body = b.block("body");
+    const auto exit = b.block("exit");
+    const auto i = b.local("i");
+    const auto s = b.local("s");
+
+    b.set_insert(entry);
+    b.store_local(i, b.const_i64(0));
+    b.store_local(s, b.const_i64(0));
+    b.jmp(head);
+
+    b.set_insert(head);
+    b.br(b.lt(b.load_local(i), b.const_i64(10)), body, exit);
+
+    b.set_insert(body);
+    Value iv = b.load_local(i);
+    b.store_local(s, b.add(b.load_local(s), b.mul(iv, iv)));
+    b.store_local(i, b.add(b.load_local(i), b.const_i64(1)));
+    b.jmp(head);
+
+    b.set_insert(exit);
+    b.ret(b.load_local(s));
+    return m;
+}
+
+/// Heap + array + call + memcpy exercise. Returns a checksum.
+mir::Module heap_module()
+{
+    mir::Module m;
+
+    // sum(ptr, n) -> i64
+    {
+        auto& fn = m.add_function("sum", {Ty::Ptr, Ty::I64}, Ty::I64);
+        FunctionBuilder b{m, fn};
+        const auto entry = b.block("entry");
+        const auto head = b.block("head");
+        const auto body = b.block("body");
+        const auto exit = b.block("exit");
+        const auto p = b.local("p", Ty::Ptr);
+        const auto n = b.local("n");
+        const auto i = b.local("i");
+        const auto s = b.local("s");
+
+        b.set_insert(entry);
+        b.store_local(p, b.param(0));
+        b.store_local(n, b.param(1));
+        b.store_local(i, b.const_i64(0));
+        b.store_local(s, b.const_i64(0));
+        b.jmp(head);
+
+        b.set_insert(head);
+        b.br(b.lt(b.load_local(i), b.load_local(n)), body, exit);
+
+        b.set_insert(body);
+        Value addr = b.gep(b.load_local(p), b.load_local(i), 8);
+        b.store_local(s, b.add(b.load_local(s), b.load(addr)));
+        b.store_local(i, b.add(b.load_local(i), b.const_i64(1)));
+        b.jmp(head);
+
+        b.set_insert(exit);
+        b.ret(b.load_local(s));
+    }
+
+    // main: a = malloc(10*8); fill a[k] = 3k+1; b = malloc; memcpy(b, a);
+    // r = sum(b, 10); free both; return r.   sum = 3*45 + 10 = 145
+    {
+        auto& fn = m.add_function("main", {}, Ty::I64);
+        FunctionBuilder b{m, fn};
+        const auto entry = b.block("entry");
+        const auto head = b.block("head");
+        const auto body = b.block("body");
+        const auto after = b.block("after");
+        const auto pa = b.local("pa", Ty::Ptr);
+        const auto pb = b.local("pb", Ty::Ptr);
+        const auto k = b.local("k");
+        const auto r = b.local("r");
+
+        b.set_insert(entry);
+        b.store_local(pa, b.malloc_(b.const_i64(80)));
+        b.store_local(pb, b.malloc_(b.const_i64(80)));
+        b.store_local(k, b.const_i64(0));
+        b.jmp(head);
+
+        b.set_insert(head);
+        b.br(b.lt(b.load_local(k), b.const_i64(10)), body, after);
+
+        b.set_insert(body);
+        Value kv = b.load_local(k);
+        Value addr = b.gep(b.load_local(pa), kv, 8);
+        b.store(b.add(b.mul(kv, b.const_i64(3)), b.const_i64(1)), addr);
+        b.store_local(k, b.add(kv, b.const_i64(1)));
+        b.jmp(head);
+
+        b.set_insert(after);
+        b.memcpy_(b.load_local(pb), b.load_local(pa), b.const_i64(80));
+        Value res =
+            b.call("sum", {b.load_local(pb), b.const_i64(10)}, Ty::I64);
+        b.store_local(r, res);
+        b.print(b.load_local(r));
+        b.free_(b.load_local(pa));
+        b.free_(b.load_local(pb));
+        b.ret(b.load_local(r));
+    }
+    return m;
+}
+
+class SmokeAllSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SmokeAllSchemes, LoopSemanticsPreserved)
+{
+    const auto result = compiler::run(loop_module(), GetParam());
+    ASSERT_TRUE(result.ok()) << trap_name(result.trap.kind);
+    EXPECT_EQ(result.exit_code, 285);
+}
+
+TEST_P(SmokeAllSchemes, HeapSemanticsPreserved)
+{
+    const auto result = compiler::run(heap_module(), GetParam());
+    ASSERT_TRUE(result.ok()) << trap_name(result.trap.kind);
+    EXPECT_EQ(result.exit_code, 145);
+    ASSERT_EQ(result.output.size(), 1u);
+    EXPECT_EQ(result.output[0], 145);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SmokeAllSchemes, ::testing::ValuesIn(compiler::kAllSchemes),
+    [](const auto& info) {
+        return std::string{compiler::scheme_name(info.param)};
+    });
+
+TEST(SmokeOverhead, InstrumentationCostsCycles)
+{
+    const auto base = compiler::run(heap_module(), Scheme::None);
+    const auto sb = compiler::run(heap_module(), Scheme::Sbcets);
+    const auto hw = compiler::run(heap_module(), Scheme::Hwst128Tchk);
+    ASSERT_TRUE(base.ok() && sb.ok() && hw.ok());
+    // SBCETS must be the slowest; HWST128_tchk in between.
+    EXPECT_GT(sb.cycles, hw.cycles);
+    EXPECT_GT(hw.cycles, base.cycles);
+}
+
+} // namespace

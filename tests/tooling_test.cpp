@@ -1,0 +1,132 @@
+// Tooling-surface tests: disassembler coverage, the step/trace APIs,
+// and listings — the debugger-facing edges of the library.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+
+#include "riscv/disasm.hpp"
+#include "riscv/program.hpp"
+#include "sim/machine.hpp"
+#include "sim/syscalls.hpp"
+
+namespace {
+
+using namespace hwst::riscv;
+namespace sim = hwst::sim;
+using hwst::common::i64;
+using hwst::common::u64;
+
+TEST(Disasm, EveryOpcodeRendersItsMnemonic)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        Instruction in;
+        in.op = op;
+        in.rd = Reg::a0;
+        in.rs1 = Reg::a1;
+        in.rs2 = Reg::a2;
+        const std::string text = disassemble(in);
+        std::string want{op_name(op)};
+        std::transform(want.begin(), want.end(), want.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        EXPECT_EQ(text.rfind(want, 0), 0u)
+            << "mnemonic missing: " << text;
+    }
+}
+
+TEST(Disasm, LoadsAndStoresUseParenSyntax)
+{
+    for (const Opcode op : {Opcode::LB, Opcode::LD, Opcode::CLW,
+                            Opcode::CLBU}) {
+        const std::string text = disassemble(itype(op, Reg::a0, Reg::s0, 8));
+        EXPECT_NE(text.find("8(s0)"), std::string::npos) << text;
+    }
+    for (const Opcode op : {Opcode::SB, Opcode::SD, Opcode::CSW}) {
+        const std::string text =
+            disassemble(stype(op, Reg::s0, Reg::a0, -8));
+        EXPECT_NE(text.find("-8(s0)"), std::string::npos) << text;
+    }
+}
+
+TEST(MachineApi, StepByStepExecution)
+{
+    Program p;
+    p.label("main");
+    p.emit_li(Reg::t0, 5);
+    p.emit(itype(Opcode::ADDI, Reg::t0, Reg::t0, 1));
+    p.emit_li(Reg::a7, static_cast<i64>(sim::Sys::Exit));
+    p.emit(Instruction{Opcode::ECALL});
+    p.finalize();
+
+    sim::Machine m{p};
+    EXPECT_TRUE(m.running());
+    EXPECT_EQ(m.step().kind, hwst::hwst::TrapKind::None); // li
+    EXPECT_EQ(m.reg(Reg::t0), 5u);
+    m.step(); // addi
+    EXPECT_EQ(m.reg(Reg::t0), 6u);
+    EXPECT_EQ(m.instret(), 2u);
+    while (m.running()) m.step();
+    EXPECT_THROW(m.step(), hwst::common::SimError);
+}
+
+TEST(MachineApi, TraceHookSeesEveryInstruction)
+{
+    Program p;
+    p.label("main");
+    p.emit(nop());
+    p.emit(nop());
+    p.emit_li(Reg::a7, static_cast<i64>(sim::Sys::Exit));
+    p.emit(Instruction{Opcode::ECALL});
+    p.finalize();
+
+    sim::Machine m{p};
+    std::vector<u64> pcs;
+    m.set_trace([&](u64 pc, const Instruction&) { pcs.push_back(pc); });
+    const auto r = m.run();
+    EXPECT_EQ(pcs.size(), r.instret);
+    EXPECT_EQ(pcs.front(), p.layout().text_base);
+    // PCs are sequential in this straight-line program.
+    for (std::size_t i = 1; i < pcs.size(); ++i)
+        EXPECT_EQ(pcs[i], pcs[i - 1] + 4);
+}
+
+TEST(MachineApi, MixAccountingSumsToInstret)
+{
+    Program p;
+    p.label("main");
+    p.emit_li(Reg::t0, static_cast<i64>(p.layout().data_base));
+    p.emit(itype(Opcode::LD, Reg::t1, Reg::t0, 0));
+    p.emit(stype(Opcode::SD, Reg::t0, Reg::t1, 8));
+    p.emit_branch(Opcode::BEQ, Reg::zero, Reg::zero, "next");
+    p.label("next");
+    p.emit_li(Reg::a7, static_cast<i64>(sim::Sys::Exit));
+    p.emit(Instruction{Opcode::ECALL});
+    p.finalize();
+
+    sim::Machine m{p};
+    const auto r = m.run();
+    EXPECT_EQ(r.mix.total(), r.instret);
+    EXPECT_EQ(r.mix.loads, 1u);
+    EXPECT_EQ(r.mix.stores, 1u);
+    EXPECT_EQ(r.mix.branches, 1u);
+    EXPECT_EQ(r.mix.ecalls, 1u);
+}
+
+TEST(MachineApi, IcacheTracksFetches)
+{
+    Program p;
+    p.label("main");
+    for (int i = 0; i < 64; ++i) p.emit(nop());
+    p.emit_li(Reg::a7, static_cast<i64>(sim::Sys::Exit));
+    p.emit(Instruction{Opcode::ECALL});
+    p.finalize();
+
+    sim::Machine m{p};
+    const auto r = m.run();
+    EXPECT_EQ(r.icache.accesses, r.instret);
+    EXPECT_GT(r.icache.misses, 0u);
+    EXPECT_LT(r.icache.miss_rate(), 0.2); // straight-line locality
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+// Workload semantics: every benchmark kernel must produce its pinned
+// checksum under every measured scheme (instrumentation transparency),
+// and the overhead ordering of Fig. 4 must hold per workload.
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace hwst;
+using compiler::Scheme;
+using workloads::Workload;
+
+struct Case {
+    const Workload* workload;
+    Scheme scheme;
+};
+
+class WorkloadChecksum
+    : public ::testing::TestWithParam<std::tuple<std::string, Scheme>> {};
+
+TEST_P(WorkloadChecksum, MatchesPinnedValue)
+{
+    const auto& [name, scheme] = GetParam();
+    const Workload& w = workloads::workload(name);
+    const auto r = compiler::run(w.build(), scheme);
+    ASSERT_TRUE(r.ok()) << trap_name(r.trap.kind);
+    EXPECT_EQ(r.exit_code, w.expected);
+}
+
+std::vector<std::string> workload_names()
+{
+    std::vector<std::string> names;
+    for (const auto& w : workloads::all_workloads()) names.push_back(w.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4, WorkloadChecksum,
+    ::testing::Combine(::testing::ValuesIn(workload_names()),
+                       ::testing::Values(Scheme::None, Scheme::Sbcets,
+                                         Scheme::Hwst128Tchk)),
+    [](const auto& info) {
+        return std::get<0>(info.param) + "_" +
+               std::string{
+                   compiler::scheme_name(std::get<1>(info.param))};
+    });
+
+TEST(WorkloadRegistry, PaperSuiteShape)
+{
+    // 9 MiBench + 7 Olden + 7 SPEC, as in Fig. 4.
+    unsigned mi = 0, ol = 0, sp = 0;
+    for (const auto& w : workloads::all_workloads()) {
+        switch (w.suite) {
+        case workloads::Suite::MiBench: ++mi; break;
+        case workloads::Suite::Olden: ++ol; break;
+        case workloads::Suite::Spec: ++sp; break;
+        }
+    }
+    EXPECT_EQ(mi, 9u);
+    EXPECT_EQ(ol, 7u);
+    EXPECT_EQ(sp, 7u);
+    EXPECT_EQ(workloads::spec_workloads().size(), 7u);
+}
+
+TEST(WorkloadRegistry, LookupThrowsOnUnknown)
+{
+    EXPECT_THROW(workloads::workload("no_such"), common::ToolchainError);
+}
+
+TEST(WorkloadOverhead, OrderingHoldsPerWorkload)
+{
+    // Fig. 4's per-workload invariant: SBCETS > HWST128 > HWST128_tchk
+    // > baseline, on a representative subset across the suites.
+    for (const char* name : {"crc32", "treeadd", "bzip2"}) {
+        const Workload& w = workloads::workload(name);
+        const auto base = compiler::run(w.build(), Scheme::None);
+        const auto sb = compiler::run(w.build(), Scheme::Sbcets);
+        const auto hw = compiler::run(w.build(), Scheme::Hwst128);
+        const auto tk = compiler::run(w.build(), Scheme::Hwst128Tchk);
+        ASSERT_TRUE(base.ok() && sb.ok() && hw.ok() && tk.ok()) << name;
+        EXPECT_GT(sb.cycles, hw.cycles) << name;
+        EXPECT_GT(hw.cycles, tk.cycles) << name;
+        EXPECT_GT(tk.cycles, base.cycles) << name;
+    }
+}
+
+TEST(WorkloadOverhead, KeybufferHitsOnTchkWorkloads)
+{
+    const Workload& w = workloads::workload("bzip2");
+    const auto r = compiler::run(w.build(), Scheme::Hwst128Tchk);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.keybuffer.lookups, 1000u);
+    EXPECT_GT(r.keybuffer.hit_rate(), 0.5);
+}
+
+TEST(WorkloadOverhead, PointerKernelsStressSmac)
+{
+    // Olden-style pointer chasing performs far more through-memory
+    // metadata traffic than an array kernel of comparable size.
+    const auto tree = compiler::run(
+        workloads::workload("treeadd").build(), Scheme::Hwst128Tchk);
+    ASSERT_TRUE(tree.ok());
+    EXPECT_GT(tree.smac_translations, tree.instret / 20);
+}
+
+} // namespace
