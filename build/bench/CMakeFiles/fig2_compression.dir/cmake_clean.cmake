@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_compression.dir/fig2_compression.cpp.o"
+  "CMakeFiles/fig2_compression.dir/fig2_compression.cpp.o.d"
+  "fig2_compression"
+  "fig2_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

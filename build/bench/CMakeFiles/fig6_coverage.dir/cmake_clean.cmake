@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_coverage.dir/fig6_coverage.cpp.o"
+  "CMakeFiles/fig6_coverage.dir/fig6_coverage.cpp.o.d"
+  "fig6_coverage"
+  "fig6_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_hwcost.cpp" "bench/CMakeFiles/tab_hwcost.dir/tab_hwcost.cpp.o" "gcc" "bench/CMakeFiles/tab_hwcost.dir/tab_hwcost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/riscv/CMakeFiles/hwst_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/hwst_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hwst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/hwst_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hwst_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hwst_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/juliet/CMakeFiles/hwst_juliet.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/hwst_hwcost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

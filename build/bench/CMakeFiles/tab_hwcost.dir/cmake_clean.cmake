@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_hwcost.dir/tab_hwcost.cpp.o"
+  "CMakeFiles/tab_hwcost.dir/tab_hwcost.cpp.o.d"
+  "tab_hwcost"
+  "tab_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_run.dir/hwst_run.cpp.o"
+  "CMakeFiles/hwst_run.dir/hwst_run.cpp.o.d"
+  "hwst_run"
+  "hwst_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cpp" "src/compiler/CMakeFiles/hwst_compiler.dir/analysis.cpp.o" "gcc" "src/compiler/CMakeFiles/hwst_compiler.dir/analysis.cpp.o.d"
+  "/root/repo/src/compiler/codegen.cpp" "src/compiler/CMakeFiles/hwst_compiler.dir/codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/hwst_compiler.dir/codegen.cpp.o.d"
+  "/root/repo/src/compiler/driver.cpp" "src/compiler/CMakeFiles/hwst_compiler.dir/driver.cpp.o" "gcc" "src/compiler/CMakeFiles/hwst_compiler.dir/driver.cpp.o.d"
+  "/root/repo/src/compiler/emitter.cpp" "src/compiler/CMakeFiles/hwst_compiler.dir/emitter.cpp.o" "gcc" "src/compiler/CMakeFiles/hwst_compiler.dir/emitter.cpp.o.d"
+  "/root/repo/src/compiler/emitters.cpp" "src/compiler/CMakeFiles/hwst_compiler.dir/emitters.cpp.o" "gcc" "src/compiler/CMakeFiles/hwst_compiler.dir/emitters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/hwst_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/riscv/CMakeFiles/hwst_riscv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hwst_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwst_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/hwst_metadata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_compiler.dir/analysis.cpp.o"
+  "CMakeFiles/hwst_compiler.dir/analysis.cpp.o.d"
+  "CMakeFiles/hwst_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/hwst_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/hwst_compiler.dir/driver.cpp.o"
+  "CMakeFiles/hwst_compiler.dir/driver.cpp.o.d"
+  "CMakeFiles/hwst_compiler.dir/emitter.cpp.o"
+  "CMakeFiles/hwst_compiler.dir/emitter.cpp.o.d"
+  "CMakeFiles/hwst_compiler.dir/emitters.cpp.o"
+  "CMakeFiles/hwst_compiler.dir/emitters.cpp.o.d"
+  "libhwst_compiler.a"
+  "libhwst_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

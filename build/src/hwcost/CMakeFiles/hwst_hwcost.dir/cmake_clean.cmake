@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_hwcost.dir/model.cpp.o"
+  "CMakeFiles/hwst_hwcost.dir/model.cpp.o.d"
+  "libhwst_hwcost.a"
+  "libhwst_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

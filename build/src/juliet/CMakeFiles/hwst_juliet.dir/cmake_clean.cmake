@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_juliet.dir/cases.cpp.o"
+  "CMakeFiles/hwst_juliet.dir/cases.cpp.o.d"
+  "CMakeFiles/hwst_juliet.dir/runner.cpp.o"
+  "CMakeFiles/hwst_juliet.dir/runner.cpp.o.d"
+  "libhwst_juliet.a"
+  "libhwst_juliet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

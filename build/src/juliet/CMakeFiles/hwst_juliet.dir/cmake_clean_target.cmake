@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhwst_juliet.a"
+)

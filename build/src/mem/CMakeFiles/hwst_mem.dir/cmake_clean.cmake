@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_mem.dir/allocator.cpp.o"
+  "CMakeFiles/hwst_mem.dir/allocator.cpp.o.d"
+  "CMakeFiles/hwst_mem.dir/cache.cpp.o"
+  "CMakeFiles/hwst_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/hwst_mem.dir/memory.cpp.o"
+  "CMakeFiles/hwst_mem.dir/memory.cpp.o.d"
+  "libhwst_mem.a"
+  "libhwst_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_metadata.dir/compress.cpp.o"
+  "CMakeFiles/hwst_metadata.dir/compress.cpp.o.d"
+  "libhwst_metadata.a"
+  "libhwst_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/interp.cpp" "src/mir/CMakeFiles/hwst_mir.dir/interp.cpp.o" "gcc" "src/mir/CMakeFiles/hwst_mir.dir/interp.cpp.o.d"
+  "/root/repo/src/mir/print.cpp" "src/mir/CMakeFiles/hwst_mir.dir/print.cpp.o" "gcc" "src/mir/CMakeFiles/hwst_mir.dir/print.cpp.o.d"
+  "/root/repo/src/mir/verify.cpp" "src/mir/CMakeFiles/hwst_mir.dir/verify.cpp.o" "gcc" "src/mir/CMakeFiles/hwst_mir.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hwst_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

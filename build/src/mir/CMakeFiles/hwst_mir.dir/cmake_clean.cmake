@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_mir.dir/interp.cpp.o"
+  "CMakeFiles/hwst_mir.dir/interp.cpp.o.d"
+  "CMakeFiles/hwst_mir.dir/print.cpp.o"
+  "CMakeFiles/hwst_mir.dir/print.cpp.o.d"
+  "CMakeFiles/hwst_mir.dir/verify.cpp.o"
+  "CMakeFiles/hwst_mir.dir/verify.cpp.o.d"
+  "libhwst_mir.a"
+  "libhwst_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

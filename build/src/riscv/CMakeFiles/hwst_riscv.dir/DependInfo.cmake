@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riscv/disasm.cpp" "src/riscv/CMakeFiles/hwst_riscv.dir/disasm.cpp.o" "gcc" "src/riscv/CMakeFiles/hwst_riscv.dir/disasm.cpp.o.d"
+  "/root/repo/src/riscv/encoding.cpp" "src/riscv/CMakeFiles/hwst_riscv.dir/encoding.cpp.o" "gcc" "src/riscv/CMakeFiles/hwst_riscv.dir/encoding.cpp.o.d"
+  "/root/repo/src/riscv/image.cpp" "src/riscv/CMakeFiles/hwst_riscv.dir/image.cpp.o" "gcc" "src/riscv/CMakeFiles/hwst_riscv.dir/image.cpp.o.d"
+  "/root/repo/src/riscv/program.cpp" "src/riscv/CMakeFiles/hwst_riscv.dir/program.cpp.o" "gcc" "src/riscv/CMakeFiles/hwst_riscv.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

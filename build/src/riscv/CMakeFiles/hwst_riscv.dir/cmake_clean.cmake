@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_riscv.dir/disasm.cpp.o"
+  "CMakeFiles/hwst_riscv.dir/disasm.cpp.o.d"
+  "CMakeFiles/hwst_riscv.dir/encoding.cpp.o"
+  "CMakeFiles/hwst_riscv.dir/encoding.cpp.o.d"
+  "CMakeFiles/hwst_riscv.dir/image.cpp.o"
+  "CMakeFiles/hwst_riscv.dir/image.cpp.o.d"
+  "CMakeFiles/hwst_riscv.dir/program.cpp.o"
+  "CMakeFiles/hwst_riscv.dir/program.cpp.o.d"
+  "libhwst_riscv.a"
+  "libhwst_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

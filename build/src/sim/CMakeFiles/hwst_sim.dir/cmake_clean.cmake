@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_sim.dir/machine.cpp.o"
+  "CMakeFiles/hwst_sim.dir/machine.cpp.o.d"
+  "libhwst_sim.a"
+  "libhwst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/mibench.cpp" "src/workloads/CMakeFiles/hwst_workloads.dir/mibench.cpp.o" "gcc" "src/workloads/CMakeFiles/hwst_workloads.dir/mibench.cpp.o.d"
+  "/root/repo/src/workloads/olden.cpp" "src/workloads/CMakeFiles/hwst_workloads.dir/olden.cpp.o" "gcc" "src/workloads/CMakeFiles/hwst_workloads.dir/olden.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/hwst_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/hwst_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/spec.cpp" "src/workloads/CMakeFiles/hwst_workloads.dir/spec.cpp.o" "gcc" "src/workloads/CMakeFiles/hwst_workloads.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/hwst_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwst_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_workloads.dir/mibench.cpp.o"
+  "CMakeFiles/hwst_workloads.dir/mibench.cpp.o.d"
+  "CMakeFiles/hwst_workloads.dir/olden.cpp.o"
+  "CMakeFiles/hwst_workloads.dir/olden.cpp.o.d"
+  "CMakeFiles/hwst_workloads.dir/registry.cpp.o"
+  "CMakeFiles/hwst_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/hwst_workloads.dir/spec.cpp.o"
+  "CMakeFiles/hwst_workloads.dir/spec.cpp.o.d"
+  "libhwst_workloads.a"
+  "libhwst_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_isa_test.dir/fuzz_isa_test.cpp.o"
+  "CMakeFiles/fuzz_isa_test.dir/fuzz_isa_test.cpp.o.d"
+  "fuzz_isa_test"
+  "fuzz_isa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_metadata_test.dir/fuzz_metadata_test.cpp.o"
+  "CMakeFiles/fuzz_metadata_test.dir/fuzz_metadata_test.cpp.o.d"
+  "fuzz_metadata_test"
+  "fuzz_metadata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwcost_test.dir/hwcost_test.cpp.o"
+  "CMakeFiles/hwcost_test.dir/hwcost_test.cpp.o.d"
+  "hwcost_test"
+  "hwcost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwcost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

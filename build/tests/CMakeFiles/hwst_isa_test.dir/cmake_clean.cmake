@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwst_isa_test.dir/hwst_isa_test.cpp.o"
+  "CMakeFiles/hwst_isa_test.dir/hwst_isa_test.cpp.o.d"
+  "hwst_isa_test"
+  "hwst_isa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwst_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juliet_test.dir/juliet_test.cpp.o"
+  "CMakeFiles/juliet_test.dir/juliet_test.cpp.o.d"
+  "juliet_test"
+  "juliet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juliet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_encoding_test.dir/riscv_encoding_test.cpp.o"
+  "CMakeFiles/riscv_encoding_test.dir/riscv_encoding_test.cpp.o.d"
+  "riscv_encoding_test"
+  "riscv_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_program_test.dir/riscv_program_test.cpp.o"
+  "CMakeFiles/riscv_program_test.dir/riscv_program_test.cpp.o.d"
+  "riscv_program_test"
+  "riscv_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
