@@ -27,8 +27,12 @@ constexpr u64 mask64(unsigned n)
 }
 
 /// Extract bits [lo, lo+len) of `v` (little-endian bit numbering).
+/// `lo >= 64` reads past the word and yields 0 (a shift by >= 64 would
+/// be UB; callers such as decompress_temporal can reach lo == 64 when a
+/// field width is configured to 0).
 constexpr u64 bits(u64 v, unsigned lo, unsigned len)
 {
+    if (lo >= 64) return 0;
     return (v >> lo) & mask64(len);
 }
 

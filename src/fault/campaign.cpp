@@ -1,0 +1,141 @@
+#include "fault/campaign.hpp"
+
+#include "common/table.hpp"
+#include "compiler/driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace hwst::fault {
+
+std::vector<Probe> all_probes()
+{
+    std::vector<Probe> ps;
+    ps.reserve(sim::kNumProbes);
+    for (unsigned i = 0; i < sim::kNumProbes; ++i)
+        ps.push_back(static_cast<Probe>(i));
+    return ps;
+}
+
+u64 CampaignReport::total_runs() const
+{
+    u64 n = 0;
+    for (const PointStats& p : points) n += p.runs;
+    return n;
+}
+
+u64 CampaignReport::total_silent() const
+{
+    u64 n = 0;
+    for (const PointStats& p : points) n += p.silent;
+    return n;
+}
+
+u64 CampaignReport::protected_silent() const
+{
+    u64 n = 0;
+    for (const PointStats& p : points)
+        if (metadata_protected(p.point)) n += p.silent;
+    return n;
+}
+
+namespace {
+
+/// Deterministic per-run seed: a SplitMix64-style mix of the campaign
+/// seed with the (workload, point, seed) coordinates, so adding a
+/// workload or point never shifts another run's fault draw.
+u64 run_seed(u64 base, u64 workload_i, Probe point, u64 seed_i)
+{
+    u64 z = base;
+    for (const u64 salt :
+         {workload_i, static_cast<u64>(point), seed_i}) {
+        z += 0x9E3779B97F4A7C15ULL + salt;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        z ^= z >> 31;
+    }
+    return z;
+}
+
+} // namespace
+
+CampaignReport run_campaign(const CampaignConfig& cfg)
+{
+    CampaignReport report;
+    report.config = cfg;
+    report.points.resize(cfg.points.size());
+    for (std::size_t i = 0; i < cfg.points.size(); ++i)
+        report.points[i].point = cfg.points[i];
+
+    for (std::size_t wi = 0; wi < cfg.workloads.size(); ++wi) {
+        const auto& wl = workloads::workload(cfg.workloads[wi]);
+        const mir::Module module = wl.build();
+        const compiler::CompiledProgram cp =
+            compiler::compile(module, cfg.scheme);
+
+        sim::Machine golden_machine{cp.program, cp.machine_config};
+        const sim::RunResult golden = golden_machine.run();
+
+        // Stuck-at faults can turn a loop bound into a near-infinite
+        // trip count; bound faulted runs well past the golden length so
+        // a genuine hang classifies as such without burning the default
+        // 400M-instruction fuel per run.
+        sim::MachineConfig faulted_cfg = cp.machine_config;
+        faulted_cfg.fuel = golden.instret * 4 + 100'000;
+
+        for (std::size_t pi = 0; pi < cfg.points.size(); ++pi) {
+            PointStats& stats = report.points[pi];
+            for (unsigned si = 0; si < cfg.seeds_per_point; ++si) {
+                common::Xoshiro256 rng{
+                    run_seed(cfg.base_seed, wi, cfg.points[pi], si)};
+                Injector injector{FaultPlan{{FaultPlan::random_spec(
+                    cfg.points[pi], golden.instret, rng, cfg.mode)}}};
+
+                sim::Machine machine{cp.program, faulted_cfg};
+                injector.attach(machine);
+                const sim::RunResult faulted = machine.run();
+                const Outcome outcome = classify(golden, faulted, injector);
+
+                ++stats.runs;
+                if (outcome.fired) ++stats.fired;
+                switch (outcome.verdict) {
+                case Verdict::Detected:
+                    ++stats.detected;
+                    if (outcome.fired) {
+                        stats.latencies.push_back(static_cast<double>(
+                            outcome.detection_latency()));
+                    }
+                    break;
+                case Verdict::Masked: ++stats.masked; break;
+                case Verdict::SilentCorruption: ++stats.silent; break;
+                }
+            }
+        }
+    }
+    return report;
+}
+
+void CampaignReport::print(std::ostream& os) const
+{
+    os << "fault campaign: scheme=" << compiler::scheme_name(config.scheme)
+       << " mode=" << fault_mode_name(config.mode)
+       << " seeds/point=" << config.seeds_per_point
+       << " seed=" << config.base_seed << "\nworkloads:";
+    for (const auto& w : config.workloads) os << ' ' << w;
+    os << "\n\n";
+
+    common::TextTable table{{"point", "runs", "fired", "detected", "masked",
+                             "silent", "det-rate", "mean-latency"}};
+    for (const PointStats& p : points) {
+        table.add_row({std::string{sim::probe_name(p.point)},
+                       std::to_string(p.runs), std::to_string(p.fired),
+                       std::to_string(p.detected), std::to_string(p.masked),
+                       std::to_string(p.silent),
+                       common::fmt(100.0 * p.detection_rate(), 1) + "%",
+                       common::fmt(p.mean_latency(), 1)});
+    }
+    table.print(os);
+    os << "\ntotal runs " << total_runs() << ", silent corruptions "
+       << total_silent() << " (" << protected_silent()
+       << " at metadata-protected points)\n";
+}
+
+} // namespace hwst::fault

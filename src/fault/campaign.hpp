@@ -1,0 +1,77 @@
+// Campaign runner: sweeps N seeded faults per injection point over one
+// or more workloads, classifies every run with the oracle and
+// aggregates per-point detection statistics. Everything is derived
+// deterministically from (base_seed, point, workload index, seed
+// index), so the same command line reproduces a byte-identical report.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "compiler/scheme.hpp"
+#include "fault/oracle.hpp"
+
+namespace hwst::fault {
+
+/// Every Probe point, in declaration order.
+std::vector<Probe> all_probes();
+
+/// True for points inside HWST128's metadata protection domain, where
+/// a fault must never be silent (it only feeds checks, so it can trap
+/// spuriously or be masked). D-cache fill data is the exception: the
+/// paper leaves program-data integrity to ECC, so faults there are
+/// *expected* to corrupt output silently — the campaign reports them as
+/// the unprotected contrast.
+constexpr bool metadata_protected(Probe p)
+{
+    return p != Probe::DcacheFillData;
+}
+
+struct CampaignConfig {
+    compiler::Scheme scheme = compiler::Scheme::Hwst128Tchk;
+    std::vector<std::string> workloads{"crc32", "treeadd"};
+    std::vector<Probe> points = all_probes();
+    unsigned seeds_per_point = 20;
+    u64 base_seed = 0xC0FFEE;
+    FaultMode mode = FaultMode::OneShot;
+};
+
+struct PointStats {
+    Probe point = Probe::SrfSpatialWrite;
+    u64 runs = 0;
+    u64 fired = 0; ///< runs where the fault actually perturbed a value
+    u64 detected = 0;
+    u64 masked = 0;
+    u64 silent = 0;
+    /// Detection latencies (instructions) over detected-and-fired runs.
+    std::vector<double> latencies;
+
+    double detection_rate() const
+    {
+        return fired ? static_cast<double>(detected) /
+                           static_cast<double>(fired)
+                     : 0.0;
+    }
+    double mean_latency() const { return common::mean(latencies); }
+};
+
+struct CampaignReport {
+    CampaignConfig config;
+    std::vector<PointStats> points; ///< one entry per config.points entry
+
+    u64 total_runs() const;
+    u64 total_silent() const;
+
+    /// Silent corruptions at metadata_protected() points only — the
+    /// quantity that must be zero for the completeness claim to hold.
+    u64 protected_silent() const;
+
+    /// Aggregate table (deterministic: same config -> same bytes).
+    void print(std::ostream& os) const;
+};
+
+CampaignReport run_campaign(const CampaignConfig& cfg);
+
+} // namespace hwst::fault

@@ -1,0 +1,35 @@
+#include "fault/injector.hpp"
+
+namespace hwst::fault {
+
+Injector::Injector(FaultPlan plan)
+{
+    armed_.reserve(plan.faults.size());
+    for (const FaultSpec& spec : plan.faults) armed_.push_back(Armed{spec});
+}
+
+u64 Injector::perturb(Probe point, u64 instret, u64 value)
+{
+    for (Armed& a : armed_) {
+        if (a.spec.point != point || a.done) continue;
+        if (instret < a.spec.trigger_instret) continue;
+        value ^= a.spec.xor_mask;
+        if (a.spec.mode == FaultMode::OneShot) a.done = true;
+        if (fires_ == 0) first_fire_ = instret;
+        ++fires_;
+        if (log_.size() < kMaxLog) {
+            log_.push_back(FireRecord{point, instret,
+                                      value ^ a.spec.xor_mask, value});
+        }
+    }
+    return value;
+}
+
+void Injector::attach(sim::Machine& m)
+{
+    m.set_probe_hook([this](Probe point, u64 instret, u64 value) {
+        return perturb(point, instret, value);
+    });
+}
+
+} // namespace hwst::fault

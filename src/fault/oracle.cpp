@@ -1,0 +1,40 @@
+#include "fault/oracle.hpp"
+
+#include "common/error.hpp"
+
+namespace hwst::fault {
+
+using hwst::TrapKind;
+
+Outcome classify(const sim::RunResult& golden, const sim::RunResult& faulted,
+                 const Injector& injector)
+{
+    if (!golden.ok()) {
+        throw common::ToolchainError{
+            "fault oracle: golden run trapped; campaigns need a clean "
+            "reference"};
+    }
+
+    Outcome out;
+    out.trap = faulted.trap;
+    out.fired = injector.fired();
+    out.injected_at = injector.first_fire_instret();
+    out.ended_at = faulted.instret;
+
+    if (faulted.trap.kind == TrapKind::None) {
+        out.verdict = faulted.output == golden.output &&
+                              faulted.exit_code == golden.exit_code
+                          ? Verdict::Masked
+                          : Verdict::SilentCorruption;
+    } else if (faulted.trap.kind == TrapKind::FuelExhausted) {
+        // The fault sent the program into a livelock the architecture
+        // never flagged: that is a hang, not a detection — score it
+        // conservatively as silent corruption.
+        out.verdict = Verdict::SilentCorruption;
+    } else {
+        out.verdict = Verdict::Detected;
+    }
+    return out;
+}
+
+} // namespace hwst::fault

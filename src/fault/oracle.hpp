@@ -1,0 +1,50 @@
+// Trap-or-survive oracle: classifies a faulted run against the golden
+// (fault-free) run of the same program. The paper's completeness claim,
+// restated for metadata integrity: a corrupted check can fire spuriously
+// (detected — a false positive is the safe failure) or change nothing
+// observable (masked), but it must never let the program finish with
+// different output and no trap (silent corruption).
+#pragma once
+
+#include "fault/injector.hpp"
+#include "sim/machine.hpp"
+
+namespace hwst::fault {
+
+enum class Verdict : common::u8 {
+    Masked,           ///< clean exit, output identical to golden
+    Detected,         ///< ended in an architectural trap
+    SilentCorruption, ///< clean exit but diverged output, or livelock
+};
+
+constexpr std::string_view verdict_name(Verdict v)
+{
+    switch (v) {
+    case Verdict::Masked: return "masked";
+    case Verdict::Detected: return "detected";
+    case Verdict::SilentCorruption: return "silent-corruption";
+    }
+    return "unknown";
+}
+
+struct Outcome {
+    Verdict verdict = Verdict::Masked;
+    hwst::Trap trap{};    ///< the faulted run's trap (kind None if exited)
+    bool fired = false;   ///< did any scheduled fault actually perturb a value
+    u64 injected_at = 0;  ///< instret of the first perturbation
+    u64 ended_at = 0;     ///< instret the faulted run stopped at
+
+    /// Instructions between injection and the trap (Detected runs).
+    u64 detection_latency() const
+    {
+        return ended_at >= injected_at ? ended_at - injected_at : 0;
+    }
+};
+
+/// Classify `faulted` against `golden`. `golden` must be a clean run
+/// (no trap) of the same program — anything else is a harness bug and
+/// throws common::ToolchainError.
+Outcome classify(const sim::RunResult& golden, const sim::RunResult& faulted,
+                 const Injector& injector);
+
+} // namespace hwst::fault

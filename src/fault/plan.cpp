@@ -1,0 +1,47 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hwst::fault {
+
+FaultMode fault_mode_from_name(std::string_view name)
+{
+    if (name == fault_mode_name(FaultMode::OneShot)) return FaultMode::OneShot;
+    if (name == fault_mode_name(FaultMode::StuckAt)) return FaultMode::StuckAt;
+    throw common::ToolchainError{"unknown fault mode: " + std::string{name} +
+                                 " (try: one-shot stuck-at)"};
+}
+
+std::string FaultSpec::describe() const
+{
+    std::string s{sim::probe_name(point)};
+    s += ' ';
+    s += fault_mode_name(mode);
+    s += " @" + std::to_string(trigger_instret);
+    char hex[32];
+    std::snprintf(hex, sizeof hex, " xor=0x%llx",
+                  static_cast<unsigned long long>(xor_mask));
+    return s + hex;
+}
+
+FaultPlan FaultPlan::single(Probe point, FaultMode mode, u64 trigger,
+                            u64 xor_mask)
+{
+    return FaultPlan{{FaultSpec{point, mode, trigger, xor_mask}}};
+}
+
+FaultSpec FaultPlan::random_spec(Probe point, u64 window,
+                                 common::Xoshiro256& rng, FaultMode mode)
+{
+    FaultSpec spec;
+    spec.point = point;
+    spec.mode = mode;
+    spec.trigger_instret = rng.range(1, window ? window : 1);
+    spec.xor_mask = u64{1} << rng.below(64);
+    if (rng.chance(1, 2)) spec.xor_mask |= u64{1} << rng.below(64);
+    return spec;
+}
+
+} // namespace hwst::fault

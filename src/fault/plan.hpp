@@ -1,0 +1,62 @@
+// FaultPlan: the schedule of metadata faults one simulated run is
+// subjected to. Plans are plain data, built either explicitly (tests,
+// the fault_tool CLI) or drawn deterministically from a seeded
+// Xoshiro256 (campaigns), so a report always reproduces from
+// (seed, point, mode) alone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "sim/machine.hpp"
+
+namespace hwst::fault {
+
+using common::u64;
+using sim::Probe;
+
+/// How a fault behaves once its trigger is reached.
+enum class FaultMode : common::u8 {
+    OneShot, ///< flip bits in the first matching value, then disarm
+    StuckAt, ///< flip the same bits in every matching value from then on
+};
+
+constexpr std::string_view fault_mode_name(FaultMode m)
+{
+    switch (m) {
+    case FaultMode::OneShot: return "one-shot";
+    case FaultMode::StuckAt: return "stuck-at";
+    }
+    return "unknown";
+}
+
+FaultMode fault_mode_from_name(std::string_view name);
+
+/// One scheduled fault: at retire count `trigger_instret` (or later,
+/// the first time the datapath is actually exercised), xor `xor_mask`
+/// into the value flowing through `point`.
+struct FaultSpec {
+    Probe point = Probe::SrfSpatialWrite;
+    FaultMode mode = FaultMode::OneShot;
+    u64 trigger_instret = 1;
+    u64 xor_mask = 1;
+
+    std::string describe() const;
+};
+
+struct FaultPlan {
+    std::vector<FaultSpec> faults;
+
+    static FaultPlan single(Probe point, FaultMode mode, u64 trigger,
+                            u64 xor_mask);
+
+    /// Deterministically draw a 1-or-2-bit SEU with a trigger uniform in
+    /// [1, window] (window = the golden run's instruction count, so the
+    /// fault lands somewhere inside the program's lifetime).
+    static FaultSpec random_spec(Probe point, u64 window,
+                                 common::Xoshiro256& rng,
+                                 FaultMode mode = FaultMode::OneShot);
+};
+
+} // namespace hwst::fault

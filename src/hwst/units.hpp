@@ -50,12 +50,23 @@ public:
         return Result{pass};
     }
 
+    /// A check that short-circuited on the saturating poison encoding
+    /// (compression-width overflow): counts as a failed check.
+    void note_saturated()
+    {
+        ++checks_;
+        ++violations_;
+        ++saturated_;
+    }
+
     u64 checks() const { return checks_; }
     u64 violations() const { return violations_; }
+    u64 saturated() const { return saturated_; }
 
 private:
     u64 checks_ = 0;
     u64 violations_ = 0;
+    u64 saturated_ = 0;
 };
 
 /// TCU — temporal check: key held by the pointer vs key stored at the
@@ -74,12 +85,23 @@ public:
         return Result{pass};
     }
 
+    /// A check that short-circuited on the saturating poison encoding
+    /// (compression-width overflow): counts as a failed check.
+    void note_saturated()
+    {
+        ++checks_;
+        ++violations_;
+        ++saturated_;
+    }
+
     u64 checks() const { return checks_; }
     u64 violations() const { return violations_; }
+    u64 saturated() const { return saturated_; }
 
 private:
     u64 checks_ = 0;
     u64 violations_ = 0;
+    u64 saturated_ = 0;
 };
 
 } // namespace hwst::hwst

@@ -99,16 +99,19 @@ LockGrant LockAllocator::allocate()
         index = next_index_++;
     }
     ++live_;
+    live_indices_.insert(index);
     return LockGrant{base_ + 8 * index, next_key_++};
 }
 
-void LockAllocator::release(u64 lock_addr)
+bool LockAllocator::release(u64 lock_addr)
 {
+    if (lock_addr < base_ || (lock_addr - base_) % 8 != 0) return false;
     const u64 index = (lock_addr - base_) / 8;
-    if (lock_addr < base_ || index >= entries_)
-        throw common::SimError{"LockAllocator: release of bad lock address"};
+    if (index >= entries_) return false;
+    if (live_indices_.erase(index) == 0) return false; // not a live grant
     recycled_.push_back(index);
     --live_;
+    return true;
 }
 
 } // namespace hwst::mem

@@ -16,6 +16,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bitops.hpp"
@@ -80,8 +81,11 @@ public:
     LockGrant allocate();
 
     /// Recycle a lock_location. The caller (free wrapper) is
-    /// responsible for erasing the key in simulated memory.
-    void release(u64 lock_addr);
+    /// responsible for erasing the key in simulated memory. Returns
+    /// false (and changes nothing) if `lock_addr` is not a live grant —
+    /// a double release or a corrupted address from the simulated
+    /// program; the Machine turns that into a trap, never a host crash.
+    [[nodiscard]] bool release(u64 lock_addr);
 
     u64 base() const { return base_; }
     u64 entries() const { return entries_; }
@@ -104,6 +108,7 @@ private:
     u64 next_key_ = 2;
     u64 live_ = 0;
     std::vector<u64> recycled_;
+    std::unordered_set<u64> live_indices_;
 };
 
 } // namespace hwst::mem

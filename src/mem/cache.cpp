@@ -25,6 +25,7 @@ unsigned Cache::access(u64 addr)
         Line& line = base[w];
         if (line.valid && line.tag == tag) {
             line.lru = tick_;
+            last_miss_ = false;
             return cfg_.hit_cycles;
         }
         if (!line.valid) {
@@ -35,6 +36,7 @@ unsigned Cache::access(u64 addr)
     }
 
     ++stats_.misses;
+    last_miss_ = true;
     victim->valid = true;
     victim->tag = tag;
     victim->lru = tick_;

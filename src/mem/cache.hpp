@@ -44,6 +44,11 @@ public:
     /// Probe without updating state (diagnostics).
     bool would_hit(u64 addr) const;
 
+    /// Whether the most recent access() missed (i.e. triggered a refill
+    /// from the simulated DRAM). Lets the Machine tell fill data from
+    /// hit data for the DcacheFillData fault-injection point.
+    bool last_access_missed() const { return last_miss_; }
+
     void flush();
 
     const CacheConfig& config() const { return cfg_; }
@@ -64,6 +69,7 @@ private:
     std::vector<Line> lines_; // sets * ways
     CacheStats stats_;
     u64 tick_ = 0;
+    bool last_miss_ = false;
 };
 
 } // namespace hwst::mem

@@ -16,8 +16,13 @@
 // (Fig. 6, −0.86 %).
 //
 // lock is stored as an index relative to the lock region base (Eq. 5:
-// 20 bits address one million lock_locations); key is truncated to the
-// remaining width (Eq. 6).
+// 20 bits address one million lock_locations); key takes the remaining
+// width (Eq. 6).
+//
+// A field that exceeds its configured width does NOT wrap: COMP emits
+// the reserved all-ones saturating encoding and the pipeline traps on
+// the first checked use (graceful degradation — a too-large object or
+// key can cause a false violation, never a missed one).
 #pragma once
 
 #include "common/bitops.hpp"
@@ -70,11 +75,23 @@ struct Compressed {
 };
 
 /// True if every field of `md` fits the configured widths exactly
-/// (no truncation, no range slack beyond the 8-byte round-up).
+/// (no truncation, no range slack beyond the 8-byte round-up) and the
+/// encoding does not collide with the reserved saturating pattern.
 bool representable(const Metadata& md, const CompressionConfig& cfg);
 
-/// COMP unit: compress (hardware truncates out-of-width bits, like the
-/// RTL would; callers use representable() to detect that).
+/// Saturating ("poison") encodings: every field all-ones. COMP emits
+/// these whenever a field exceeds its configured width, instead of
+/// silently wrapping; the Machine treats them as metadata that fails
+/// every check, so overflow degrades to a conservative trap on first
+/// use. The all-ones pattern is reserved: representable() rejects
+/// metadata that would legitimately encode to it.
+u64 saturated_spatial(const CompressionConfig& cfg);
+u64 saturated_temporal(const CompressionConfig& cfg);
+bool is_saturated_spatial(u64 lo, const CompressionConfig& cfg);
+bool is_saturated_temporal(u64 hi, const CompressionConfig& cfg);
+
+/// COMP unit: compress. Out-of-width fields saturate (see above);
+/// callers use representable() to predict that.
 u64 compress_spatial(u64 base, u64 bound, const CompressionConfig& cfg);
 u64 compress_temporal(u64 key, u64 lock, const CompressionConfig& cfg);
 Compressed compress(const Metadata& md, const CompressionConfig& cfg);

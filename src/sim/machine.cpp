@@ -154,7 +154,12 @@ unsigned Machine::dcache_extra(u64 addr)
 u64 Machine::mem_load(u64 addr, unsigned width, bool sign_extend)
 {
     cycles_ += dcache_extra(addr);
-    return mem_.load(addr, width, sign_extend);
+    u64 value = mem_.load(addr, width, sign_extend);
+    // Fill data is the one datapath HWST metadata does not cover (the
+    // paper leaves data integrity to ECC); expose it as its own probe.
+    if (probe_hook_ && dcache_.last_access_missed())
+        value = probe_hook_(Probe::DcacheFillData, instret_, value);
+    return value;
 }
 
 void Machine::mem_store(u64 addr, unsigned width, u64 value)
@@ -171,6 +176,22 @@ void Machine::mem_store(u64 addr, unsigned width, u64 value)
     mem_.store(addr, width, value);
 }
 
+Machine::ActiveCompression Machine::active_compression()
+{
+    const u64 bitw = probe(Probe::CompCsrWidths,
+                           csrs_.read(hwst::kCsrBitw).value_or(0));
+    auto cfg = metadata::CompressionConfig::from_csr(
+        static_cast<u32>(bitw) & 0xFFFFFF,
+        csrs_.read(hwst::kCsrLockBase).value_or(0));
+    bool valid = true;
+    try {
+        cfg.validate();
+    } catch (const common::ConfigError&) {
+        valid = false;
+    }
+    return ActiveCompression{cfg, valid};
+}
+
 std::optional<Trap> Machine::spatial_check(Reg ptr_reg, u64 addr,
                                            unsigned width)
 {
@@ -179,9 +200,20 @@ std::optional<Trap> Machine::spatial_check(Reg ptr_reg, u64 addr,
     // No (or cleared) spatial metadata: the access is unchecked, exactly
     // like SoftBound pointers whose provenance the analysis lost.
     if (!entry.valid_lo || entry.value.lo == 0) return std::nullopt;
+    const ActiveCompression ac = active_compression();
+    if (!ac.valid) {
+        csrs_.record_violation(static_cast<u64>(TrapKind::IllegalInstruction),
+                               hwst::kCsrBitw);
+        return Trap{TrapKind::IllegalInstruction, hwst::kCsrBitw, pc_};
+    }
+    if (metadata::is_saturated_spatial(entry.value.lo, ac.cfg)) {
+        scu_.note_saturated();
+        csrs_.record_violation(static_cast<u64>(TrapKind::SpatialViolation),
+                               addr);
+        return Trap{TrapKind::SpatialViolation, addr, pc_};
+    }
     u64 base = 0, bound = 0;
-    metadata::decompress_spatial(entry.value.lo, csrs_.compression(), base,
-                                 bound);
+    metadata::decompress_spatial(entry.value.lo, ac.cfg, base, bound);
     if (scu_.check(addr, width, base, bound).pass) return std::nullopt;
     csrs_.record_violation(static_cast<u64>(TrapKind::SpatialViolation), addr);
     return Trap{TrapKind::SpatialViolation, addr, pc_};
@@ -455,6 +487,27 @@ Trap Machine::exec(const Instruction& in, u64& next_pc)
             (!is_imm && in.rs1 != Reg::zero) || (is_imm && imm != 0);
         if (writes && in.csr != hwst::kCsrCycle &&
             in.csr != hwst::kCsrInstret) {
+            // Graceful degradation: reject csr.bitw / csr.lock.base
+            // values COMP/DECOMP could not operate under (zero-width
+            // fields, spatial half over 64 bits, misaligned lock base)
+            // at the write, instead of computing garbage at every later
+            // metadata operation.
+            if (in.csr == hwst::kCsrBitw || in.csr == hwst::kCsrLockBase) {
+                const u64 bitw = in.csr == hwst::kCsrBitw
+                                     ? next
+                                     : csrs_.read(hwst::kCsrBitw).value_or(0);
+                const u64 lock_base =
+                    in.csr == hwst::kCsrLockBase
+                        ? next
+                        : csrs_.read(hwst::kCsrLockBase).value_or(0);
+                auto cc = metadata::CompressionConfig::from_csr(
+                    static_cast<u32>(bitw) & 0xFFFFFF, lock_base);
+                try {
+                    cc.validate();
+                } catch (const common::ConfigError&) {
+                    return Trap{TrapKind::IllegalInstruction, in.csr, pc_};
+                }
+            }
             csrs_.write(in.csr, next);
         }
         set_reg(in.rd, old);
@@ -470,27 +523,45 @@ Trap Machine::exec(const Instruction& in, u64& next_pc)
 Trap Machine::exec_hwst(const Instruction& in)
 {
     const u64 rs1 = reg(in.rs1);
-    const auto cfg = csrs_.compression();
     const u64 sm_off = csrs_.sm_offset();
 
+    // COMP/DECOMP cannot operate under perturbed-or-invalid field
+    // widths; the op that needed them traps instead of computing
+    // garbage.
+    const auto bad_widths = [this] {
+        csrs_.record_violation(static_cast<u64>(TrapKind::IllegalInstruction),
+                               hwst::kCsrBitw);
+        return Trap{TrapKind::IllegalInstruction, hwst::kCsrBitw, pc_};
+    };
+
     switch (in.op) {
-    case Opcode::BNDRS:
-        srf_.bind_spatial(in.rd, metadata::compress_spatial(rs1, reg(in.rs2),
-                                                            cfg));
+    case Opcode::BNDRS: {
+        const ActiveCompression ac = active_compression();
+        if (!ac.valid) return bad_widths();
+        srf_.bind_spatial(
+            in.rd, probe(Probe::SrfSpatialWrite,
+                         metadata::compress_spatial(rs1, reg(in.rs2),
+                                                    ac.cfg)));
         break;
-    case Opcode::BNDRT:
-        srf_.bind_temporal(in.rd, metadata::compress_temporal(rs1,
-                                                              reg(in.rs2),
-                                                              cfg));
+    }
+    case Opcode::BNDRT: {
+        const ActiveCompression ac = active_compression();
+        if (!ac.valid) return bad_widths();
+        srf_.bind_temporal(
+            in.rd, probe(Probe::SrfTemporalWrite,
+                         metadata::compress_temporal(rs1, reg(in.rs2),
+                                                     ac.cfg)));
         break;
+    }
 
     case Opcode::SBDL: case Opcode::SBDU: {
         const auto& e = srf_.entry(in.rs2);
         const bool upper = in.op == Opcode::SBDU;
         const u64 addr = smac_.map(rs1 + static_cast<u64>(in.imm), sm_off) +
                          (upper ? hwst::Smac::upper_slot_offset() : 0);
-        const u64 value = upper ? (e.valid_hi ? e.value.hi : 0)
-                                : (e.valid_lo ? e.value.lo : 0);
+        const u64 value =
+            probe(Probe::LmsmStore, upper ? (e.valid_hi ? e.value.hi : 0)
+                                          : (e.valid_lo ? e.value.lo : 0));
         cycles_ += dcache_extra(addr);
         mem_.store(addr, 8, value);
         break;
@@ -500,26 +571,42 @@ Trap Machine::exec_hwst(const Instruction& in)
         const bool upper = in.op == Opcode::LBDUS;
         const u64 addr = smac_.map(rs1 + static_cast<u64>(in.imm), sm_off) +
                          (upper ? hwst::Smac::upper_slot_offset() : 0);
-        const u64 value = mem_load(addr, 8, false);
+        const u64 value = probe(Probe::LmsmLoad, mem_load(addr, 8, false));
         if (upper) srf_.set_hi(in.rd, value, value != 0);
         else srf_.set_lo(in.rd, value, value != 0);
         break;
     }
 
     case Opcode::LBAS: case Opcode::LBND: {
+        const ActiveCompression ac = active_compression();
+        if (!ac.valid) return bad_widths();
         const u64 addr = smac_.map(rs1, sm_off);
-        const u64 lo = mem_load(addr, 8, false);
+        const u64 lo = probe(Probe::LmsmLoad, mem_load(addr, 8, false));
+        if (metadata::is_saturated_spatial(lo, ac.cfg)) {
+            scu_.note_saturated();
+            csrs_.record_violation(
+                static_cast<u64>(TrapKind::SpatialViolation), rs1);
+            return Trap{TrapKind::SpatialViolation, rs1, pc_};
+        }
         u64 base = 0, bound = 0;
-        metadata::decompress_spatial(lo, cfg, base, bound);
+        metadata::decompress_spatial(lo, ac.cfg, base, bound);
         set_reg(in.rd, in.op == Opcode::LBAS ? base : bound);
         break;
     }
     case Opcode::LKEY: case Opcode::LLOC: {
+        const ActiveCompression ac = active_compression();
+        if (!ac.valid) return bad_widths();
         const u64 addr = smac_.map(rs1, sm_off) +
                          hwst::Smac::upper_slot_offset();
-        const u64 hi = mem_load(addr, 8, false);
+        const u64 hi = probe(Probe::LmsmLoad, mem_load(addr, 8, false));
+        if (metadata::is_saturated_temporal(hi, ac.cfg)) {
+            tcu_.note_saturated();
+            csrs_.record_violation(
+                static_cast<u64>(TrapKind::TemporalViolation), rs1);
+            return Trap{TrapKind::TemporalViolation, rs1, pc_};
+        }
         u64 key = 0, lock = 0;
-        metadata::decompress_temporal(hi, cfg, key, lock);
+        metadata::decompress_temporal(hi, ac.cfg, key, lock);
         set_reg(in.rd, in.op == Opcode::LKEY ? key : lock);
         break;
     }
@@ -528,8 +615,16 @@ Trap Machine::exec_hwst(const Instruction& in)
         if (!csrs_.temporal_enabled()) break;
         const auto& e = srf_.entry(in.rs1);
         if (!e.valid_hi || e.value.hi == 0) break; // no temporal metadata
+        const ActiveCompression ac = active_compression();
+        if (!ac.valid) return bad_widths();
+        if (metadata::is_saturated_temporal(e.value.hi, ac.cfg)) {
+            tcu_.note_saturated();
+            csrs_.record_violation(
+                static_cast<u64>(TrapKind::TemporalViolation), rs1);
+            return Trap{TrapKind::TemporalViolation, rs1, pc_};
+        }
         u64 key = 0, lock = 0;
-        metadata::decompress_temporal(e.value.hi, cfg, key, lock);
+        metadata::decompress_temporal(e.value.hi, ac.cfg, key, lock);
         // The temporal check needs a second memory access (load the key
         // from the lock_location). A keybuffer hit elides it entirely;
         // a miss pays the full D-cache access (paper §3.5).
@@ -538,11 +633,14 @@ Trap Machine::exec_hwst(const Instruction& in)
             cycles_ += dcache_.access(lock);
             mem_key = mem_.load(lock, 8, false);
         } else if (const auto hit = keybuffer_.lookup(lock)) {
-            mem_key = *hit;
+            mem_key = probe(Probe::KeybufferLookup, *hit);
         } else {
             cycles_ += dcache_.access(lock);
             mem_key = mem_.load(lock, 8, false);
-            keybuffer_.insert(lock, mem_key);
+            // A fill fault corrupts what the buffer caches; the check in
+            // flight still compares the freshly loaded key, so the fault
+            // surfaces on a later hit (nonzero detection latency).
+            keybuffer_.insert(lock, probe(Probe::KeybufferFill, mem_key));
         }
         if (!tcu_.check(key, mem_key).pass) {
             csrs_.record_violation(
@@ -734,7 +832,14 @@ Trap Machine::exec_ecall()
     }
 
     case Sys::LockFree:
-        locks_->release(a0);
+        // The free wrapper hands us a lock address it recovered from
+        // (possibly corrupted) metadata. A bad or double release is
+        // simulated-program misbehaviour — abort like glibc would on a
+        // bad free(), never crash the host.
+        if (!locks_->release(a0)) {
+            running_ = false;
+            return Trap{TrapKind::LibcAbort, a0, pc_};
+        }
         break;
 
     case Sys::PrintI64:
@@ -791,8 +896,11 @@ Trap Machine::exec_ecall()
     }
 
     default:
-        throw SimError{"unknown ecall number " +
-                       std::to_string(reg(Reg::a7))};
+        // An unknown ecall number is simulated-program behaviour (a
+        // stray jump could land on any ecall with any a7), not a host
+        // error: deliver it as a trap so harnesses classify it.
+        running_ = false;
+        return Trap{TrapKind::IllegalInstruction, reg(Reg::a7), pc_};
     }
     return Trap{};
 }
@@ -821,6 +929,8 @@ RunResult Machine::run()
     result.keybuffer = keybuffer_.stats();
     result.scu_checks = scu_.checks();
     result.tcu_checks = tcu_.checks();
+    result.scu_saturated = scu_.saturated();
+    result.tcu_saturated = tcu_.saturated();
     result.smac_translations = smac_.translations();
     result.mix = mix_;
     return result;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hwst/csr.hpp"
@@ -111,11 +112,45 @@ struct RunResult {
     metadata::KeybufferStats keybuffer;
     u64 scu_checks = 0;
     u64 tcu_checks = 0;
+    u64 scu_saturated = 0; ///< checks rejected on the saturating encoding
+    u64 tcu_saturated = 0;
     u64 smac_translations = 0;
     InstrMix mix;
 
     bool ok() const { return trap.kind == hwst::TrapKind::None; }
 };
+
+/// Architecturally meaningful points where a value can be observed or
+/// perturbed in flight (fault injection, instrumentation tooling). Each
+/// names a 64-bit datapath of Fig. 3; the fault engine in src/fault/
+/// builds its injection campaigns on these.
+enum class Probe : common::u8 {
+    SrfSpatialWrite,  ///< compressed lo half on its way into the SRF
+    SrfTemporalWrite, ///< compressed hi half on its way into the SRF
+    LmsmStore,        ///< sbdl/sbdu write data to the shadow memory
+    LmsmLoad,         ///< shadow word loaded by lbdls/lbdus/lbas/.../lloc
+    KeybufferFill,    ///< key inserted into the keybuffer on a tchk miss
+    KeybufferLookup,  ///< key returned by a keybuffer hit
+    CompCsrWidths,    ///< csr.bitw field widths as COMP/DECOMP read them
+    DcacheFillData,   ///< load data arriving on a D-cache miss refill
+};
+
+inline constexpr unsigned kNumProbes = 8;
+
+constexpr std::string_view probe_name(Probe p)
+{
+    switch (p) {
+    case Probe::SrfSpatialWrite: return "srf-spatial-write";
+    case Probe::SrfTemporalWrite: return "srf-temporal-write";
+    case Probe::LmsmStore: return "lmsm-store";
+    case Probe::LmsmLoad: return "lmsm-load";
+    case Probe::KeybufferFill: return "keybuffer-fill";
+    case Probe::KeybufferLookup: return "keybuffer-lookup";
+    case Probe::CompCsrWidths: return "comp-csr-widths";
+    case Probe::DcacheFillData: return "dcache-fill-data";
+    }
+    return "unknown";
+}
 
 class Machine {
 public:
@@ -135,6 +170,13 @@ public:
     using TraceHook =
         std::function<void(u64 pc, const riscv::Instruction&)>;
     void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
+    /// Value-perturbation hook, invoked at every Probe point with the
+    /// in-flight value; whatever it returns is used instead (return
+    /// `value` unchanged for a transparent observer). Pass nullptr to
+    /// disable. The fault engine (src/fault/) is the main client.
+    using ProbeHook = std::function<u64(Probe, u64 instret, u64 value)>;
+    void set_probe_hook(ProbeHook hook) { probe_hook_ = std::move(hook); }
 
     // ---- introspection (tests, examples) -----------------------------
     u64 reg(Reg r) const { return regs_[riscv::reg_index(r)]; }
@@ -178,6 +220,22 @@ private:
     std::optional<hwst::Trap> spatial_check(Reg ptr_reg, u64 addr,
                                             unsigned width);
 
+    /// Run `value` through the probe hook (identity when no hook set).
+    u64 probe(Probe p, u64 value)
+    {
+        return probe_hook_ ? probe_hook_(p, instret_, value) : value;
+    }
+
+    /// Compression config as COMP/DECOMP see it: the CSR widths routed
+    /// through the CompCsrWidths probe, then validated. `valid == false`
+    /// means the (possibly perturbed) widths are unusable and any
+    /// metadata operation must trap rather than compute garbage.
+    struct ActiveCompression {
+        metadata::CompressionConfig cfg;
+        bool valid;
+    };
+    ActiveCompression active_compression();
+
     const riscv::Program& program_;
     MachineConfig cfg_;
 
@@ -211,6 +269,7 @@ private:
 
     InstrMix mix_;
     TraceHook trace_;
+    ProbeHook probe_hook_;
 };
 
 } // namespace hwst::sim

@@ -162,6 +162,59 @@ TEST(HwstIsa, KeybufferSnoopsLockStores)
     EXPECT_EQ(m.run().trap.kind, TrapKind::TemporalViolation);
 }
 
+/// Free a lock, let the allocator recycle the same lock_location for a
+/// new object, and check the stale pointer with it: the snoop flush on
+/// the freeing zero-store must have evicted the old lock->key entry, so
+/// the fresh pointer's tchk passes (and re-fills with the new key) while
+/// the stale pointer's tchk traps. A stale keybuffer entry surviving the
+/// free would fail this both ways: spurious trap on the fresh pointer,
+/// or — worse — a masked use-after-free on the stale one.
+Built build_recycled_lock_uaf()
+{
+    return build([](Program& p) {
+        const i64 base = static_cast<i64>(p.layout().data_base);
+        bind_object(p, base, 64);
+        p.emit(rtype(Opcode::TCHK, Reg::zero, Reg::a0, Reg::zero)); // fill
+        p.emit(mv(Reg::s6, Reg::a0)); // keep the soon-stale pointer
+        // Free: erase the key (snooped by the keybuffer), release lock.
+        p.emit(stype(Opcode::SD, Reg::s3, Reg::zero, 0));
+        p.emit(mv(Reg::a0, Reg::s3));
+        p.emit_li(Reg::a7, static_cast<i64>(Sys::LockFree));
+        p.emit(Instruction{Opcode::ECALL});
+        // Reallocate: the allocator recycles the freed lock_location.
+        p.emit_li(Reg::a7, static_cast<i64>(Sys::LockAlloc));
+        p.emit(Instruction{Opcode::ECALL}); // a0 = same lock, a1 = new key
+        p.emit_li(Reg::t0, base + 128);
+        p.emit_li(Reg::t5, base + 192);
+        p.emit(rtype(Opcode::BNDRS, Reg::t0, Reg::t0, Reg::t5));
+        p.emit(rtype(Opcode::BNDRT, Reg::t0, Reg::a1, Reg::a0));
+        p.emit(rtype(Opcode::TCHK, Reg::zero, Reg::t0, Reg::zero)); // fresh
+        p.emit(rtype(Opcode::TCHK, Reg::zero, Reg::s6, Reg::zero)); // stale
+    });
+}
+
+TEST(HwstIsa, RecycledLockStaleTchkTrapsFreshTchkPasses)
+{
+    auto b = build_recycled_lock_uaf();
+    Machine m{b.program};
+    const auto r = m.run();
+    EXPECT_EQ(r.trap.kind, TrapKind::TemporalViolation);
+    // All three tchks executed: fill, fresh (passed), stale (trapped).
+    EXPECT_EQ(r.tcu_checks, 3u);
+}
+
+TEST(HwstIsa, RecycledLockStaleTchkTrapsWithoutKeybuffer)
+{
+    auto b = build_recycled_lock_uaf();
+    sim::MachineConfig cfg;
+    cfg.keybuffer_enabled = false; // WDL-style: key loaded every check
+    Machine m{b.program, cfg};
+    const auto r = m.run();
+    EXPECT_EQ(r.trap.kind, TrapKind::TemporalViolation);
+    EXPECT_EQ(r.tcu_checks, 3u);
+    EXPECT_EQ(r.keybuffer.lookups, 0u);
+}
+
 TEST(HwstIsa, KbflushClearsBuffer)
 {
     auto b = build([](Program& p) {

@@ -301,6 +301,19 @@ TEST(MachineCsr, CycleAndInstretReadable)
     EXPECT_GT(r.exit_code, 0); // some instructions retired before read
 }
 
+TEST(MachineEcall, UnknownEcallNumberTrapsNotSimError)
+{
+    // A stray jump can land on an ecall with any a7: that is simulated-
+    // program behaviour, so it must surface as an architectural trap
+    // (recording the bogus number), never as a host-side SimError.
+    const auto r = run_program([](Program& p) {
+        p.emit_li(Reg::a7, 999);
+        p.emit(Instruction{Opcode::ECALL});
+    });
+    EXPECT_EQ(r.trap.kind, TrapKind::IllegalInstruction);
+    EXPECT_EQ(r.trap.addr, 999u);
+}
+
 TEST(MachineCsr, UnknownCsrIsIllegal)
 {
     const auto r = run_program([](Program& p) {

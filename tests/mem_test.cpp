@@ -190,11 +190,24 @@ TEST(LockAllocator, KeysAreUniqueForever)
 {
     LockAllocator la{0x40000000, 1024};
     const auto g1 = la.allocate();
-    la.release(g1.lock_addr);
+    EXPECT_TRUE(la.release(g1.lock_addr));
     const auto g2 = la.allocate();
     // The lock_location is recycled but the key never is (CETS).
     EXPECT_EQ(g2.lock_addr, g1.lock_addr);
     EXPECT_NE(g2.key, g1.key);
+}
+
+TEST(LockAllocator, ReleaseRejectsBadAndDoubleAddresses)
+{
+    LockAllocator la{0x40000000, 1024};
+    const auto g = la.allocate();
+    EXPECT_FALSE(la.release(0));                     // below the region
+    EXPECT_FALSE(la.release(g.lock_addr + 4));       // misaligned
+    EXPECT_FALSE(la.release(0x40000000 + 8 * 2048)); // past the region
+    EXPECT_FALSE(la.release(la.global_lock_addr())); // never granted
+    EXPECT_TRUE(la.release(g.lock_addr));
+    EXPECT_FALSE(la.release(g.lock_addr)); // double release
+    EXPECT_EQ(la.live(), 0u);
 }
 
 TEST(LockAllocator, GlobalLockIsIndexOne)

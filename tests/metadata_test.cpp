@@ -226,4 +226,75 @@ TEST(Keybuffer, ZeroCapacityRejected)
     EXPECT_THROW(Keybuffer{0}, common::ConfigError);
 }
 
+// Overflowing fields must saturate to the reserved all-ones poison
+// encoding, never wrap into a plausible-but-wrong smaller value.
+TEST(Saturation, EachOverflowingFieldSaturates)
+{
+    const auto cfg = paper_cfg();
+    const u64 sat_lo = saturated_spatial(cfg);
+    const u64 sat_hi = saturated_temporal(cfg);
+    EXPECT_NE(sat_lo, 0u); // distinct from "no metadata"
+    EXPECT_NE(sat_hi, 0u);
+    EXPECT_TRUE(is_saturated_spatial(sat_lo, cfg));
+    EXPECT_TRUE(is_saturated_temporal(sat_hi, cfg));
+
+    // base beyond 35 granule bits (>= 2^38).
+    EXPECT_EQ(compress_spatial(u64{1} << 38, (u64{1} << 38) + 8, cfg),
+              sat_lo);
+    // range beyond 29 granule bits (> 4 GiB - 8).
+    EXPECT_EQ(compress_spatial(0x1000, 0x1000 + (u64{1} << 33), cfg),
+              sat_lo);
+    // key beyond 44 bits.
+    EXPECT_EQ(compress_temporal(u64{1} << 44, kLockBase, cfg), sat_hi);
+    // lock below the region, or with an index beyond 20 bits.
+    EXPECT_EQ(compress_temporal(1, kLockBase - 8, cfg), sat_hi);
+    EXPECT_EQ(compress_temporal(1, kLockBase + ((u64{1} << 20) << 3), cfg),
+              sat_hi);
+
+    // In-range metadata never saturates.
+    const u64 ok_lo = compress_spatial(0x1000, 0x1040, cfg);
+    const u64 ok_hi = compress_temporal(7, kLockBase + 16, cfg);
+    EXPECT_FALSE(is_saturated_spatial(ok_lo, cfg));
+    EXPECT_FALSE(is_saturated_temporal(ok_hi, cfg));
+}
+
+TEST(Saturation, RepresentableRejectsPoisonCollisions)
+{
+    // Metadata whose legitimate encoding would equal the reserved
+    // all-ones pattern is declared unrepresentable, so the poison value
+    // is unambiguous.
+    const auto cfg = paper_cfg();
+    Metadata md;
+    md.base = common::mask64(35) << 3;
+    md.bound = md.base + (common::mask64(29) << 3);
+    md.key = common::mask64(44);
+    md.lock = kLockBase + (common::mask64(20) << 3);
+    const Compressed c = compress(md, cfg);
+    EXPECT_TRUE(is_saturated_spatial(c.lo, cfg));
+    EXPECT_TRUE(is_saturated_temporal(c.hi, cfg));
+    EXPECT_FALSE(representable(md, cfg));
+}
+
+TEST(Saturation, NarrowedCsrWidthsSaturateValuesThatFitTheDefault)
+{
+    const auto wide = paper_cfg();
+    // base 32 / range 10 / lock 10: the kind of reconfiguration a small
+    // embedded deployment would program into csr.bitw.
+    const auto narrow = CompressionConfig::from_csr(
+        32u | (10u << 6) | (10u << 12), kLockBase);
+    narrow.validate();
+
+    const u64 base = 0x1000, bound = base + 16384; // 16 KiB object
+    EXPECT_FALSE(is_saturated_spatial(compress_spatial(base, bound, wide),
+                                      wide));
+    EXPECT_EQ(compress_spatial(base, bound, narrow),
+              saturated_spatial(narrow));
+
+    const u64 key = u64{1} << 50; // fits 54-bit keys, not 44-bit
+    EXPECT_EQ(compress_temporal(key, kLockBase, wide),
+              saturated_temporal(wide));
+    EXPECT_FALSE(is_saturated_temporal(
+        compress_temporal(key, kLockBase + 8, narrow), narrow));
+}
+
 } // namespace
