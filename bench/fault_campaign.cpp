@@ -9,11 +9,15 @@
 //   fault_campaign --seeds 50 --mode stuck-at
 //   fault_campaign --scheme hwst128 --workloads crc32
 //   fault_campaign --points srf-spatial-write,lmsm-load --seed 7
+//   fault_campaign --jobs 8 --json                # parallel + JSON
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "common/error.hpp"
+#include "exec/cli.hpp"
+#include "exec/report.hpp"
 #include "fault/campaign.hpp"
 
 using namespace hwst;
@@ -46,10 +50,14 @@ std::vector<std::string> split_csv(const std::string& s)
     return out;
 }
 
-CampaignConfig parse(int argc, char** argv)
+CampaignConfig parse(int argc, char** argv, exec::GridOptions& grid)
 {
+    // The BENCH json is opt-in here: the campaign's primary contract is
+    // its deterministic table + exit status.
+    grid.json = false;
     CampaignConfig cfg;
     for (int i = 1; i < argc; ++i) {
+        if (exec::parse_grid_flag(grid, argc, argv, i)) continue;
         const std::string a = argv[i];
         const auto need = [&](const char* what) -> std::string {
             if (i + 1 >= argc)
@@ -76,6 +84,12 @@ CampaignConfig parse(int argc, char** argv)
             throw common::ToolchainError{"unknown flag: " + a};
         }
     }
+    if (grid.smoke) {
+        cfg.seeds_per_point = std::min(cfg.seeds_per_point, 2u);
+        if (cfg.workloads.size() > 1) cfg.workloads.resize(1);
+    }
+    cfg.jobs = grid.jobs;
+    cfg.timeout_ms = grid.timeout_ms;
     if (cfg.workloads.empty() || cfg.points.empty() ||
         cfg.seeds_per_point == 0) {
         throw common::ToolchainError{
@@ -89,8 +103,18 @@ CampaignConfig parse(int argc, char** argv)
 int main(int argc, char** argv)
 {
     try {
-        const auto report = fault::run_campaign(parse(argc, argv));
+        exec::GridOptions grid;
+        const CampaignConfig cfg = parse(argc, argv, grid);
+        const exec::Stopwatch stopwatch;
+        const auto report = fault::run_campaign(cfg);
+        const double wall_ms = stopwatch.elapsed_ms();
         report.print(std::cout);
+        if (grid.json) {
+            const std::string path = exec::write_bench_json(
+                "fault_campaign", exec::resolve_jobs(grid.jobs), wall_ms,
+                report.to_json(), grid.json_path);
+            std::cout << "wrote " << path << '\n';
+        }
         // Exit status checks the completeness invariant: no silent
         // corruption at metadata-protected points (dcache-fill-data is
         // outside HWST's protection domain — ECC's job — and expected

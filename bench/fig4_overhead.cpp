@@ -2,62 +2,131 @@
 // HWST128_tchk over the uninstrumented baseline for the MiBench, Olden
 // and SPEC suites, plus the geometric means the paper quotes
 // (SBCETS 441.45 %, HWST128 152.91 %, HWST128_tchk 94.89 %).
+//
+// Runs the workload × scheme grid on the exec engine (--jobs N) and
+// records the rows in BENCH_fig4.json (docs/execution.md).
 #include <iostream>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "compiler/driver.hpp"
+#include "exec/cli.hpp"
+#include "exec/report.hpp"
+#include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hwst;
 using compiler::Scheme;
 
-int main()
+int main(int argc, char** argv)
 {
-    const std::vector<Scheme> schemes = {Scheme::Sbcets, Scheme::Hwst128,
+    exec::GridOptions grid;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            if (!exec::parse_grid_flag(grid, argc, argv, i))
+                throw common::ToolchainError{std::string{"unknown flag: "} +
+                                             argv[i]};
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "fig4_overhead: " << e.what() << "\nflags:\n"
+                  << exec::kGridFlagsHelp;
+        return 2;
+    }
+
+    // Baseline first; the three instrumented columns follow.
+    const std::vector<Scheme> schemes = {Scheme::None, Scheme::Sbcets,
+                                         Scheme::Hwst128,
                                          Scheme::Hwst128Tchk};
+    const std::vector<const char*> keys = {"sbcets", "hwst128",
+                                           "hwst128_tchk"};
+
+    std::vector<const workloads::Workload*> ws;
+    for (const auto& w : workloads::all_workloads()) ws.push_back(&w);
+    if (grid.smoke && ws.size() > 3) ws.resize(3);
+
+    std::vector<exec::Job> jobs;
+    for (const auto* w : ws) {
+        for (const Scheme s : schemes) {
+            jobs.push_back(exec::make_sim_job(
+                w->name + "/" + std::string{compiler::scheme_name(s)},
+                w->name, s, w->build));
+        }
+    }
+
+    const exec::Engine engine{grid.engine()};
+    const exec::Stopwatch stopwatch;
+    const auto outcomes = engine.run(jobs);
+    const double wall_ms = stopwatch.elapsed_ms();
 
     std::cout << "Figure 4: performance overhead (%) vs uninstrumented "
                  "baseline, Eq. 7\n\n";
     common::TextTable table{{"suite", "workload", "base cycles", "sbcets%",
                              "hwst128%", "hwst128_tchk%"}};
 
-    std::vector<double> oh_sb, oh_hw, oh_tk;
-    for (const auto& w : workloads::all_workloads()) {
-        const auto base = compiler::run(w.build(), Scheme::None);
-        if (!base.ok() || base.exit_code != w.expected) {
-            std::cerr << "baseline failed for " << w.name << "\n";
-            return 1;
-        }
-        std::vector<std::string> row{
-            std::string{workloads::suite_name(w.suite)}, w.name,
-            std::to_string(base.cycles)};
-        for (const Scheme s : schemes) {
-            const auto r = compiler::run(w.build(), s);
-            if (!r.ok() || r.exit_code != w.expected) {
-                std::cerr << "run failed for " << w.name << " under "
-                          << compiler::scheme_name(s) << "\n";
+    exec::json::Value rows = exec::json::Value::array();
+    std::vector<std::vector<double>> overheads(keys.size());
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        const auto* w = ws[wi];
+        const std::size_t base_i = wi * schemes.size();
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const exec::JobOutcome& o = outcomes[base_i + si];
+            if (o.status != exec::JobStatus::Ok ||
+                o.result.exit_code != w->expected) {
+                std::cerr << jobs[base_i + si].name << " failed: "
+                          << exec::job_status_name(o.status)
+                          << (o.error.empty() ? "" : " (" + o.error + ")")
+                          << '\n';
                 return 1;
             }
+        }
+        const sim::RunResult& base = outcomes[base_i].result;
+        std::vector<std::string> row{
+            std::string{workloads::suite_name(w->suite)}, w->name,
+            std::to_string(base.cycles)};
+        exec::json::Value jrow = exec::json::Value::object();
+        jrow["suite"] = workloads::suite_name(w->suite);
+        jrow["workload"] = w->name;
+        jrow["base_cycles"] = base.cycles;
+        for (std::size_t si = 1; si < schemes.size(); ++si) {
+            const sim::RunResult& r = outcomes[base_i + si].result;
             const double oh = (static_cast<double>(r.cycles) /
                                    static_cast<double>(base.cycles) -
                                1.0) *
                               100.0;
+            overheads[si - 1].push_back(oh);
             row.push_back(common::fmt(oh, 1));
-            if (s == Scheme::Sbcets) oh_sb.push_back(oh);
-            if (s == Scheme::Hwst128) oh_hw.push_back(oh);
-            if (s == Scheme::Hwst128Tchk) oh_tk.push_back(oh);
+            exec::json::Value cell = exec::json::Value::object();
+            cell["cycles"] = r.cycles;
+            cell["overhead_pct"] = oh;
+            jrow[keys[si - 1]] = cell;
         }
         table.add_row(row);
+        rows.push_back(jrow);
     }
-    table.add_row({"", "geo. mean", "",
-                   common::fmt(common::geo_mean_overhead_pct(oh_sb), 2),
-                   common::fmt(common::geo_mean_overhead_pct(oh_hw), 2),
-                   common::fmt(common::geo_mean_overhead_pct(oh_tk), 2)});
+    std::vector<std::string> means{"", "geo. mean", ""};
+    exec::json::Value geo = exec::json::Value::object();
+    for (std::size_t ki = 0; ki < keys.size(); ++ki) {
+        const double g = common::geo_mean_overhead_pct(overheads[ki]);
+        means.push_back(common::fmt(g, 2));
+        geo[keys[ki]] = g;
+    }
+    table.add_row(means);
     table.print(std::cout);
 
     std::cout << "\npaper (Fig. 4 geo. means): SBCETS 441.45%, "
                  "HWST128 152.91%, HWST128_tchk 94.89%\n";
+
+    if (grid.json) {
+        exec::json::Value payload = exec::json::Value::object();
+        exec::json::Value wl = exec::json::Value::array();
+        for (const auto* w : ws) wl.push_back(w->name);
+        payload["workloads"] = wl;
+        payload["rows"] = rows;
+        payload["geo_mean_overhead_pct"] = geo;
+        const std::string path = exec::write_bench_json(
+            "fig4", exec::resolve_jobs(grid.jobs), wall_ms, payload,
+            grid.json_path);
+        std::cout << "wrote " << path << '\n';
+    }
     return 0;
 }

@@ -3,6 +3,10 @@
 // HWST128 on the SPEC subset. Paper geo-means: BOGO 1.31x, WDL narrow
 // 1.58x, WDL wide 1.64x, HWST128 3.74x (bzip2 7.98x, hmmer 7.78x).
 //
+// Runs the workload × scheme grid on the exec engine (--jobs N) and
+// records the rows in BENCH_fig5.json. Serial and parallel runs produce
+// bit-identical tables and geo-means (docs/execution.md).
+//
 // Note on lbm: on the paper's board SBCETS lbm could not finish
 // (insufficient memory); our simulated heap is larger, so the row is
 // measured — the paper's DNF is recorded in EXPERIMENTS.md.
@@ -11,51 +15,116 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "compiler/driver.hpp"
+#include "exec/cli.hpp"
+#include "exec/report.hpp"
+#include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hwst;
 using compiler::Scheme;
 
-int main()
+int main(int argc, char** argv)
 {
-    const std::vector<Scheme> accels = {Scheme::Bogo, Scheme::WdlNarrow,
-                                        Scheme::WdlWide,
-                                        Scheme::Hwst128Tchk};
+    exec::GridOptions grid;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            if (!exec::parse_grid_flag(grid, argc, argv, i))
+                throw common::ToolchainError{std::string{"unknown flag: "} +
+                                             argv[i]};
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "fig5_speedup: " << e.what() << "\nflags:\n"
+                  << exec::kGridFlagsHelp;
+        return 2;
+    }
+
+    // Column order of the table; SBCETS is the Eq. 8 denominator.
+    const std::vector<Scheme> schemes = {Scheme::Sbcets, Scheme::Bogo,
+                                         Scheme::WdlNarrow, Scheme::WdlWide,
+                                         Scheme::Hwst128Tchk};
+    const std::vector<const char*> accel_keys = {"bogo", "wdl_narrow",
+                                                 "wdl_wide", "hwst128"};
+
+    std::vector<const workloads::Workload*> ws = workloads::spec_workloads();
+    if (grid.smoke && ws.size() > 2) ws.resize(2);
+
+    std::vector<exec::Job> jobs;
+    for (const auto* w : ws) {
+        for (const Scheme s : schemes) {
+            jobs.push_back(exec::make_sim_job(
+                w->name + "/" + std::string{compiler::scheme_name(s)},
+                w->name, s, w->build));
+        }
+    }
+
+    const exec::Engine engine{grid.engine()};
+    const exec::Stopwatch stopwatch;
+    const auto outcomes = engine.run(jobs);
+    const double wall_ms = stopwatch.elapsed_ms();
 
     std::cout << "Figure 5: speedup factor over SBCETS (Eq. 8)\n\n";
     common::TextTable table{{"workload", "sbcets cycles", "bogo",
                              "wdl_narrow", "wdl_wide", "hwst128"}};
 
-    std::vector<std::vector<double>> per_accel(accels.size());
-    for (const auto* w : workloads::spec_workloads()) {
-        const auto sb = compiler::run(w->build(), Scheme::Sbcets);
-        if (!sb.ok() || sb.exit_code != w->expected) {
-            std::cerr << "SBCETS failed for " << w->name << "\n";
-            return 1;
-        }
-        std::vector<std::string> row{w->name, std::to_string(sb.cycles)};
-        for (std::size_t i = 0; i < accels.size(); ++i) {
-            const auto r = compiler::run(w->build(), accels[i]);
-            if (!r.ok() || r.exit_code != w->expected) {
-                std::cerr << "run failed for " << w->name << " under "
-                          << compiler::scheme_name(accels[i]) << "\n";
+    exec::json::Value rows = exec::json::Value::array();
+    std::vector<std::vector<double>> per_accel(schemes.size() - 1);
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        const auto* w = ws[wi];
+        const std::size_t base = wi * schemes.size();
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const exec::JobOutcome& o = outcomes[base + si];
+            if (o.status != exec::JobStatus::Ok ||
+                o.result.exit_code != w->expected) {
+                std::cerr << jobs[base + si].name << " failed: "
+                          << exec::job_status_name(o.status)
+                          << (o.error.empty() ? "" : " (" + o.error + ")")
+                          << '\n';
                 return 1;
             }
+        }
+        const sim::RunResult& sb = outcomes[base].result;
+        std::vector<std::string> row{w->name, std::to_string(sb.cycles)};
+        exec::json::Value jrow = exec::json::Value::object();
+        jrow["workload"] = w->name;
+        jrow["sbcets_cycles"] = sb.cycles;
+        for (std::size_t ai = 0; ai + 1 < schemes.size(); ++ai) {
+            const sim::RunResult& r = outcomes[base + ai + 1].result;
             const double speedup = static_cast<double>(sb.cycles) /
                                    static_cast<double>(r.cycles);
-            per_accel[i].push_back(speedup);
+            per_accel[ai].push_back(speedup);
             row.push_back(common::fmt(speedup, 2) + "x");
+            exec::json::Value cell = exec::json::Value::object();
+            cell["cycles"] = r.cycles;
+            cell["speedup"] = speedup;
+            jrow[accel_keys[ai]] = cell;
         }
         table.add_row(row);
+        rows.push_back(jrow);
     }
     std::vector<std::string> means{"geo. mean", ""};
-    for (auto& v : per_accel)
-        means.push_back(common::fmt(common::geo_mean(v), 2) + "x");
+    exec::json::Value geo = exec::json::Value::object();
+    for (std::size_t ai = 0; ai < per_accel.size(); ++ai) {
+        const double g = common::geo_mean(per_accel[ai]);
+        means.push_back(common::fmt(g, 2) + "x");
+        geo[accel_keys[ai]] = g;
+    }
     table.add_row(means);
     table.print(std::cout);
 
     std::cout << "\npaper (Fig. 5 geo. means): BOGO 1.31x, WDL narrow "
                  "1.58x, WDL wide 1.64x, HWST128 3.74x\n";
+
+    if (grid.json) {
+        exec::json::Value payload = exec::json::Value::object();
+        exec::json::Value wl = exec::json::Value::array();
+        for (const auto* w : ws) wl.push_back(w->name);
+        payload["workloads"] = wl;
+        payload["rows"] = rows;
+        payload["geo_means"] = geo;
+        const std::string path = exec::write_bench_json(
+            "fig5", exec::resolve_jobs(grid.jobs), wall_ms, payload,
+            grid.json_path);
+        std::cout << "wrote " << path << '\n';
+    }
     return 0;
 }

@@ -5,27 +5,135 @@
 //
 //   fig6_coverage [stride]    (default 1 = full suite; e.g. 7 for a
 //                              fast unbiased subsample)
+//
+// The scheme × case grid is chunked onto the exec engine (--jobs N);
+// chunk coverages merge additively in grid order, so the table is
+// identical at every thread count. Results land in BENCH_fig6.json.
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.hpp"
+#include "exec/cli.hpp"
+#include "exec/report.hpp"
 #include "juliet/runner.hpp"
 
 using namespace hwst;
 using compiler::Scheme;
 
+namespace {
+
+/// Cases per engine job: small enough to parallelize a single-CWE run,
+/// large enough that per-job overhead is invisible.
+constexpr std::size_t kChunk = 128;
+
+} // namespace
+
 int main(int argc, char** argv)
 {
-    const common::u32 stride =
-        argc > 1 ? static_cast<common::u32>(std::strtoul(argv[1], nullptr, 10)) : 1;
+    exec::GridOptions grid;
+    common::u32 stride = 1;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            if (exec::parse_grid_flag(grid, argc, argv, i)) continue;
+            if (argv[i][0] != '-') {
+                stride = static_cast<common::u32>(
+                    std::strtoul(argv[i], nullptr, 10));
+                if (stride == 0) stride = 1;
+                continue;
+            }
+            throw common::ToolchainError{std::string{"unknown flag: "} +
+                                         argv[i]};
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "fig6_coverage: " << e.what() << "\nusage: "
+                  << "fig6_coverage [stride] [flags]\nflags:\n"
+                  << exec::kGridFlagsHelp;
+        return 2;
+    }
+    if (grid.smoke && stride == 1) stride = 199;
 
-    const auto cases = juliet::all_bad_cases();
+    const auto all = juliet::all_bad_cases();
+    // The strided subsample every scheme runs.
+    std::vector<juliet::CaseSpec> cases;
+    for (std::size_t i = 0; i < all.size(); i += stride)
+        cases.push_back(all[i]);
+
     std::cout << "Figure 6: NIST-Juliet-style security coverage ("
-              << cases.size() << " bad cases, stride " << stride << ")\n\n";
+              << all.size() << " bad cases, stride " << stride << ")\n\n";
 
     const std::vector<Scheme> schemes = {Scheme::Gcc, Scheme::Asan,
                                          Scheme::Sbcets,
                                          Scheme::Hwst128Tchk};
+
+    // Grid: one job per (scheme, chunk-of-cases); coverages merge
+    // additively in grid order.
+    struct Chunk {
+        Scheme scheme;
+        std::size_t lo, hi;
+    };
+    std::vector<Chunk> chunks;
+    for (const Scheme s : schemes) {
+        for (std::size_t lo = 0; lo < cases.size(); lo += kChunk)
+            chunks.push_back(
+                Chunk{s, lo, std::min(lo + kChunk, cases.size())});
+    }
+
+    const exec::Engine engine{grid.engine()};
+    const exec::Stopwatch stopwatch;
+    std::vector<juliet::Coverage> partial;
+    const auto outcomes = engine.map<juliet::Coverage>(
+        chunks.size(),
+        [&](std::size_t i, const exec::CancelToken& token) {
+            const Chunk& c = chunks[i];
+            juliet::Coverage cov;
+            for (std::size_t k = c.lo; k < c.hi; ++k) {
+                if (token.expired())
+                    throw exec::JobTimeout{"coverage chunk cancelled"};
+                const juliet::CaseSpec& spec = cases[k];
+                const auto trap = juliet::run_case(c.scheme, spec);
+                auto& cwe = cov.per_cwe[spec.cwe];
+                ++cwe.total;
+                ++cov.total;
+                if (juliet::counts_as_detection(c.scheme, trap)) {
+                    ++cwe.detected;
+                    ++cov.detected;
+                }
+            }
+            return cov;
+        },
+        partial);
+    const double wall_ms = stopwatch.elapsed_ms();
+
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].status != exec::JobStatus::Ok) {
+            std::cerr << "chunk " << i << " ("
+                      << compiler::scheme_name(chunks[i].scheme)
+                      << " cases " << chunks[i].lo << ".." << chunks[i].hi
+                      << ") failed: "
+                      << exec::job_status_name(outcomes[i].status)
+                      << (outcomes[i].error.empty()
+                              ? ""
+                              : " (" + outcomes[i].error + ")")
+                      << '\n';
+            return 1;
+        }
+    }
+
+    // Merge chunk coverages per scheme, in grid order.
+    const std::size_t chunks_per_scheme = chunks.size() / schemes.size();
+    std::vector<juliet::Coverage> per_scheme(schemes.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        const std::size_t si = i / chunks_per_scheme;
+        juliet::Coverage& acc = per_scheme[si];
+        const juliet::Coverage& c = partial[i];
+        acc.total += c.total;
+        acc.detected += c.detected;
+        acc.false_positives += c.false_positives;
+        for (const auto& [cwe, cc] : c.per_cwe) {
+            acc.per_cwe[cwe].total += cc.total;
+            acc.per_cwe[cwe].detected += cc.detected;
+        }
+    }
 
     std::vector<std::string> headers = {"scheme"};
     for (const auto& [cwe, count] : juliet::cwe_counts())
@@ -34,26 +142,53 @@ int main(int argc, char** argv)
     headers.push_back("cases");
     common::TextTable table{headers};
 
-    for (const Scheme s : schemes) {
-        const auto cov =
-            juliet::run_suite(s, cases, juliet::RunOptions{stride, false});
+    exec::json::Value jschemes = exec::json::Value::array();
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        const Scheme s = schemes[si];
+        const juliet::Coverage& cov = per_scheme[si];
         std::vector<std::string> row = {
             s == Scheme::Hwst128Tchk ? "hwst128"
                                      : std::string{compiler::scheme_name(s)}};
+        exec::json::Value jrow = exec::json::Value::object();
+        jrow["scheme"] = row[0];
+        exec::json::Value per_cwe = exec::json::Value::object();
         for (const auto& [cwe, count] : juliet::cwe_counts()) {
             const auto it = cov.per_cwe.find(cwe);
             row.push_back(it == cov.per_cwe.end()
                               ? "-"
                               : common::fmt(it->second.pct(), 1));
+            if (it != cov.per_cwe.end()) {
+                exec::json::Value cell = exec::json::Value::object();
+                cell["detected"] = it->second.detected;
+                cell["total"] = it->second.total;
+                cell["pct"] = it->second.pct();
+                per_cwe[std::string{juliet::cwe_name(cwe)}] = cell;
+            }
         }
         row.push_back(common::fmt(cov.pct(), 2));
         row.push_back(std::to_string(cov.detected) + "/" +
                       std::to_string(cov.total));
         table.add_row(row);
+        jrow["per_cwe"] = per_cwe;
+        jrow["detected"] = cov.detected;
+        jrow["total"] = cov.total;
+        jrow["overall_pct"] = cov.pct();
+        jschemes.push_back(jrow);
     }
     table.print(std::cout);
 
     std::cout << "\npaper (Fig. 6): GCC 11.20% (937), ASAN 58.08% (4859), "
                  "SBCETS 64.49% (5395), HWST128 63.63% (5323)\n";
+
+    if (grid.json) {
+        exec::json::Value payload = exec::json::Value::object();
+        payload["stride"] = stride;
+        payload["cases"] = cases.size();
+        payload["schemes"] = jschemes;
+        const std::string path = exec::write_bench_json(
+            "fig6", exec::resolve_jobs(grid.jobs), wall_ms, payload,
+            grid.json_path);
+        std::cout << "wrote " << path << '\n';
+    }
     return 0;
 }

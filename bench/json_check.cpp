@@ -1,0 +1,40 @@
+// json_check — CI validator for the BENCH_<name>.json files the
+// harnesses emit: parses each argument with the exec JSON parser,
+// checks the envelope (schema_version, bench, jobs, wall_ms) and exits
+// non-zero on the first malformed file. `bench-smoke` runs it after
+// every harness.
+#include <iostream>
+
+#include "exec/report.hpp"
+
+using namespace hwst;
+
+int main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: json_check BENCH_<name>.json...\n";
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        try {
+            const auto v = exec::read_bench_json(argv[i]);
+            const auto* bench = v.find("bench");
+            const auto* jobs = v.find("jobs");
+            const auto* wall = v.find("wall_ms");
+            if (!bench || !bench->is_string())
+                throw exec::json::JsonError{"missing string key: bench"};
+            if (!jobs || !jobs->is_int())
+                throw exec::json::JsonError{"missing int key: jobs"};
+            if (!wall || !wall->is_number())
+                throw exec::json::JsonError{"missing number key: wall_ms"};
+            std::cout << argv[i] << ": ok (bench="
+                      << bench->as_string() << ", jobs=" << jobs->as_int()
+                      << ")\n";
+        } catch (const std::exception& e) {
+            std::cerr << "json_check: " << argv[i] << ": " << e.what()
+                      << '\n';
+            return 1;
+        }
+    }
+    return 0;
+}

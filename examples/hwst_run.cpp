@@ -1,20 +1,29 @@
 // hwst_run — the toolchain's command-line front end: compile a workload
 // (or a generated Juliet case) under any protection scheme, tweak the
-// microarchitecture, and run it or export the FPGA artifacts.
+// microarchitecture, and run it or export the FPGA artifacts. Comma
+// lists in --workload / --scheme form a grid that fans out over the
+// exec engine (--jobs N) and prints one summary row per cell.
 //
 //   hwst_run --list
 //   hwst_run --workload bzip2 --scheme hwst128_tchk
 //   hwst_run --workload treeadd --scheme sbcets --keybuffer 16
 //            --dcache-kib 64  (flags combine freely)
+//   hwst_run --workload crc32,treeadd --scheme none,hwst128_tchk --jobs 4
+//   hwst_run --workload crc32 --scheme hwst128_tchk --json run.json
 //   hwst_run --juliet CWE122:40 --scheme hwst128_tchk
 //   hwst_run --workload crc32 --scheme hwst128_tchk --emit-hex out.hex
 //   hwst_run --workload crc32 --listing
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "compiler/driver.hpp"
+#include "exec/cli.hpp"
+#include "exec/report.hpp"
+#include "exec/simrun.hpp"
 #include "juliet/cases.hpp"
 #include "riscv/image.hpp"
 #include "workloads/workload.hpp"
@@ -25,9 +34,9 @@ using compiler::Scheme;
 namespace {
 
 struct Options {
-    std::string workload;
+    std::vector<std::string> workloads;
     std::string juliet;
-    Scheme scheme = Scheme::Hwst128Tchk;
+    std::vector<Scheme> schemes{Scheme::Hwst128Tchk};
     unsigned keybuffer = 8;
     bool keybuffer_set = false;
     unsigned dcache_kib = 0;
@@ -35,6 +44,7 @@ struct Options {
     std::string emit_image;
     bool listing = false;
     bool list = false;
+    exec::GridOptions grid;
 };
 
 Scheme parse_scheme(const std::string& name)
@@ -45,6 +55,17 @@ Scheme parse_scheme(const std::string& name)
                                  " (try: none gcc sbcets hwst128 "
                                  "hwst128_tchk asan bogo wdl_narrow "
                                  "wdl_wide)"};
+}
+
+std::vector<std::string> split_csv(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::istringstream in{s};
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
 }
 
 juliet::CaseSpec parse_juliet(const std::string& arg)
@@ -65,7 +86,11 @@ juliet::CaseSpec parse_juliet(const std::string& arg)
 Options parse(int argc, char** argv)
 {
     Options o;
+    // JSON stays opt-in for a front end whose default output is a
+    // human-readable report.
+    o.grid.json = false;
     for (int i = 1; i < argc; ++i) {
+        if (exec::parse_grid_flag(o.grid, argc, argv, i)) continue;
         const std::string a = argv[i];
         const auto need = [&](const char* what) -> std::string {
             if (i + 1 >= argc)
@@ -73,10 +98,15 @@ Options parse(int argc, char** argv)
                                              " needs an argument"};
             return argv[++i];
         };
-        if (a == "--workload") o.workload = need("--workload");
+        if (a == "--workload") o.workloads = split_csv(need("--workload"));
         else if (a == "--juliet") o.juliet = need("--juliet");
-        else if (a == "--scheme") o.scheme = parse_scheme(need("--scheme"));
-        else if (a == "--keybuffer") {
+        else if (a == "--scheme") {
+            o.schemes.clear();
+            for (const auto& name : split_csv(need("--scheme")))
+                o.schemes.push_back(parse_scheme(name));
+            if (o.schemes.empty())
+                throw common::ToolchainError{"--scheme needs a name"};
+        } else if (a == "--keybuffer") {
             o.keybuffer = static_cast<unsigned>(
                 std::stoul(need("--keybuffer")));
             o.keybuffer_set = true;
@@ -92,6 +122,137 @@ Options parse(int argc, char** argv)
     return o;
 }
 
+void apply_tweaks(const Options& o, sim::MachineConfig& cfg)
+{
+    if (o.keybuffer_set) cfg.keybuffer_entries = o.keybuffer;
+    if (o.dcache_kib) cfg.dcache.sets = o.dcache_kib * 1024 / 64 / 4;
+}
+
+/// The original single-run report: full detail for one (module, scheme).
+int run_single(const Options& o, const mir::Module& module, Scheme scheme)
+{
+    auto cp = compiler::compile(module, scheme);
+    apply_tweaks(o, cp.machine_config);
+
+    if (o.listing) {
+        std::cout << cp.program.listing();
+        return 0;
+    }
+    if (!o.emit_hex.empty()) {
+        std::ofstream f{o.emit_hex};
+        riscv::write_hex(riscv::build_image(cp.program), f);
+        std::cout << "wrote " << o.emit_hex << '\n';
+        return 0;
+    }
+    if (!o.emit_image.empty()) {
+        std::ofstream f{o.emit_image, std::ios::binary};
+        riscv::write_image(riscv::build_image(cp.program), f);
+        std::cout << "wrote " << o.emit_image << '\n';
+        return 0;
+    }
+
+    sim::Machine machine{cp.program, cp.machine_config};
+    const auto r = machine.run();
+
+    std::cout << "scheme        : " << compiler::scheme_name(scheme)
+              << '\n';
+    std::cout << "result        : " << trap_name(r.trap.kind)
+              << ", exit " << r.exit_code << '\n';
+    std::cout << "instructions  : " << r.instret << '\n';
+    std::cout << "cycles        : " << r.cycles << "  (CPI "
+              << common::fmt(static_cast<double>(r.cycles) /
+                                 static_cast<double>(r.instret),
+                             2)
+              << ")\n";
+    std::cout << "d$ miss       : "
+              << common::fmt(100.0 * r.dcache.miss_rate(), 2) << "%\n";
+    std::cout << "keybuffer     : " << r.keybuffer.hits << "/"
+              << r.keybuffer.lookups << " hits ("
+              << common::fmt(100.0 * r.keybuffer.hit_rate(), 1)
+              << "%)\n";
+    std::cout << "SCU/TCU checks: " << r.scu_checks << " / "
+              << r.tcu_checks << '\n';
+    std::cout << "instr mix     : alu " << r.mix.alu << ", mem "
+              << r.mix.loads + r.mix.stores << ", checked "
+              << r.mix.checked_loads + r.mix.checked_stores
+              << ", meta " << r.mix.meta_moves << ", tchk "
+              << r.mix.tchk << '\n';
+    if (!r.output.empty()) {
+        std::cout << "output        :";
+        for (const auto v : r.output) std::cout << ' ' << v;
+        std::cout << '\n';
+    }
+    return r.ok() ? 0 : 2;
+}
+
+/// The workload × scheme grid: one summary row per cell, fanned out over
+/// the engine. Used whenever a comma list (or --json) asks for it.
+int run_grid(const Options& o)
+{
+    std::vector<exec::Job> jobs;
+    for (const auto& name : o.workloads) {
+        const auto& w = workloads::workload(name); // validates the name
+        for (const Scheme s : o.schemes) {
+            jobs.push_back(exec::make_sim_job(
+                name + "/" + std::string{compiler::scheme_name(s)}, name, s,
+                w.build,
+                [&o](sim::MachineConfig& cfg) { apply_tweaks(o, cfg); }));
+        }
+    }
+
+    const exec::Engine engine{o.grid.engine()};
+    const exec::Stopwatch stopwatch;
+    const auto outcomes = engine.run(jobs);
+    const double wall_ms = stopwatch.elapsed_ms();
+
+    common::TextTable table{{"workload", "scheme", "status", "result",
+                             "exit", "instret", "cycles", "CPI"}};
+    exec::json::Value rows = exec::json::Value::array();
+    bool all_ok = true;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const exec::JobOutcome& out = outcomes[i];
+        exec::json::Value jrow = exec::json::Value::object();
+        jrow["workload"] = jobs[i].workload;
+        jrow["scheme"] = jobs[i].scheme;
+        jrow["status"] = exec::job_status_name(out.status);
+        if (out.status != exec::JobStatus::Ok) {
+            all_ok = false;
+            table.add_row({jobs[i].workload, jobs[i].scheme,
+                           std::string{exec::job_status_name(out.status)},
+                           out.error, "", "", "", ""});
+            jrow["error"] = out.error;
+            rows.push_back(jrow);
+            continue;
+        }
+        const sim::RunResult& r = out.result;
+        all_ok = all_ok && r.ok();
+        const double cpi = static_cast<double>(r.cycles) /
+                           static_cast<double>(r.instret);
+        table.add_row({jobs[i].workload, jobs[i].scheme, "ok",
+                       std::string{trap_name(r.trap.kind)},
+                       std::to_string(r.exit_code),
+                       std::to_string(r.instret), std::to_string(r.cycles),
+                       common::fmt(cpi, 2)});
+        jrow["result"] = trap_name(r.trap.kind);
+        jrow["exit_code"] = r.exit_code;
+        jrow["instret"] = r.instret;
+        jrow["cycles"] = r.cycles;
+        jrow["cpi"] = cpi;
+        rows.push_back(jrow);
+    }
+    table.print(std::cout);
+
+    if (o.grid.json) {
+        exec::json::Value payload = exec::json::Value::object();
+        payload["rows"] = rows;
+        const std::string path = exec::write_bench_json(
+            "hwst_run", exec::resolve_jobs(o.grid.jobs), wall_ms, payload,
+            o.grid.json_path);
+        std::cout << "wrote " << path << '\n';
+    }
+    return all_ok ? 0 : 2;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -99,7 +260,7 @@ int main(int argc, char** argv)
     try {
         const Options o = parse(argc, argv);
 
-        if (o.list || (o.workload.empty() && o.juliet.empty())) {
+        if (o.list || (o.workloads.empty() && o.juliet.empty())) {
             std::cout << "workloads:\n";
             for (const auto& w : workloads::all_workloads())
                 std::cout << "  " << w.name << " ("
@@ -114,66 +275,20 @@ int main(int argc, char** argv)
             return 0;
         }
 
-        const mir::Module module =
-            !o.juliet.empty()
-                ? juliet::build_case(parse_juliet(o.juliet))
-                : workloads::workload(o.workload).build();
-
-        auto cp = compiler::compile(module, o.scheme);
-        if (o.keybuffer_set)
-            cp.machine_config.keybuffer_entries = o.keybuffer;
-        if (o.dcache_kib)
-            cp.machine_config.dcache.sets = o.dcache_kib * 1024 / 64 / 4;
-
-        if (o.listing) {
-            std::cout << cp.program.listing();
-            return 0;
+        if (!o.juliet.empty()) {
+            const mir::Module module =
+                juliet::build_case(parse_juliet(o.juliet));
+            return run_single(o, module, o.schemes.front());
         }
-        if (!o.emit_hex.empty()) {
-            std::ofstream f{o.emit_hex};
-            riscv::write_hex(riscv::build_image(cp.program), f);
-            std::cout << "wrote " << o.emit_hex << '\n';
-            return 0;
+        // A single cell without --json keeps the classic detailed
+        // report; a comma list or --json switches to the engine grid.
+        if (o.workloads.size() == 1 && o.schemes.size() == 1 &&
+            !o.grid.json) {
+            const mir::Module module =
+                workloads::workload(o.workloads.front()).build();
+            return run_single(o, module, o.schemes.front());
         }
-        if (!o.emit_image.empty()) {
-            std::ofstream f{o.emit_image, std::ios::binary};
-            riscv::write_image(riscv::build_image(cp.program), f);
-            std::cout << "wrote " << o.emit_image << '\n';
-            return 0;
-        }
-
-        sim::Machine machine{cp.program, cp.machine_config};
-        const auto r = machine.run();
-
-        std::cout << "scheme        : " << compiler::scheme_name(o.scheme)
-                  << '\n';
-        std::cout << "result        : " << trap_name(r.trap.kind)
-                  << ", exit " << r.exit_code << '\n';
-        std::cout << "instructions  : " << r.instret << '\n';
-        std::cout << "cycles        : " << r.cycles << "  (CPI "
-                  << common::fmt(static_cast<double>(r.cycles) /
-                                     static_cast<double>(r.instret),
-                                 2)
-                  << ")\n";
-        std::cout << "d$ miss       : "
-                  << common::fmt(100.0 * r.dcache.miss_rate(), 2) << "%\n";
-        std::cout << "keybuffer     : " << r.keybuffer.hits << "/"
-                  << r.keybuffer.lookups << " hits ("
-                  << common::fmt(100.0 * r.keybuffer.hit_rate(), 1)
-                  << "%)\n";
-        std::cout << "SCU/TCU checks: " << r.scu_checks << " / "
-                  << r.tcu_checks << '\n';
-        std::cout << "instr mix     : alu " << r.mix.alu << ", mem "
-                  << r.mix.loads + r.mix.stores << ", checked "
-                  << r.mix.checked_loads + r.mix.checked_stores
-                  << ", meta " << r.mix.meta_moves << ", tchk "
-                  << r.mix.tchk << '\n';
-        if (!r.output.empty()) {
-            std::cout << "output        :";
-            for (const auto v : r.output) std::cout << ' ' << v;
-            std::cout << '\n';
-        }
-        return r.ok() ? 0 : 2;
+        return run_grid(o);
     } catch (const std::exception& e) {
         std::cerr << "hwst_run: " << e.what() << '\n';
         return 1;

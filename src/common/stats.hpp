@@ -1,7 +1,12 @@
-// Small statistics helpers used by the benchmark harnesses (the paper
-// reports geometric means of overheads and speedup factors).
+// Small statistics helpers used by the benchmark harnesses and the
+// execution engine's reporter (the paper reports geometric means of
+// overheads and speedup factors). Empty input is always a reported
+// condition: silently returning 0 once let an empty grid print a
+// plausible-looking geo-mean, so every aggregate here throws
+// std::domain_error instead.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <span>
@@ -10,20 +15,21 @@
 
 namespace hwst::common {
 
-/// Arithmetic mean. Empty input -> 0.
+/// Arithmetic mean. Empty input throws std::domain_error.
 inline double mean(std::span<const double> xs)
 {
-    if (xs.empty()) return 0.0;
+    if (xs.empty()) throw std::domain_error{"mean: empty input"};
     return std::accumulate(xs.begin(), xs.end(), 0.0) /
            static_cast<double>(xs.size());
 }
 
-/// Geometric mean of strictly positive values. Values <= 0 throw: the
-/// paper's Eq. 7/8 quantities (1 + overhead, speedup) are positive by
-/// construction, so a non-positive input is a harness bug.
+/// Geometric mean of strictly positive values. Empty input throws;
+/// values <= 0 throw: the paper's Eq. 7/8 quantities (1 + overhead,
+/// speedup) are positive by construction, so a non-positive input is a
+/// harness bug.
 inline double geo_mean(std::span<const double> xs)
 {
-    if (xs.empty()) return 0.0;
+    if (xs.empty()) throw std::domain_error{"geo_mean: empty input"};
     double log_sum = 0.0;
     for (const double x : xs) {
         if (x <= 0.0) throw std::domain_error{"geo_mean: non-positive value"};
@@ -40,6 +46,34 @@ inline double geo_mean_overhead_pct(std::span<const double> overhead_pcts)
     ratios.reserve(overhead_pcts.size());
     for (const double pct : overhead_pcts) ratios.push_back(1.0 + pct / 100.0);
     return (geo_mean(ratios) - 1.0) * 100.0;
+}
+
+/// Sample standard deviation (n-1 denominator). Empty input throws; a
+/// single sample has no spread and returns 0.
+inline double stddev(std::span<const double> xs)
+{
+    const double m = mean(xs); // throws on empty
+    if (xs.size() < 2) return 0.0;
+    double sq = 0.0;
+    for (const double x : xs) sq += (x - m) * (x - m);
+    return std::sqrt(sq / static_cast<double>(xs.size() - 1));
+}
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation between
+/// order statistics. Empty input or an out-of-range p throws.
+inline double percentile(std::span<const double> xs, double p)
+{
+    if (xs.empty()) throw std::domain_error{"percentile: empty input"};
+    if (p < 0.0 || p > 100.0)
+        throw std::domain_error{"percentile: p out of [0, 100]"};
+    std::vector<double> sorted{xs.begin(), xs.end()};
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 } // namespace hwst::common

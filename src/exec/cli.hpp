@@ -1,0 +1,85 @@
+// Shared command-line vocabulary for campaign drivers: every harness
+// that fans out over the engine accepts the same --jobs / --json /
+// --timeout-ms / --smoke flags with the same semantics, parsed by one
+// helper so the flags cannot drift apart.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "exec/engine.hpp"
+
+namespace hwst::exec {
+
+struct GridOptions {
+    unsigned jobs = 0;        ///< 0 = HWST_JOBS / hardware_concurrency
+    std::string json_path;    ///< explicit --json PATH ("" = default)
+    bool json = true;         ///< --no-json disables the BENCH file
+    u64 timeout_ms = 0;       ///< 0 = no per-job timeout
+    bool smoke = false;       ///< tiny grid for CI smoke runs
+    bool progress = false;    ///< live progress line on stderr
+
+    EngineOptions engine() const
+    {
+        return EngineOptions{
+            .jobs = jobs,
+            .timeout = std::chrono::milliseconds{timeout_ms},
+            .progress = progress,
+        };
+    }
+};
+
+/// Try to consume argv[i] (and possibly argv[i+1]) as one of the shared
+/// grid flags. Returns true and advances `i` past the flag when it
+/// matched; the caller handles its own flags otherwise.
+inline bool parse_grid_flag(GridOptions& o, int argc, char** argv, int& i)
+{
+    const std::string a = argv[i];
+    const auto need = [&](const char* what) -> std::string {
+        if (i + 1 >= argc)
+            throw common::ToolchainError{std::string{what} +
+                                         " needs an argument"};
+        return argv[++i];
+    };
+    if (a == "--jobs") {
+        o.jobs = static_cast<unsigned>(std::stoul(need("--jobs")));
+        if (o.jobs == 0)
+            throw common::ToolchainError{"--jobs must be >= 1"};
+        return true;
+    }
+    if (a == "--json") {
+        // --json takes an optional path: treat a following non-flag
+        // token as the path.
+        o.json = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') o.json_path = argv[++i];
+        return true;
+    }
+    if (a == "--no-json") {
+        o.json = false;
+        return true;
+    }
+    if (a == "--timeout-ms") {
+        o.timeout_ms = std::stoull(need("--timeout-ms"));
+        return true;
+    }
+    if (a == "--smoke") {
+        o.smoke = true;
+        return true;
+    }
+    if (a == "--progress") {
+        o.progress = true;
+        return true;
+    }
+    return false;
+}
+
+inline constexpr const char* kGridFlagsHelp =
+    "  --jobs N         worker threads (default: HWST_JOBS or all cores)\n"
+    "  --json [PATH]    write BENCH_<name>.json (default on; PATH "
+    "overrides)\n"
+    "  --no-json        skip the BENCH json file\n"
+    "  --timeout-ms T   per-job wall-clock budget (0 = unlimited)\n"
+    "  --smoke          tiny grid for CI smoke runs\n"
+    "  --progress       live progress line on stderr\n";
+
+} // namespace hwst::exec

@@ -1,0 +1,98 @@
+#include "exec/engine.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+namespace hwst::exec {
+
+unsigned resolve_jobs(unsigned requested)
+{
+    if (requested != 0) return requested;
+    if (const char* env = std::getenv("HWST_JOBS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0) return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+namespace {
+
+JobOutcome execute(const Job& job, const CancelToken& token)
+{
+    JobOutcome out;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        out.result = job.body(token);
+        out.status = JobStatus::Ok;
+    } catch (const JobTimeout& e) {
+        out.status = JobStatus::Timeout;
+        out.error = e.what();
+    } catch (const std::exception& e) {
+        out.status = JobStatus::Error;
+        out.error = e.what();
+    }
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return out;
+}
+
+} // namespace
+
+std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    if (jobs.empty()) return outcomes;
+
+    const unsigned workers = std::min<std::size_t>(
+        resolve_jobs(opts_.jobs), jobs.size());
+    std::atomic<bool> stop{false};
+
+    const auto token_for = [&]() {
+        std::optional<std::chrono::steady_clock::time_point> deadline;
+        if (opts_.timeout.count() > 0)
+            deadline = std::chrono::steady_clock::now() + opts_.timeout;
+        return CancelToken{deadline, &stop};
+    };
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    const auto report = [&](const Job& job, const JobOutcome& out) {
+        if (!opts_.progress) return;
+        const std::size_t n = done.fetch_add(1) + 1;
+        std::lock_guard lock{progress_mutex};
+        std::cerr << "\r[" << n << "/" << jobs.size() << "] " << job.name
+                  << " " << job_status_name(out.status) << "      ";
+        if (n == jobs.size()) std::cerr << '\n';
+        std::cerr.flush();
+    };
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) return;
+            outcomes[i] = execute(jobs[i], token_for());
+            report(jobs[i], outcomes[i]);
+        }
+    };
+
+    if (workers <= 1) {
+        // Inline serial path: the reference execution every parallel
+        // run must reproduce bit-identically.
+        worker();
+        return outcomes;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    return outcomes;
+}
+
+} // namespace hwst::exec

@@ -1,0 +1,77 @@
+// Engine: the shared parallel campaign executor. Every figure harness
+// and the fault campaign enumerate a grid of independent Jobs; the
+// engine runs them on an atomic-counter worker pool sized by --jobs /
+// HWST_JOBS / hardware_concurrency and returns outcomes in grid order.
+//
+// Determinism contract (docs/execution.md): each sim::Machine run is
+// fully deterministic, every job derives its randomness from the root
+// seed and its own grid coordinates (derive_seed), and outcomes land in
+// the slot of the job that produced them — so any aggregate computed by
+// folding the outcome vector in index order is bit-identical at every
+// thread count, including 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "exec/job.hpp"
+
+namespace hwst::exec {
+
+struct EngineOptions {
+    /// Worker threads. 0 = HWST_JOBS env var if set, else
+    /// hardware_concurrency. 1 runs everything inline on the caller.
+    unsigned jobs = 0;
+    /// Per-job wall-clock budget; 0 = unlimited. A job that exceeds it
+    /// reports JobStatus::Timeout instead of hanging the grid.
+    std::chrono::milliseconds timeout{0};
+    /// Live progress line on stderr ("[done/total] name status").
+    bool progress = false;
+};
+
+/// Resolve an EngineOptions::jobs request against HWST_JOBS and
+/// hardware_concurrency (never returns 0).
+unsigned resolve_jobs(unsigned requested);
+
+class Engine {
+public:
+    explicit Engine(EngineOptions opts = {}) : opts_{opts} {}
+
+    const EngineOptions& options() const { return opts_; }
+
+    /// Run every job and return one outcome per job, index-aligned.
+    std::vector<JobOutcome> run(std::span<const Job> jobs) const;
+
+    /// Generic fan-out for harnesses whose per-job result is not a
+    /// sim::RunResult (Juliet coverage chunks, fault records): runs
+    /// fn(i, token) for i in [0, count) on the pool. fn's exceptions
+    /// follow the same rules as Job bodies (JobTimeout -> Timeout slot,
+    /// anything else -> Error slot); `out[i]` is written only on
+    /// success, so R must be default-constructible.
+    template <typename R>
+    std::vector<JobOutcome> map(
+        std::size_t count,
+        const std::function<R(std::size_t, const CancelToken&)>& fn,
+        std::vector<R>& out) const
+    {
+        out.assign(count, R{});
+        std::vector<Job> jobs;
+        jobs.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            jobs.push_back(Job{
+                .name = "#" + std::to_string(i),
+                .body =
+                    [&fn, &out, i](const CancelToken& token) {
+                        out[i] = fn(i, token);
+                        return sim::RunResult{};
+                    },
+            });
+        }
+        return run(jobs);
+    }
+
+private:
+    EngineOptions opts_;
+};
+
+} // namespace hwst::exec

@@ -1,0 +1,147 @@
+// Minimal JSON value + serializer + parser for the machine-readable
+// result layer (BENCH_<name>.json). No third-party dependency: the
+// container bakes in nothing beyond the standard library, so the engine
+// carries its own ~RFC 8259 subset. Objects preserve insertion order so
+// emitted files are deterministic and diffable run-to-run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace hwst::exec::json {
+
+using common::i64;
+
+class JsonError : public std::runtime_error {
+public:
+    explicit JsonError(const std::string& what) : std::runtime_error{what} {}
+};
+
+class Value {
+public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    Value() : data_{nullptr} {}
+    Value(std::nullptr_t) : data_{nullptr} {}
+    Value(bool b) : data_{b} {}
+    Value(int v) : data_{static_cast<i64>(v)} {}
+    Value(unsigned v) : data_{static_cast<i64>(v)} {}
+    Value(i64 v) : data_{v} {}
+    Value(common::u64 v) : data_{static_cast<i64>(v)} {}
+    Value(double v) : data_{v} {}
+    Value(const char* s) : data_{std::string{s}} {}
+    Value(std::string s) : data_{std::move(s)} {}
+    Value(std::string_view s) : data_{std::string{s}} {}
+
+    static Value array() { Value v; v.data_ = Array{}; return v; }
+    static Value object() { Value v; v.data_ = Object{}; return v; }
+
+    Kind kind() const { return static_cast<Kind>(data_.index()); }
+    bool is_null() const { return kind() == Kind::Null; }
+    bool is_int() const { return kind() == Kind::Int; }
+    bool is_string() const { return kind() == Kind::String; }
+    bool is_array() const { return kind() == Kind::Array; }
+    bool is_object() const { return kind() == Kind::Object; }
+    bool is_number() const
+    {
+        return kind() == Kind::Int || kind() == Kind::Double;
+    }
+
+    bool as_bool() const { return get<bool>("bool"); }
+    i64 as_int() const { return get<i64>("int"); }
+    double as_double() const
+    {
+        if (kind() == Kind::Int) return static_cast<double>(std::get<i64>(data_));
+        return get<double>("double");
+    }
+    const std::string& as_string() const { return get<std::string>("string"); }
+
+    // ---- arrays -------------------------------------------------------
+    void push_back(Value v)
+    {
+        if (kind() == Kind::Null) data_ = Array{};
+        std::get<Array>(check(Kind::Array, "array")).push_back(std::move(v));
+    }
+    const std::vector<Value>& items() const
+    {
+        return std::get<Array>(check(Kind::Array, "array"));
+    }
+
+    // ---- objects (insertion-ordered) ----------------------------------
+    Value& operator[](const std::string& key)
+    {
+        if (kind() == Kind::Null) data_ = Object{};
+        auto& obj = std::get<Object>(check(Kind::Object, "object"));
+        for (auto& [k, v] : obj)
+            if (k == key) return v;
+        obj.emplace_back(key, Value{});
+        return obj.back().second;
+    }
+    const Value* find(std::string_view key) const
+    {
+        const auto& obj = std::get<Object>(check(Kind::Object, "object"));
+        for (const auto& [k, v] : obj)
+            if (k == key) return &v;
+        return nullptr;
+    }
+    const Value& at(std::string_view key) const
+    {
+        if (const Value* v = find(key)) return *v;
+        throw JsonError{"missing key: " + std::string{key}};
+    }
+    const std::vector<std::pair<std::string, Value>>& members() const
+    {
+        return std::get<Object>(check(Kind::Object, "object"));
+    }
+
+    std::size_t size() const
+    {
+        switch (kind()) {
+        case Kind::Array: return std::get<Array>(data_).size();
+        case Kind::Object: return std::get<Object>(data_).size();
+        default: throw JsonError{"size() on a scalar"};
+        }
+    }
+
+    bool operator==(const Value& other) const { return data_ == other.data_; }
+
+    /// Serialize. indent > 0 pretty-prints; 0 emits one line.
+    std::string dump(int indent = 2) const;
+
+    /// Parse a complete JSON document (trailing garbage is an error).
+    static Value parse(std::string_view text);
+
+private:
+    using Array = std::vector<Value>;
+    using Object = std::vector<std::pair<std::string, Value>>;
+    using Data = std::variant<std::nullptr_t, bool, i64, double,
+                              std::string, Array, Object>;
+
+    template <typename T>
+    const T& get(const char* what) const
+    {
+        if (!std::holds_alternative<T>(data_))
+            throw JsonError{std::string{"not a "} + what};
+        return std::get<T>(data_);
+    }
+    const Data& check(Kind k, const char* what) const
+    {
+        if (kind() != k) throw JsonError{std::string{"not an "} + what};
+        return data_;
+    }
+    Data& check(Kind k, const char* what)
+    {
+        if (kind() != k) throw JsonError{std::string{"not an "} + what};
+        return data_;
+    }
+
+    Data data_;
+};
+
+} // namespace hwst::exec::json

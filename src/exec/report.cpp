@@ -1,0 +1,76 @@
+#include "exec/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hwst::exec {
+
+std::string bench_json_path(const std::string& bench)
+{
+    return "BENCH_" + bench + ".json";
+}
+
+json::Value bench_envelope(const std::string& bench, unsigned jobs,
+                           double wall_ms, const json::Value& payload)
+{
+    json::Value root = json::Value::object();
+    root["schema_version"] = kBenchSchemaVersion;
+    root["bench"] = bench;
+    root["jobs"] = jobs;
+    root["wall_ms"] = wall_ms;
+    for (const auto& [key, value] : payload.members()) root[key] = value;
+    return root;
+}
+
+std::string write_bench_json(const std::string& bench, unsigned jobs,
+                             double wall_ms, const json::Value& payload,
+                             const std::string& path)
+{
+    const std::string out_path =
+        path.empty() ? bench_json_path(bench) : path;
+    std::ofstream out{out_path};
+    if (!out)
+        throw common::ToolchainError{"cannot open " + out_path +
+                                     " for writing"};
+    out << bench_envelope(bench, jobs, wall_ms, payload).dump(2);
+    if (!out)
+        throw common::ToolchainError{"short write to " + out_path};
+    return out_path;
+}
+
+json::Value read_bench_json(const std::string& path)
+{
+    std::ifstream in{path};
+    if (!in) throw common::ToolchainError{"cannot open " + path};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    json::Value root = json::Value::parse(buf.str());
+    if (root.at("schema_version").as_int() != kBenchSchemaVersion)
+        throw common::ToolchainError{
+            path + ": unsupported schema_version " +
+            std::to_string(root.at("schema_version").as_int())};
+    return root;
+}
+
+json::Value outcome_json(const Job& job, const JobOutcome& outcome)
+{
+    json::Value row = json::Value::object();
+    if (!job.workload.empty()) row["workload"] = job.workload;
+    if (!job.scheme.empty()) row["scheme"] = job.scheme;
+    row["status"] = job_status_name(outcome.status);
+    row["wall_ms"] = outcome.wall_ms;
+    if (outcome.status == JobStatus::Ok) {
+        const sim::RunResult& r = outcome.result;
+        row["exit_code"] = r.exit_code;
+        row["trap"] = trap_name(r.trap.kind);
+        row["cycles"] = r.cycles;
+        row["instret"] = r.instret;
+    } else {
+        row["error"] = outcome.error;
+    }
+    return row;
+}
+
+} // namespace hwst::exec

@@ -1,7 +1,12 @@
 #include "fault/campaign.hpp"
 
+#include <memory>
+
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "compiler/driver.hpp"
+#include "exec/engine.hpp"
+#include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
 namespace hwst::fault {
@@ -29,6 +34,13 @@ u64 CampaignReport::total_silent() const
     return n;
 }
 
+u64 CampaignReport::total_timeouts() const
+{
+    u64 n = 0;
+    for (const PointStats& p : points) n += p.timeouts;
+    return n;
+}
+
 u64 CampaignReport::protected_silent() const
 {
     u64 n = 0;
@@ -41,19 +53,33 @@ namespace {
 
 /// Deterministic per-run seed: a SplitMix64-style mix of the campaign
 /// seed with the (workload, point, seed) coordinates, so adding a
-/// workload or point never shifts another run's fault draw.
+/// workload or point never shifts another run's fault draw, and thread
+/// count never matters.
 u64 run_seed(u64 base, u64 workload_i, Probe point, u64 seed_i)
 {
-    u64 z = base;
-    for (const u64 salt :
-         {workload_i, static_cast<u64>(point), seed_i}) {
-        z += 0x9E3779B97F4A7C15ULL + salt;
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-        z ^= z >> 31;
-    }
-    return z;
+    return exec::derive_seed(base, workload_i, static_cast<u64>(point),
+                             seed_i);
 }
+
+/// Per-workload golden state shared read-only by every faulted run of
+/// that workload. The module outlives the program: Codegen may keep
+/// references into it.
+struct Golden {
+    mir::Module module;
+    compiler::CompiledProgram cp;
+    sim::RunResult run;
+    sim::MachineConfig faulted_cfg;
+};
+
+/// One faulted run's contribution, merged into PointStats in grid
+/// order.
+struct RunRecord {
+    bool timed_out = false;
+    bool fired = false;
+    Verdict verdict = Verdict::Masked;
+    bool has_latency = false;
+    double latency = 0.0;
+};
 
 } // namespace
 
@@ -65,44 +91,117 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
     for (std::size_t i = 0; i < cfg.points.size(); ++i)
         report.points[i].point = cfg.points[i];
 
+    const exec::Engine engine{exec::EngineOptions{
+        .jobs = cfg.jobs,
+        .timeout = std::chrono::milliseconds{cfg.timeout_ms},
+    }};
+
+    // Phase 1: compile + golden run, one job per workload. Goldens are
+    // never allowed to time out — a campaign without its reference runs
+    // is meaningless — so a timeout here is an error.
+    std::vector<std::shared_ptr<Golden>> goldens;
+    {
+        const auto outcomes = engine.map<std::shared_ptr<Golden>>(
+            cfg.workloads.size(),
+            [&](std::size_t wi, const exec::CancelToken&) {
+                auto g = std::make_shared<Golden>();
+                const auto& wl = workloads::workload(cfg.workloads[wi]);
+                g->module = wl.build();
+                g->cp = compiler::compile(g->module, cfg.scheme);
+                sim::Machine machine{g->cp.program, g->cp.machine_config};
+                g->run = machine.run();
+                if (g->run.trap.kind != hwst::TrapKind::None)
+                    throw common::ToolchainError{
+                        "golden run of " + cfg.workloads[wi] +
+                        " trapped: " +
+                        std::string{trap_name(g->run.trap.kind)}};
+                // Stuck-at faults can turn a loop bound into a
+                // near-infinite trip count; bound faulted runs well past
+                // the golden length so a genuine hang classifies as such
+                // without burning the default 400M-instruction fuel.
+                g->faulted_cfg = g->cp.machine_config;
+                g->faulted_cfg.fuel = g->run.instret * 4 + 100'000;
+                return g;
+            },
+            goldens);
+        for (std::size_t wi = 0; wi < outcomes.size(); ++wi) {
+            if (outcomes[wi].status != exec::JobStatus::Ok)
+                throw common::ToolchainError{
+                    "golden run of " + cfg.workloads[wi] + " failed: " +
+                    outcomes[wi].error};
+        }
+    }
+
+    // Phase 2: the (workload × point × seed) grid, one faulted run per
+    // job, records merged below in the same nesting order the serial
+    // runner used — so the report is byte-identical at any thread count.
+    const std::size_t n_points = cfg.points.size();
+    const std::size_t n_seeds = cfg.seeds_per_point;
+    const std::size_t n_runs = cfg.workloads.size() * n_points * n_seeds;
+    std::vector<RunRecord> records;
+    const auto outcomes = engine.map<RunRecord>(
+        n_runs,
+        [&](std::size_t i, const exec::CancelToken& token) {
+            const std::size_t wi = i / (n_points * n_seeds);
+            const std::size_t pi = (i / n_seeds) % n_points;
+            const std::size_t si = i % n_seeds;
+            const Golden& g = *goldens[wi];
+            const Probe point = cfg.points[pi];
+
+            common::Xoshiro256 rng{
+                run_seed(cfg.base_seed, wi, point, si)};
+            Injector injector{FaultPlan{{FaultPlan::random_spec(
+                point, g.run.instret, rng, cfg.mode)}}};
+
+            sim::Machine machine{g.cp.program, g.faulted_cfg};
+            injector.attach(machine);
+
+            RunRecord rec;
+            std::optional<sim::RunResult> faulted;
+            try {
+                faulted = exec::run_machine(machine, token);
+            } catch (const exec::JobTimeout&) {
+                rec.timed_out = true;
+                return rec;
+            }
+            const Outcome outcome = classify(g.run, *faulted, injector);
+            rec.fired = outcome.fired;
+            rec.verdict = outcome.verdict;
+            if (outcome.verdict == Verdict::Detected && outcome.fired) {
+                rec.has_latency = true;
+                rec.latency =
+                    static_cast<double>(outcome.detection_latency());
+            }
+            return rec;
+        },
+        records);
+
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].status == exec::JobStatus::Error)
+            throw common::ToolchainError{"campaign run #" +
+                                         std::to_string(i) +
+                                         " failed: " + outcomes[i].error};
+    }
+
+    // Merge in (workload, point, seed) order — the serial loop order.
     for (std::size_t wi = 0; wi < cfg.workloads.size(); ++wi) {
-        const auto& wl = workloads::workload(cfg.workloads[wi]);
-        const mir::Module module = wl.build();
-        const compiler::CompiledProgram cp =
-            compiler::compile(module, cfg.scheme);
-
-        sim::Machine golden_machine{cp.program, cp.machine_config};
-        const sim::RunResult golden = golden_machine.run();
-
-        // Stuck-at faults can turn a loop bound into a near-infinite
-        // trip count; bound faulted runs well past the golden length so
-        // a genuine hang classifies as such without burning the default
-        // 400M-instruction fuel per run.
-        sim::MachineConfig faulted_cfg = cp.machine_config;
-        faulted_cfg.fuel = golden.instret * 4 + 100'000;
-
-        for (std::size_t pi = 0; pi < cfg.points.size(); ++pi) {
+        for (std::size_t pi = 0; pi < n_points; ++pi) {
             PointStats& stats = report.points[pi];
-            for (unsigned si = 0; si < cfg.seeds_per_point; ++si) {
-                common::Xoshiro256 rng{
-                    run_seed(cfg.base_seed, wi, cfg.points[pi], si)};
-                Injector injector{FaultPlan{{FaultPlan::random_spec(
-                    cfg.points[pi], golden.instret, rng, cfg.mode)}}};
-
-                sim::Machine machine{cp.program, faulted_cfg};
-                injector.attach(machine);
-                const sim::RunResult faulted = machine.run();
-                const Outcome outcome = classify(golden, faulted, injector);
-
+            for (std::size_t si = 0; si < n_seeds; ++si) {
+                const std::size_t i = (wi * n_points + pi) * n_seeds + si;
+                const RunRecord& rec = records[i];
                 ++stats.runs;
-                if (outcome.fired) ++stats.fired;
-                switch (outcome.verdict) {
+                if (rec.timed_out ||
+                    outcomes[i].status == exec::JobStatus::Timeout) {
+                    ++stats.timeouts;
+                    continue;
+                }
+                if (rec.fired) ++stats.fired;
+                switch (rec.verdict) {
                 case Verdict::Detected:
                     ++stats.detected;
-                    if (outcome.fired) {
-                        stats.latencies.push_back(static_cast<double>(
-                            outcome.detection_latency()));
-                    }
+                    if (rec.has_latency)
+                        stats.latencies.push_back(rec.latency);
                     break;
                 case Verdict::Masked: ++stats.masked; break;
                 case Verdict::SilentCorruption: ++stats.silent; break;
@@ -136,6 +235,47 @@ void CampaignReport::print(std::ostream& os) const
     os << "\ntotal runs " << total_runs() << ", silent corruptions "
        << total_silent() << " (" << protected_silent()
        << " at metadata-protected points)\n";
+    if (total_timeouts())
+        os << "warning: " << total_timeouts()
+           << " runs hit the wall-clock budget and were not classified\n";
+}
+
+exec::json::Value CampaignReport::to_json() const
+{
+    using exec::json::Value;
+    Value root = Value::object();
+    Value jcfg = Value::object();
+    jcfg["scheme"] = compiler::scheme_name(config.scheme);
+    jcfg["mode"] = fault_mode_name(config.mode);
+    jcfg["seeds_per_point"] = config.seeds_per_point;
+    jcfg["base_seed"] = config.base_seed;
+    Value jwl = Value::array();
+    for (const auto& w : config.workloads) jwl.push_back(w);
+    jcfg["workloads"] = jwl;
+    jcfg["timeout_ms"] = config.timeout_ms;
+    root["config"] = jcfg;
+
+    Value jpoints = Value::array();
+    for (const PointStats& p : points) {
+        Value jp = Value::object();
+        jp["point"] = sim::probe_name(p.point);
+        jp["metadata_protected"] = metadata_protected(p.point);
+        jp["runs"] = p.runs;
+        jp["fired"] = p.fired;
+        jp["detected"] = p.detected;
+        jp["masked"] = p.masked;
+        jp["silent"] = p.silent;
+        jp["timeouts"] = p.timeouts;
+        jp["detection_rate"] = p.detection_rate();
+        jp["mean_latency"] = p.mean_latency();
+        jpoints.push_back(jp);
+    }
+    root["points"] = jpoints;
+    root["total_runs"] = total_runs();
+    root["total_silent"] = total_silent();
+    root["protected_silent"] = protected_silent();
+    root["total_timeouts"] = total_timeouts();
+    return root;
 }
 
 } // namespace hwst::fault

@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "compiler/scheme.hpp"
+#include "exec/json.hpp"
 #include "fault/oracle.hpp"
 
 namespace hwst::fault {
@@ -36,6 +37,12 @@ struct CampaignConfig {
     unsigned seeds_per_point = 20;
     u64 base_seed = 0xC0FFEE;
     FaultMode mode = FaultMode::OneShot;
+    /// Engine worker threads (0 = HWST_JOBS / hardware_concurrency).
+    /// The report is bit-identical at every value (docs/execution.md).
+    unsigned jobs = 0;
+    /// Per-run wall-clock budget in ms (0 = none). Timed-out runs are
+    /// counted separately, never classified.
+    u64 timeout_ms = 0;
 };
 
 struct PointStats {
@@ -45,6 +52,7 @@ struct PointStats {
     u64 detected = 0;
     u64 masked = 0;
     u64 silent = 0;
+    u64 timeouts = 0; ///< runs killed by the wall-clock budget
     /// Detection latencies (instructions) over detected-and-fired runs.
     std::vector<double> latencies;
 
@@ -54,7 +62,12 @@ struct PointStats {
                            static_cast<double>(fired)
                      : 0.0;
     }
-    double mean_latency() const { return common::mean(latencies); }
+    /// 0 when no detected-and-fired run recorded a latency (mean of an
+    /// empty series throws by design; "no latency" prints as 0.0).
+    double mean_latency() const
+    {
+        return latencies.empty() ? 0.0 : common::mean(latencies);
+    }
 };
 
 struct CampaignReport {
@@ -63,6 +76,7 @@ struct CampaignReport {
 
     u64 total_runs() const;
     u64 total_silent() const;
+    u64 total_timeouts() const;
 
     /// Silent corruptions at metadata_protected() points only — the
     /// quantity that must be zero for the completeness claim to hold.
@@ -70,6 +84,9 @@ struct CampaignReport {
 
     /// Aggregate table (deterministic: same config -> same bytes).
     void print(std::ostream& os) const;
+
+    /// Machine-readable form (the payload of BENCH_fault_campaign.json).
+    exec::json::Value to_json() const;
 };
 
 CampaignReport run_campaign(const CampaignConfig& cfg);

@@ -907,8 +907,20 @@ Trap Machine::exec_ecall()
 
 RunResult Machine::run()
 {
+    // run_cancellable never cancels with a null callback.
+    return *run_cancellable({});
+}
+
+std::optional<RunResult> Machine::run_cancellable(
+    const std::function<bool()>& cancel, u64 stride)
+{
     RunResult result;
+    u64 next_check = instret_ + stride;
     while (running_) {
+        if (cancel && instret_ >= next_check) {
+            if (cancel()) return std::nullopt;
+            next_check = instret_ + stride;
+        }
         if (instret_ >= cfg_.fuel) {
             result.trap = Trap{TrapKind::FuelExhausted, 0, pc_};
             running_ = false;

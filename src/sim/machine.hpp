@@ -162,6 +162,13 @@ public:
     /// Run to completion (exit, trap, or fuel exhaustion).
     RunResult run();
 
+    /// Like run(), but polls `cancel` every `stride` retired
+    /// instructions and returns std::nullopt when it fires (the machine
+    /// state stays inspectable). Execution is otherwise identical to
+    /// run(): an uncancelled run produces the exact same RunResult.
+    std::optional<RunResult> run_cancellable(
+        const std::function<bool()>& cancel, u64 stride = 4096);
+
     /// Execute one instruction. Returns a trap (kind None = keep going).
     hwst::Trap step();
 

@@ -116,9 +116,39 @@ TEST(Stats, GeoMean)
 {
     const double xs[] = {1.0, 4.0};
     EXPECT_DOUBLE_EQ(geo_mean(xs), 2.0);
-    EXPECT_EQ(geo_mean(std::span<const double>{}), 0.0);
     const double bad[] = {1.0, -1.0};
     EXPECT_THROW(geo_mean(bad), std::domain_error);
+}
+
+TEST(Stats, EmptyInputIsReported)
+{
+    const std::span<const double> empty{};
+    EXPECT_THROW(mean(empty), std::domain_error);
+    EXPECT_THROW(geo_mean(empty), std::domain_error);
+    EXPECT_THROW(geo_mean_overhead_pct(empty), std::domain_error);
+    EXPECT_THROW(stddev(empty), std::domain_error);
+    EXPECT_THROW(percentile(empty, 50.0), std::domain_error);
+}
+
+TEST(Stats, Stddev)
+{
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(stddev(xs), 2.13809, 1e-5); // sample (n-1) stddev
+    const double one[] = {42.0};
+    EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(Stats, Percentile)
+{
+    const double xs[] = {15.0, 20.0, 35.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 15.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 40.0);
+    EXPECT_THROW(percentile(xs, 101.0), std::domain_error);
+    const double one[] = {7.0};
+    EXPECT_DOUBLE_EQ(percentile(one, 99.0), 7.0);
 }
 
 TEST(Stats, GeoMeanOverheadPct)

@@ -1,0 +1,239 @@
+// Exec engine tests: the determinism contract (serial and parallel runs
+// of the same grid produce identical aggregates), timeout/cancellation,
+// error capture, seed derivation, and the JSON layer (round-trip plus
+// the BENCH_<name>.json envelope).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "exec/cli.hpp"
+#include "exec/engine.hpp"
+#include "exec/report.hpp"
+#include "exec/simrun.hpp"
+#include "mir/builder.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hwst;
+using common::u64;
+using exec::CancelToken;
+using exec::Engine;
+using exec::EngineOptions;
+using exec::Job;
+using exec::JobStatus;
+
+namespace {
+
+/// main() { loop: goto loop; } — runs until fuel or cancellation.
+mir::Module infinite_module()
+{
+    mir::Module m;
+    auto& fn = m.add_function("main", {}, mir::Ty::I64);
+    mir::FunctionBuilder b{m, fn};
+    b.set_insert(b.block("entry"));
+    const auto loop = b.block("loop");
+    b.jmp(loop);
+    b.set_insert(loop);
+    b.jmp(loop);
+    return m;
+}
+
+/// The fig5-style grid the determinism test runs at several thread
+/// counts: two real workloads under two schemes.
+std::vector<Job> small_grid()
+{
+    std::vector<Job> jobs;
+    for (const char* name : {"crc32", "treeadd"}) {
+        const auto& w = workloads::workload(name);
+        for (const auto scheme :
+             {compiler::Scheme::None, compiler::Scheme::Hwst128Tchk}) {
+            jobs.push_back(exec::make_sim_job(
+                std::string{name} + "/" +
+                    std::string{compiler::scheme_name(scheme)},
+                name, scheme, w.build));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(ExecEngine, SerialAndParallelOutcomesAreIdentical)
+{
+    const auto jobs = small_grid();
+    const Engine serial{EngineOptions{.jobs = 1}};
+    const Engine parallel{EngineOptions{.jobs = 8}};
+    const auto a = serial.run(jobs);
+    const auto b = parallel.run(jobs);
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(a[i].status, JobStatus::Ok) << jobs[i].name;
+        EXPECT_EQ(b[i].status, JobStatus::Ok) << jobs[i].name;
+        // The full per-run aggregate, not just the headline numbers.
+        EXPECT_EQ(a[i].result.cycles, b[i].result.cycles) << jobs[i].name;
+        EXPECT_EQ(a[i].result.instret, b[i].result.instret)
+            << jobs[i].name;
+        EXPECT_EQ(a[i].result.exit_code, b[i].result.exit_code)
+            << jobs[i].name;
+        EXPECT_EQ(a[i].result.output, b[i].result.output) << jobs[i].name;
+        EXPECT_EQ(a[i].result.dcache.misses, b[i].result.dcache.misses)
+            << jobs[i].name;
+    }
+}
+
+TEST(ExecEngine, TimeoutCancelsAHungJobAndSparesTheRest)
+{
+    std::vector<Job> jobs;
+    jobs.push_back(exec::make_sim_job(
+        "hang/none", "hang", compiler::Scheme::None, infinite_module,
+        [](sim::MachineConfig& cfg) {
+            // Far more fuel than the budget allows to burn: the timeout,
+            // not the fuel limit, must end this run.
+            cfg.fuel = 4'000'000'000ULL;
+        }));
+    const auto& crc = workloads::workload("crc32");
+    jobs.push_back(exec::make_sim_job("crc32/none", "crc32",
+                                      compiler::Scheme::None, crc.build));
+
+    // Generous budget: crc32 must finish inside it even under the
+    // sanitizer presets' ~10x slowdown, while the hung job can only be
+    // ended by it.
+    const Engine engine{EngineOptions{
+        .jobs = 1, .timeout = std::chrono::milliseconds{2000}}};
+    const auto outcomes = engine.run(jobs);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Timeout);
+    EXPECT_FALSE(outcomes[0].error.empty());
+    // The deadline is per job, so the well-behaved neighbour completes.
+    EXPECT_EQ(outcomes[1].status, JobStatus::Ok);
+    EXPECT_EQ(outcomes[1].result.exit_code, crc.expected);
+}
+
+TEST(ExecEngine, BodyExceptionIsCapturedAsError)
+{
+    std::vector<Job> jobs;
+    jobs.push_back(Job{.name = "boom",
+                       .body = [](const CancelToken&) -> sim::RunResult {
+                           throw common::ToolchainError{"deliberate"};
+                       }});
+    const auto outcomes = Engine{}.run(jobs);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Error);
+    EXPECT_NE(outcomes[0].error.find("deliberate"), std::string::npos);
+}
+
+TEST(ExecEngine, MapCollectsTypedResultsInIndexOrder)
+{
+    const Engine engine{EngineOptions{.jobs = 4}};
+    std::vector<std::size_t> out;
+    const auto outcomes = engine.map<std::size_t>(
+        16, [](std::size_t i, const CancelToken&) { return i * i; }, out);
+    ASSERT_EQ(out.size(), 16u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(outcomes[i].status, JobStatus::Ok);
+        EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(ExecEngine, DeriveSeedIsCoordinateStable)
+{
+    const auto s = exec::derive_seed(0xC0FFEE, 1, 2, 3);
+    EXPECT_EQ(s, exec::derive_seed(0xC0FFEE, 1, 2, 3));
+    EXPECT_NE(s, exec::derive_seed(0xC0FFEE, 1, 2, 4));
+    EXPECT_NE(s, exec::derive_seed(0xC0FFEE, 2, 1, 3));
+    EXPECT_NE(s, exec::derive_seed(0xBEEF, 1, 2, 3));
+}
+
+TEST(ExecEngine, ResolveJobsNeverReturnsZero)
+{
+    EXPECT_GE(exec::resolve_jobs(0), 1u);
+    EXPECT_EQ(exec::resolve_jobs(3), 3u);
+}
+
+TEST(ExecCli, ParsesTheSharedGridFlags)
+{
+    exec::GridOptions o;
+    const char* argv[] = {"prog",    "--jobs", "4",        "--json",
+                          "out.json", "--timeout-ms", "250", "--smoke"};
+    const int argc = static_cast<int>(std::size(argv));
+    for (int i = 1; i < argc; ++i)
+        EXPECT_TRUE(exec::parse_grid_flag(
+            o, argc, const_cast<char**>(argv), i));
+    EXPECT_EQ(o.jobs, 4u);
+    EXPECT_EQ(o.json_path, "out.json");
+    EXPECT_TRUE(o.json);
+    EXPECT_EQ(o.timeout_ms, 250u);
+    EXPECT_TRUE(o.smoke);
+
+    exec::GridOptions n;
+    const char* argv2[] = {"prog", "--no-json"};
+    int i = 1;
+    EXPECT_TRUE(
+        exec::parse_grid_flag(n, 2, const_cast<char**>(argv2), i));
+    EXPECT_FALSE(n.json);
+
+    exec::GridOptions bad;
+    const char* argv3[] = {"prog", "--jobs", "0"};
+    i = 1;
+    EXPECT_THROW(
+        exec::parse_grid_flag(bad, 3, const_cast<char**>(argv3), i),
+        common::ToolchainError);
+}
+
+TEST(ExecJson, RoundTripsEveryValueKind)
+{
+    using exec::json::Value;
+    Value v = Value::object();
+    v["null"] = nullptr;
+    v["flag"] = true;
+    v["int"] = -42;
+    v["big"] = u64{1} << 53;
+    v["pi"] = 3.25;
+    v["text"] = std::string{"quote \" slash \\ newline \n tab \t"};
+    Value arr = Value::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    arr.push_back(Value::object());
+    v["arr"] = arr;
+
+    const Value back = Value::parse(v.dump());
+    EXPECT_EQ(back, v);
+    // Key order is part of the format: dumps must be byte-identical.
+    EXPECT_EQ(back.dump(), v.dump());
+}
+
+TEST(ExecJson, ParserRejectsMalformedInput)
+{
+    using exec::json::Value;
+    EXPECT_THROW(Value::parse("{"), exec::json::JsonError);
+    EXPECT_THROW(Value::parse("[1,]"), exec::json::JsonError);
+    EXPECT_THROW(Value::parse("{\"a\":1} trailing"),
+                 exec::json::JsonError);
+    EXPECT_THROW(Value::parse("nul"), exec::json::JsonError);
+}
+
+TEST(ExecReport, BenchEnvelopeRoundTrips)
+{
+    using exec::json::Value;
+    Value payload = Value::object();
+    payload["answer"] = 42;
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hwst_exec_test.json")
+            .string();
+    const std::string written =
+        exec::write_bench_json("exec_test", 3, 12.5, payload, path);
+    EXPECT_EQ(written, path);
+
+    const Value v = exec::read_bench_json(path);
+    EXPECT_EQ(v.at("schema_version"), Value{exec::kBenchSchemaVersion});
+    EXPECT_EQ(v.at("bench"), Value{"exec_test"});
+    EXPECT_EQ(v.at("jobs"), Value{3});
+    EXPECT_EQ(v.at("answer"), Value{42});
+    std::remove(path.c_str());
+}
+
+TEST(ExecReport, DefaultBenchPathUsesTheBenchName)
+{
+    EXPECT_EQ(exec::bench_json_path("fig5"), "BENCH_fig5.json");
+}
