@@ -17,7 +17,9 @@
 #include "compiler/driver.hpp"
 #include "compiler/emitters.hpp"
 #include "exec/cli.hpp"
+#include "exec/journal.hpp"
 #include "exec/report.hpp"
+#include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
@@ -45,7 +47,7 @@ exec::Job emitter_job(std::string name, const workloads::Workload& w,
         .workload = w.name,
         .scheme = "custom",
         .body =
-            [&w, make_em](const exec::CancelToken& token) {
+            [&w, make_em](const exec::JobContext& ctx) {
                 // Codegen keeps a reference to the module: keep it alive
                 // for the whole compile.
                 const mir::Module module = w.build();
@@ -53,9 +55,17 @@ exec::Job emitter_job(std::string name, const workloads::Workload& w,
                 compiler::Codegen cg{module, em};
                 const auto program = cg.compile();
                 return exec::run_program(program, em.machine_config(),
-                                         token);
+                                         ctx.token);
             },
     };
+}
+
+/// The five sub-ablations share one journal, and their job names
+/// collide ("crc32/base" appears in three grids) — prefix the journal
+/// keys per ablation so records never alias.
+void rekey(std::vector<exec::Job>& jobs, const char* prefix)
+{
+    for (auto& j : jobs) j.key = std::string{prefix} + ":" + j.name;
 }
 
 /// Run one ablation's grid and unwrap the results; any failed job aborts
@@ -109,6 +119,7 @@ exec::json::Value keybuffer_sweep(const exec::Engine& engine, bool smoke)
         jobs.push_back(exec::make_sim_job(name + "/sw-key-load", name,
                                           Scheme::Hwst128, w.build));
     }
+    rekey(jobs, "kb");
     const auto rs = run_grid(engine, jobs);
 
     common::TextTable t{{"workload", "disabled", "1", "2", "4", "8 (paper)",
@@ -161,6 +172,7 @@ exec::json::Value compression_ablation(const exec::Engine& engine,
             return compiler::HwstEmitter{true, true};
         }));
     }
+    rekey(jobs, "cmp");
     const auto rs = run_grid(engine, jobs);
 
     common::TextTable t{{"workload", "compressed (paper)", "uncompressed",
@@ -205,6 +217,7 @@ exec::json::Value trie_ablation(const exec::Engine& engine, bool smoke)
                 compiler::SbcetsEmitter::Options{.trie = false}};
         }));
     }
+    rekey(jobs, "trie");
     const auto rs = run_grid(engine, jobs);
 
     common::TextTable t{{"workload", "trie (SoftBound)", "linear map"}};
@@ -253,6 +266,7 @@ exec::json::Value cache_sweep(const exec::Engine& engine, bool smoke)
                 w.name, s, w.build, tweak));
         }
     }
+    rekey(jobs, "dcache");
     const auto rs = run_grid(engine, jobs);
 
     common::TextTable t{{"dcache", "sbcets", "hwst128_tchk"}};
@@ -300,6 +314,7 @@ exec::json::Value status_decomposition(const exec::Engine& engine,
                 }));
         }
     }
+    rekey(jobs, "status");
     const auto rs = run_grid(engine, jobs);
 
     common::TextTable t{{"workload", "checks off", "spatial only",
@@ -348,8 +363,23 @@ int main(int argc, char** argv)
     }
 
     std::cout << "HWST128 design-choice ablations (DESIGN.md 5)\n\n";
+    exec::install_signal_handlers();
+    std::unique_ptr<exec::Journal> journal;
     try {
-        const exec::Engine engine{grid.engine()};
+        // One journal covers all five sub-grids; the rekey() prefixes
+        // keep their records from aliasing.
+        journal = exec::open_journal(
+            grid, "ablations",
+            exec::grid_fingerprint(std::string{"ablations smoke="} +
+                                   (grid.smoke ? "1" : "0")));
+    } catch (const std::exception& e) {
+        std::cerr << "ablations: " << e.what() << '\n';
+        return 2;
+    }
+    try {
+        exec::EngineOptions eopts = grid.engine();
+        eopts.journal = journal.get();
+        const exec::Engine engine{eopts};
         const exec::Stopwatch stopwatch;
         exec::json::Value payload = exec::json::Value::object();
         payload["keybuffer"] = keybuffer_sweep(engine, grid.smoke);
@@ -366,6 +396,9 @@ int main(int argc, char** argv)
         }
     } catch (const std::exception& e) {
         std::cerr << "ablations: " << e.what() << '\n';
+        // A shutdown mid-ablation is a deliberate interrupt, not a
+        // failure: the journal holds the finished jobs for --resume.
+        if (exec::shutdown_requested()) return 130;
         return 1;
     }
     return 0;

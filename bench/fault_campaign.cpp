@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "exec/cli.hpp"
 #include "exec/report.hpp"
+#include "exec/shutdown.hpp"
 #include "fault/campaign.hpp"
 
 using namespace hwst;
@@ -81,7 +82,9 @@ CampaignConfig parse(int argc, char** argv, exec::GridOptions& grid)
             for (const auto& name : split_csv(need("--points")))
                 cfg.points.push_back(parse_point(name));
         } else {
-            throw common::ToolchainError{"unknown flag: " + a};
+            throw common::ToolchainError{"unknown flag: " + a +
+                                         "\nshared grid flags:\n" +
+                                         exec::kGridFlagsHelp};
         }
     }
     if (grid.smoke) {
@@ -90,6 +93,11 @@ CampaignConfig parse(int argc, char** argv, exec::GridOptions& grid)
     }
     cfg.jobs = grid.jobs;
     cfg.timeout_ms = grid.timeout_ms;
+    cfg.retries = grid.retries;
+    cfg.backoff_ms = grid.backoff_ms;
+    cfg.journal = grid.journal;
+    cfg.journal_path = grid.journal_path;
+    cfg.resume = grid.resume;
     if (cfg.workloads.empty() || cfg.points.empty() ||
         cfg.seeds_per_point == 0) {
         throw common::ToolchainError{
@@ -105,6 +113,7 @@ int main(int argc, char** argv)
     try {
         exec::GridOptions grid;
         const CampaignConfig cfg = parse(argc, argv, grid);
+        exec::install_signal_handlers();
         const exec::Stopwatch stopwatch;
         const auto report = fault::run_campaign(cfg);
         const double wall_ms = stopwatch.elapsed_ms();
@@ -115,13 +124,23 @@ int main(int argc, char** argv)
                 report.to_json(), grid.json_path);
             std::cout << "wrote " << path << '\n';
         }
-        // Exit status checks the completeness invariant: no silent
-        // corruption at metadata-protected points (dcache-fill-data is
-        // outside HWST's protection domain — ECC's job — and expected
-        // to corrupt silently).
-        return report.protected_silent() == 0 ? 0 : 1;
+        // Exit status checks the completeness invariant first: no
+        // silent corruption at metadata-protected points
+        // (dcache-fill-data is outside HWST's protection domain — ECC's
+        // job — and expected to corrupt silently). Beyond that, the
+        // durability policy: a shutdown-partial report exits 130,
+        // unclassified runs (timeout/quarantine) fail the campaign
+        // unless --keep-going.
+        if (report.protected_silent() != 0) return 1;
+        if (report.total_skipped() != 0) return 130;
+        if ((report.total_timeouts() != 0 ||
+             report.total_quarantined() != 0) &&
+            !grid.keep_going)
+            return 1;
+        return 0;
     } catch (const std::exception& e) {
         std::cerr << "fault_campaign: " << e.what() << '\n';
+        if (exec::shutdown_requested()) return 130;
         return 2;
     }
 }

@@ -11,7 +11,9 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exec/cli.hpp"
+#include "exec/journal.hpp"
 #include "exec/report.hpp"
+#include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
@@ -53,7 +55,19 @@ int main(int argc, char** argv)
         }
     }
 
-    const exec::Engine engine{grid.engine()};
+    exec::install_signal_handlers();
+    std::unique_ptr<exec::Journal> journal;
+    try {
+        journal = exec::open_journal(grid, "fig4",
+                                     exec::grid_fingerprint(jobs));
+    } catch (const std::exception& e) {
+        std::cerr << "fig4_overhead: " << e.what() << '\n';
+        return 2;
+    }
+    exec::EngineOptions eopts = grid.engine();
+    eopts.journal = journal.get();
+
+    const exec::Engine engine{eopts};
     const exec::Stopwatch stopwatch;
     const auto outcomes = engine.run(jobs);
     const double wall_ms = stopwatch.elapsed_ms();
@@ -64,10 +78,16 @@ int main(int argc, char** argv)
                              "hwst128%", "hwst128_tchk%"}};
 
     exec::json::Value rows = exec::json::Value::array();
+    exec::json::Value incomplete = exec::json::Value::array();
+    bool bad_result = false;
     std::vector<std::vector<double>> overheads(keys.size());
     for (std::size_t wi = 0; wi < ws.size(); ++wi) {
         const auto* w = ws[wi];
         const std::size_t base_i = wi * schemes.size();
+        // A workload row needs every scheme cell; any failed or skipped
+        // cell drops the whole row from the table and the geo-means so
+        // the aggregates never mix in partial data.
+        bool row_ok = true;
         for (std::size_t si = 0; si < schemes.size(); ++si) {
             const exec::JobOutcome& o = outcomes[base_i + si];
             if (o.status != exec::JobStatus::Ok ||
@@ -76,8 +96,13 @@ int main(int argc, char** argv)
                           << exec::job_status_name(o.status)
                           << (o.error.empty() ? "" : " (" + o.error + ")")
                           << '\n';
-                return 1;
+                if (o.status == exec::JobStatus::Ok) bad_result = true;
+                row_ok = false;
             }
+        }
+        if (!row_ok) {
+            incomplete.push_back(w->name);
+            continue;
         }
         const sim::RunResult& base = outcomes[base_i].result;
         std::vector<std::string> row{
@@ -106,6 +131,11 @@ int main(int argc, char** argv)
     std::vector<std::string> means{"", "geo. mean", ""};
     exec::json::Value geo = exec::json::Value::object();
     for (std::size_t ki = 0; ki < keys.size(); ++ki) {
+        if (overheads[ki].empty()) {
+            means.push_back("n/a");
+            geo[keys[ki]] = nullptr;
+            continue;
+        }
         const double g = common::geo_mean_overhead_pct(overheads[ki]);
         means.push_back(common::fmt(g, 2));
         geo[keys[ki]] = g;
@@ -123,10 +153,14 @@ int main(int argc, char** argv)
         payload["workloads"] = wl;
         payload["rows"] = rows;
         payload["geo_mean_overhead_pct"] = geo;
+        payload["incomplete"] = incomplete;
+        payload["summary"] = exec::summary_json(jobs, outcomes);
         const std::string path = exec::write_bench_json(
             "fig4", exec::resolve_jobs(grid.jobs), wall_ms, payload,
             grid.json_path);
         std::cout << "wrote " << path << '\n';
     }
-    return 0;
+    const int rc = exec::grid_exit_code(outcomes, grid.keep_going);
+    if (rc == 0 && bad_result && !grid.keep_going) return 1;
+    return rc;
 }

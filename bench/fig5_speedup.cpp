@@ -16,7 +16,9 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exec/cli.hpp"
+#include "exec/journal.hpp"
 #include "exec/report.hpp"
+#include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
@@ -57,7 +59,19 @@ int main(int argc, char** argv)
         }
     }
 
-    const exec::Engine engine{grid.engine()};
+    exec::install_signal_handlers();
+    std::unique_ptr<exec::Journal> journal;
+    try {
+        journal = exec::open_journal(grid, "fig5",
+                                     exec::grid_fingerprint(jobs));
+    } catch (const std::exception& e) {
+        std::cerr << "fig5_speedup: " << e.what() << '\n';
+        return 2;
+    }
+    exec::EngineOptions eopts = grid.engine();
+    eopts.journal = journal.get();
+
+    const exec::Engine engine{eopts};
     const exec::Stopwatch stopwatch;
     const auto outcomes = engine.run(jobs);
     const double wall_ms = stopwatch.elapsed_ms();
@@ -67,10 +81,16 @@ int main(int argc, char** argv)
                              "wdl_narrow", "wdl_wide", "hwst128"}};
 
     exec::json::Value rows = exec::json::Value::array();
+    exec::json::Value incomplete = exec::json::Value::array();
+    bool bad_result = false;
     std::vector<std::vector<double>> per_accel(schemes.size() - 1);
     for (std::size_t wi = 0; wi < ws.size(); ++wi) {
         const auto* w = ws[wi];
         const std::size_t base = wi * schemes.size();
+        // Speedups need both the SBCETS denominator and the accelerated
+        // cell; drop the whole row (and its geo-mean contribution) when
+        // any cell failed or was skipped.
+        bool row_ok = true;
         for (std::size_t si = 0; si < schemes.size(); ++si) {
             const exec::JobOutcome& o = outcomes[base + si];
             if (o.status != exec::JobStatus::Ok ||
@@ -79,8 +99,13 @@ int main(int argc, char** argv)
                           << exec::job_status_name(o.status)
                           << (o.error.empty() ? "" : " (" + o.error + ")")
                           << '\n';
-                return 1;
+                if (o.status == exec::JobStatus::Ok) bad_result = true;
+                row_ok = false;
             }
+        }
+        if (!row_ok) {
+            incomplete.push_back(w->name);
+            continue;
         }
         const sim::RunResult& sb = outcomes[base].result;
         std::vector<std::string> row{w->name, std::to_string(sb.cycles)};
@@ -104,6 +129,11 @@ int main(int argc, char** argv)
     std::vector<std::string> means{"geo. mean", ""};
     exec::json::Value geo = exec::json::Value::object();
     for (std::size_t ai = 0; ai < per_accel.size(); ++ai) {
+        if (per_accel[ai].empty()) {
+            means.push_back("n/a");
+            geo[accel_keys[ai]] = nullptr;
+            continue;
+        }
         const double g = common::geo_mean(per_accel[ai]);
         means.push_back(common::fmt(g, 2) + "x");
         geo[accel_keys[ai]] = g;
@@ -121,10 +151,14 @@ int main(int argc, char** argv)
         payload["workloads"] = wl;
         payload["rows"] = rows;
         payload["geo_means"] = geo;
+        payload["incomplete"] = incomplete;
+        payload["summary"] = exec::summary_json(jobs, outcomes);
         const std::string path = exec::write_bench_json(
             "fig5", exec::resolve_jobs(grid.jobs), wall_ms, payload,
             grid.json_path);
         std::cout << "wrote " << path << '\n';
     }
-    return 0;
+    const int rc = exec::grid_exit_code(outcomes, grid.keep_going);
+    if (rc == 0 && bad_result && !grid.keep_going) return 1;
+    return rc;
 }

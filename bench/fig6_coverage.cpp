@@ -14,7 +14,9 @@
 
 #include "common/table.hpp"
 #include "exec/cli.hpp"
+#include "exec/journal.hpp"
 #include "exec/report.hpp"
+#include "exec/shutdown.hpp"
 #include "juliet/runner.hpp"
 
 using namespace hwst;
@@ -25,6 +27,46 @@ namespace {
 /// Cases per engine job: small enough to parallelize a single-CWE run,
 /// large enough that per-job overhead is invisible.
 constexpr std::size_t kChunk = 128;
+
+/// Journal round trip for a chunk's Coverage, so --resume can replay
+/// finished coverage chunks instead of re-running their cases.
+exec::json::Value coverage_to_json(const juliet::Coverage& c)
+{
+    exec::json::Value v = exec::json::Value::object();
+    v["total"] = c.total;
+    v["detected"] = c.detected;
+    v["false_positives"] = c.false_positives;
+    exec::json::Value per = exec::json::Value::array();
+    for (const auto& [cwe, cc] : c.per_cwe) {
+        exec::json::Value e = exec::json::Value::array();
+        e.push_back(static_cast<common::i64>(cwe));
+        e.push_back(cc.total);
+        e.push_back(cc.detected);
+        per.push_back(e);
+    }
+    v["per_cwe"] = per;
+    return v;
+}
+
+juliet::Coverage coverage_from_json(const exec::json::Value& v)
+{
+    juliet::Coverage c;
+    c.total = static_cast<common::u32>(v.at("total").as_int());
+    c.detected = static_cast<common::u32>(v.at("detected").as_int());
+    c.false_positives =
+        static_cast<common::u32>(v.at("false_positives").as_int());
+    for (const auto& e : v.at("per_cwe").items()) {
+        if (e.items().size() != 3)
+            throw exec::json::JsonError{"bad per_cwe entry"};
+        const common::i64 cwe = e.items()[0].as_int();
+        if (cwe < 0 || cwe > static_cast<common::i64>(juliet::Cwe::C761))
+            throw exec::json::JsonError{"bad cwe id"};
+        auto& cc = c.per_cwe[static_cast<juliet::Cwe>(cwe)];
+        cc.total = static_cast<common::u32>(e.items()[1].as_int());
+        cc.detected = static_cast<common::u32>(e.items()[2].as_int());
+    }
+    return c;
+}
 
 } // namespace
 
@@ -78,16 +120,42 @@ int main(int argc, char** argv)
                 Chunk{s, lo, std::min(lo + kChunk, cases.size())});
     }
 
-    const exec::Engine engine{grid.engine()};
+    exec::install_signal_handlers();
+    // The grid is chunk-indexed, so the fingerprint hashes the campaign
+    // shape: any change to stride, case count, scheme set or chunk size
+    // invalidates an old journal.
+    const std::string grid_desc =
+        "fig6 stride=" + std::to_string(stride) +
+        " cases=" + std::to_string(cases.size()) +
+        " schemes=" + std::to_string(schemes.size()) +
+        " chunk=" + std::to_string(kChunk);
+    std::unique_ptr<exec::Journal> journal;
+    try {
+        journal = exec::open_journal(grid, "fig6",
+                                     exec::grid_fingerprint(grid_desc));
+    } catch (const std::exception& e) {
+        std::cerr << "fig6_coverage: " << e.what() << '\n';
+        return 2;
+    }
+    exec::EngineOptions eopts = grid.engine();
+    eopts.journal = journal.get();
+
+    const exec::MapCodec<juliet::Coverage> codec{
+        .label = "chunk",
+        .encode = coverage_to_json,
+        .decode = coverage_from_json,
+    };
+
+    const exec::Engine engine{eopts};
     const exec::Stopwatch stopwatch;
     std::vector<juliet::Coverage> partial;
     const auto outcomes = engine.map<juliet::Coverage>(
         chunks.size(),
-        [&](std::size_t i, const exec::CancelToken& token) {
+        [&](std::size_t i, const exec::JobContext& ctx) {
             const Chunk& c = chunks[i];
             juliet::Coverage cov;
             for (std::size_t k = c.lo; k < c.hi; ++k) {
-                if (token.expired())
+                if (ctx.token.expired())
                     throw exec::JobTimeout{"coverage chunk cancelled"};
                 const juliet::CaseSpec& spec = cases[k];
                 const auto trap = juliet::run_case(c.scheme, spec);
@@ -101,9 +169,10 @@ int main(int argc, char** argv)
             }
             return cov;
         },
-        partial);
+        partial, codec);
     const double wall_ms = stopwatch.elapsed_ms();
 
+    bool complete = true;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (outcomes[i].status != exec::JobStatus::Ok) {
             std::cerr << "chunk " << i << " ("
@@ -115,7 +184,7 @@ int main(int argc, char** argv)
                               ? ""
                               : " (" + outcomes[i].error + ")")
                       << '\n';
-            return 1;
+            complete = false;
         }
     }
 
@@ -177,6 +246,9 @@ int main(int argc, char** argv)
     }
     table.print(std::cout);
 
+    if (!complete)
+        std::cout << "\nWARNING: grid incomplete — coverage above counts "
+                     "only the finished chunks (resume with --resume)\n";
     std::cout << "\npaper (Fig. 6): GCC 11.20% (937), ASAN 58.08% (4859), "
                  "SBCETS 64.49% (5395), HWST128 63.63% (5323)\n";
 
@@ -185,10 +257,12 @@ int main(int argc, char** argv)
         payload["stride"] = stride;
         payload["cases"] = cases.size();
         payload["schemes"] = jschemes;
+        payload["complete"] = complete;
+        payload["summary"] = exec::summary_json({}, outcomes);
         const std::string path = exec::write_bench_json(
             "fig6", exec::resolve_jobs(grid.jobs), wall_ms, payload,
             grid.json_path);
         std::cout << "wrote " << path << '\n';
     }
-    return 0;
+    return exec::grid_exit_code(outcomes, grid.keep_going);
 }

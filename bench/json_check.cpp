@@ -3,20 +3,95 @@
 // checks the envelope (schema_version, bench, jobs, wall_ms) and exits
 // non-zero on the first malformed file. `bench-smoke` runs it after
 // every harness.
+//
+// `json_check --journal FILE...` switches to journal mode: every line
+// of a BENCH_<name>.journal must parse, the header must carry
+// journal_version/bench/grid_hash, and every record must round-trip
+// through outcome_from_record. Unlike --resume (which forgives a torn
+// tail), the validator treats any malformed line as a failure — CI
+// journals come from completed runs and should be whole.
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "exec/journal.hpp"
 #include "exec/report.hpp"
 
 using namespace hwst;
 
+namespace {
+
+void check_journal(const char* path)
+{
+    std::ifstream in{path};
+    if (!in)
+        throw exec::json::JsonError{"cannot open journal"};
+    std::string line;
+    std::size_t lineno = 0;
+    std::size_t records = 0;
+    std::string bench;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        exec::json::Value v;
+        try {
+            v = exec::json::Value::parse(line);
+        } catch (const exec::json::JsonError& e) {
+            throw exec::json::JsonError{"line " + std::to_string(lineno) +
+                                        ": " + e.what()};
+        }
+        if (lineno == 1) {
+            const auto* version = v.find("journal_version");
+            const auto* b = v.find("bench");
+            const auto* hash = v.find("grid_hash");
+            if (!version || !version->is_int() ||
+                version->as_int() != exec::kJournalVersion)
+                throw exec::json::JsonError{
+                    "header: bad journal_version"};
+            if (!b || !b->is_string())
+                throw exec::json::JsonError{
+                    "header: missing string key: bench"};
+            if (!hash || !hash->is_string())
+                throw exec::json::JsonError{
+                    "header: missing string key: grid_hash"};
+            bench = b->as_string();
+            continue;
+        }
+        try {
+            (void)exec::outcome_from_record(v);
+            ++records;
+        } catch (const exec::json::JsonError& e) {
+            throw exec::json::JsonError{"line " + std::to_string(lineno) +
+                                        ": " + e.what()};
+        }
+    }
+    if (lineno == 0)
+        throw exec::json::JsonError{"empty journal (missing header)"};
+    std::cout << path << ": ok (bench=" << bench << ", records=" << records
+              << ")\n";
+}
+
+} // namespace
+
 int main(int argc, char** argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: json_check BENCH_<name>.json...\n";
+    bool journal_mode = false;
+    int first = 1;
+    if (argc > 1 && std::string{argv[1]} == "--journal") {
+        journal_mode = true;
+        first = 2;
+    }
+    if (first >= argc) {
+        std::cerr << "usage: json_check BENCH_<name>.json...\n"
+                     "       json_check --journal BENCH_<name>.journal...\n";
         return 2;
     }
-    for (int i = 1; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         try {
+            if (journal_mode) {
+                check_journal(argv[i]);
+                continue;
+            }
             const auto v = exec::read_bench_json(argv[i]);
             const auto* bench = v.find("bench");
             const auto* jobs = v.find("jobs");

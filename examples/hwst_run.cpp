@@ -22,7 +22,9 @@
 #include "common/table.hpp"
 #include "compiler/driver.hpp"
 #include "exec/cli.hpp"
+#include "exec/journal.hpp"
 #include "exec/report.hpp"
+#include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
 #include "juliet/cases.hpp"
 #include "riscv/image.hpp"
@@ -117,7 +119,10 @@ Options parse(int argc, char** argv)
         else if (a == "--emit-image") o.emit_image = need("--emit-image");
         else if (a == "--listing") o.listing = true;
         else if (a == "--list") o.list = true;
-        else throw common::ToolchainError{"unknown flag: " + a};
+        else
+            throw common::ToolchainError{"unknown flag: " + a +
+                                         "\nshared grid flags:\n" +
+                                         exec::kGridFlagsHelp};
     }
     return o;
 }
@@ -200,7 +205,13 @@ int run_grid(const Options& o)
         }
     }
 
-    const exec::Engine engine{o.grid.engine()};
+    exec::install_signal_handlers();
+    std::unique_ptr<exec::Journal> journal = exec::open_journal(
+        o.grid, "hwst_run", exec::grid_fingerprint(jobs));
+    exec::EngineOptions eopts = o.grid.engine();
+    eopts.journal = journal.get();
+
+    const exec::Engine engine{eopts};
     const exec::Stopwatch stopwatch;
     const auto outcomes = engine.run(jobs);
     const double wall_ms = stopwatch.elapsed_ms();
@@ -245,12 +256,18 @@ int run_grid(const Options& o)
     if (o.grid.json) {
         exec::json::Value payload = exec::json::Value::object();
         payload["rows"] = rows;
+        payload["summary"] = exec::summary_json(jobs, outcomes);
         const std::string path = exec::write_bench_json(
             "hwst_run", exec::resolve_jobs(o.grid.jobs), wall_ms, payload,
             o.grid.json_path);
         std::cout << "wrote " << path << '\n';
     }
-    return all_ok ? 0 : 2;
+    // Failed/skipped jobs drive the shared exit-code policy; a cell
+    // that ran but trapped keeps the classic exit 2 (gated by
+    // --keep-going like every other failure).
+    const int rc = exec::grid_exit_code(outcomes, o.grid.keep_going);
+    if (rc != 0) return rc;
+    return all_ok || o.grid.keep_going ? 0 : 2;
 }
 
 } // namespace

@@ -1,7 +1,9 @@
 // Shared command-line vocabulary for campaign drivers: every harness
 // that fans out over the engine accepts the same --jobs / --json /
-// --timeout-ms / --smoke flags with the same semantics, parsed by one
-// helper so the flags cannot drift apart.
+// --timeout-ms / --smoke flags — and the durability vocabulary
+// (--retries / --backoff-ms / --journal / --resume / --keep-going) —
+// with the same semantics, parsed by one helper so the flags cannot
+// drift apart.
 #pragma once
 
 #include <string>
@@ -18,6 +20,12 @@ struct GridOptions {
     u64 timeout_ms = 0;       ///< 0 = no per-job timeout
     bool smoke = false;       ///< tiny grid for CI smoke runs
     bool progress = false;    ///< live progress line on stderr
+    unsigned retries = 0;     ///< retry budget for timeout/error jobs
+    u64 backoff_ms = 100;     ///< base retry backoff (doubles/attempt)
+    bool journal = false;     ///< --journal: checkpoint finished jobs
+    std::string journal_path; ///< explicit --journal PATH ("" = default)
+    bool resume = false;      ///< replay finished jobs from the journal
+    bool keep_going = false;  ///< exit 0 despite failed/quarantined jobs
 
     EngineOptions engine() const
     {
@@ -25,6 +33,8 @@ struct GridOptions {
             .jobs = jobs,
             .timeout = std::chrono::milliseconds{timeout_ms},
             .progress = progress,
+            .retries = retries,
+            .backoff = std::chrono::milliseconds{backoff_ms},
         };
     }
 };
@@ -70,6 +80,32 @@ inline bool parse_grid_flag(GridOptions& o, int argc, char** argv, int& i)
         o.progress = true;
         return true;
     }
+    if (a == "--retries") {
+        o.retries = static_cast<unsigned>(std::stoul(need("--retries")));
+        return true;
+    }
+    if (a == "--backoff-ms") {
+        o.backoff_ms = std::stoull(need("--backoff-ms"));
+        return true;
+    }
+    if (a == "--journal") {
+        // Like --json, --journal takes an optional path.
+        o.journal = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-')
+            o.journal_path = argv[++i];
+        return true;
+    }
+    if (a == "--resume") {
+        // Resuming implies journaling: the replayed campaign keeps
+        // appending the jobs it finishes this time around.
+        o.resume = true;
+        o.journal = true;
+        return true;
+    }
+    if (a == "--keep-going") {
+        o.keep_going = true;
+        return true;
+    }
     return false;
 }
 
@@ -80,6 +116,16 @@ inline constexpr const char* kGridFlagsHelp =
     "  --no-json        skip the BENCH json file\n"
     "  --timeout-ms T   per-job wall-clock budget (0 = unlimited)\n"
     "  --smoke          tiny grid for CI smoke runs\n"
-    "  --progress       live progress line on stderr\n";
+    "  --progress       live progress line on stderr\n"
+    "  --retries N      retry timeout/error jobs up to N times with\n"
+    "                   exponential backoff; exhaustion -> quarantined\n"
+    "  --backoff-ms T   base retry backoff, doubles per attempt "
+    "(default 100)\n"
+    "  --journal [PATH] append each finished job to a fsync'd checkpoint\n"
+    "                   journal (default BENCH_<name>.journal)\n"
+    "  --resume         replay finished jobs from the journal, run the "
+    "rest\n"
+    "  --keep-going     exit 0 even when jobs failed or were "
+    "quarantined\n";
 
 } // namespace hwst::exec

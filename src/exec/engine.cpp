@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "exec/journal.hpp"
+
 namespace hwst::exec {
 
 unsigned resolve_jobs(unsigned requested)
@@ -20,12 +22,18 @@ unsigned resolve_jobs(unsigned requested)
 
 namespace {
 
-JobOutcome execute(const Job& job, const CancelToken& token)
+/// One body invocation. `attempt` is 0-based; the context's seed is the
+/// attempt-indexed re-derivation of the job's seed.
+JobOutcome attempt_once(const Job& job, const CancelToken& token,
+                        unsigned attempt, json::Value* aux)
 {
     JobOutcome out;
+    out.attempts = attempt + 1;
+    const JobContext ctx{token, attempt, attempt_seed(job.seed, attempt),
+                         aux};
     const auto t0 = std::chrono::steady_clock::now();
     try {
-        out.result = job.body(token);
+        out.result = job.body(ctx);
         out.status = JobStatus::Ok;
     } catch (const JobTimeout& e) {
         out.status = JobStatus::Timeout;
@@ -45,21 +53,96 @@ JobOutcome execute(const Job& job, const CancelToken& token)
 std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
 {
     std::vector<JobOutcome> outcomes(jobs.size());
+    for (auto& o : outcomes) {
+        // Overwritten by replay or execution; anything left over was
+        // never started (graceful shutdown mid-grid).
+        o.status = JobStatus::Skipped;
+        o.error = "not started: shutdown requested";
+        o.attempts = 0;
+    }
     if (jobs.empty()) return outcomes;
 
-    const unsigned workers = std::min<std::size_t>(
-        resolve_jobs(opts_.jobs), jobs.size());
-    std::atomic<bool> stop{false};
+    const auto stop_requested = [this] {
+        return shutdown_requested() ||
+               (opts_.stop &&
+                opts_.stop->load(std::memory_order_relaxed));
+    };
+
+    // Replay prepass: jobs already in the checkpoint journal never hit
+    // the pool. Serial and deterministic — replayed outcomes land in
+    // their grid slots exactly as the original run left them.
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobOutcome* rec =
+            opts_.journal && !jobs[i].key.empty()
+                ? opts_.journal->find(jobs[i].key)
+                : nullptr;
+        if (rec) {
+            outcomes[i] = *rec;
+            outcomes[i].from_journal = true;
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    const unsigned workers = std::max<std::size_t>(
+        1, std::min<std::size_t>(resolve_jobs(opts_.jobs),
+                                 pending.size()));
 
     const auto token_for = [&]() {
         std::optional<std::chrono::steady_clock::time_point> deadline;
         if (opts_.timeout.count() > 0)
             deadline = std::chrono::steady_clock::now() + opts_.timeout;
-        return CancelToken{deadline, &stop};
+        return CancelToken{deadline, opts_.stop};
+    };
+
+    // Interruptible exponential backoff before retry `attempt + 1`.
+    const auto backoff_wait = [&](unsigned attempt) {
+        auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            opts_.backoff * (1LL << std::min(attempt, 8u)));
+        if (remaining > std::chrono::milliseconds{30'000})
+            remaining = std::chrono::milliseconds{30'000};
+        while (remaining.count() > 0 && !stop_requested()) {
+            const auto slice =
+                std::min(remaining, std::chrono::milliseconds{20});
+            std::this_thread::sleep_for(slice);
+            remaining -= slice;
+        }
+    };
+
+    const auto run_job = [&](const Job& job) {
+        JobOutcome out;
+        const unsigned max_attempts = opts_.retries + 1;
+        for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+            json::Value aux;
+            out = attempt_once(job, token_for(), attempt, &aux);
+            out.aux = std::move(aux);
+            if (out.status == JobStatus::Ok) break;
+            if (stop_requested()) {
+                // The "timeout" was the shutdown flag, not a verdict:
+                // report Skipped and leave the journal untouched so a
+                // --resume re-runs it.
+                out.status = JobStatus::Skipped;
+                out.error = "cancelled: shutdown requested";
+                return out;
+            }
+            if (attempt + 1 < max_attempts) {
+                backoff_wait(attempt);
+            } else if (opts_.retries > 0) {
+                // Exhausted the retry budget: quarantine, so the
+                // harness excludes it from aggregates instead of
+                // aborting the whole campaign.
+                out.status = JobStatus::Quarantined;
+            }
+        }
+        if (opts_.journal && !job.key.empty())
+            opts_.journal->record(job.key, out);
+        return out;
     };
 
     std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> done{jobs.size() - pending.size()};
     std::mutex progress_mutex;
 
     const auto report = [&](const Job& job, const JobOutcome& out) {
@@ -74,9 +157,11 @@ std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
 
     const auto worker = [&] {
         for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size()) return;
-            outcomes[i] = execute(jobs[i], token_for());
+            if (stop_requested()) return;
+            const std::size_t slot = next.fetch_add(1);
+            if (slot >= pending.size()) return;
+            const std::size_t i = pending[slot];
+            outcomes[i] = run_job(jobs[i]);
             report(jobs[i], outcomes[i]);
         }
     };

@@ -9,6 +9,12 @@
 // the slot of the job that produced them — so any aggregate computed by
 // folding the outcome vector in index order is bit-identical at every
 // thread count, including 1.
+//
+// Durability layer (docs/execution.md, "Durability"): an optional
+// checkpoint Journal replays finished jobs across restarts, timeout/
+// error jobs are retried with exponential backoff up to `retries` times
+// (exhaustion -> Quarantined), and a graceful shutdown (SIGINT/SIGTERM
+// or the `stop` flag) drains in-flight jobs and marks the rest Skipped.
 #pragma once
 
 #include <span>
@@ -18,20 +24,53 @@
 
 namespace hwst::exec {
 
+class Journal;
+
 struct EngineOptions {
     /// Worker threads. 0 = HWST_JOBS env var if set, else
     /// hardware_concurrency. 1 runs everything inline on the caller.
     unsigned jobs = 0;
     /// Per-job wall-clock budget; 0 = unlimited. A job that exceeds it
-    /// reports JobStatus::Timeout instead of hanging the grid.
+    /// reports JobStatus::Timeout instead of hanging the grid. Each
+    /// retry attempt gets a fresh budget.
     std::chrono::milliseconds timeout{0};
     /// Live progress line on stderr ("[done/total] name status").
     bool progress = false;
+    /// Retry budget for jobs that end Timeout/Error (never for traps —
+    /// those are results). 0 preserves the classic fail-once behavior;
+    /// N > 0 retries with exponential backoff and lands jobs that
+    /// exhaust the budget in JobStatus::Quarantined.
+    unsigned retries = 0;
+    /// Base backoff before the first retry; doubles per attempt.
+    std::chrono::milliseconds backoff{100};
+    /// Optional checkpoint journal: jobs with a non-empty `key` found
+    /// in it are replayed instead of run, and every finished job is
+    /// appended + fsync'd. Not owned.
+    Journal* journal = nullptr;
+    /// Optional extra stop flag merged with the process-wide shutdown
+    /// flag (tests cancel mid-grid in-process through this).
+    const std::atomic<bool>* stop = nullptr;
 };
 
 /// Resolve an EngineOptions::jobs request against HWST_JOBS and
 /// hardware_concurrency (never returns 0).
 unsigned resolve_jobs(unsigned requested);
+
+/// JSON round trip for Engine::map's typed per-job payloads, so
+/// map-based harnesses (fig6 coverage chunks, fault records) can use
+/// the checkpoint journal too. `label` prefixes the journal key (and
+/// display name) of every chunk; encode/decode must be inverses.
+template <typename R>
+struct MapCodec {
+    std::string label;
+    std::function<json::Value(const R&)> encode;
+    std::function<R(const json::Value&)> decode;
+
+    bool enabled() const
+    {
+        return static_cast<bool>(encode) && static_cast<bool>(decode);
+    }
+};
 
 class Engine {
 public:
@@ -44,30 +83,46 @@ public:
 
     /// Generic fan-out for harnesses whose per-job result is not a
     /// sim::RunResult (Juliet coverage chunks, fault records): runs
-    /// fn(i, token) for i in [0, count) on the pool. fn's exceptions
+    /// fn(i, ctx) for i in [0, count) on the pool. fn's exceptions
     /// follow the same rules as Job bodies (JobTimeout -> Timeout slot,
     /// anything else -> Error slot); `out[i]` is written only on
-    /// success, so R must be default-constructible.
+    /// success, so R must be default-constructible. With a codec, each
+    /// chunk participates in the checkpoint journal: finished payloads
+    /// are persisted and replayed chunks are decoded back into out[i].
     template <typename R>
     std::vector<JobOutcome> map(
         std::size_t count,
-        const std::function<R(std::size_t, const CancelToken&)>& fn,
-        std::vector<R>& out) const
+        const std::function<R(std::size_t, const JobContext&)>& fn,
+        std::vector<R>& out, const MapCodec<R>& codec = {}) const
     {
         out.assign(count, R{});
         std::vector<Job> jobs;
         jobs.reserve(count);
         for (std::size_t i = 0; i < count; ++i) {
+            const std::string name =
+                codec.label.empty() ? "#" + std::to_string(i)
+                                    : codec.label + "#" + std::to_string(i);
             jobs.push_back(Job{
-                .name = "#" + std::to_string(i),
+                .name = name,
+                .key = codec.enabled() ? name : std::string{},
                 .body =
-                    [&fn, &out, i](const CancelToken& token) {
-                        out[i] = fn(i, token);
+                    [&fn, &out, &codec, i](const JobContext& ctx) {
+                        out[i] = fn(i, ctx);
+                        if (codec.enabled() && ctx.aux)
+                            *ctx.aux = codec.encode(out[i]);
                         return sim::RunResult{};
                     },
             });
         }
-        return run(jobs);
+        auto outcomes = run(jobs);
+        if (codec.enabled()) {
+            for (std::size_t i = 0; i < count; ++i) {
+                if (outcomes[i].from_journal &&
+                    outcomes[i].status == JobStatus::Ok)
+                    out[i] = codec.decode(outcomes[i].aux);
+            }
+        }
+        return outcomes;
     }
 
 private:

@@ -1,0 +1,350 @@
+#include "exec/journal.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define HWST_JOURNAL_POSIX 1
+#endif
+
+namespace hwst::exec {
+
+std::string journal_path(const std::string& bench)
+{
+    return "BENCH_" + bench + ".journal";
+}
+
+namespace {
+
+/// FNV-1a over a byte string, folded into the running fingerprint via
+/// derive_seed so field boundaries matter ("ab","c" != "a","bc").
+u64 fnv1a(std::string_view s)
+{
+    u64 h = 0xCBF29CE484222325ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::string hash_hex(u64 h)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+u64 grid_fingerprint(std::span<const Job> jobs, u64 root_seed)
+{
+    u64 h = derive_seed(root_seed, jobs.size());
+    for (const Job& j : jobs) {
+        h = derive_seed(h, fnv1a(j.key.empty() ? j.name : j.key),
+                        fnv1a(j.workload), fnv1a(j.scheme), j.seed);
+    }
+    return h;
+}
+
+u64 grid_fingerprint(std::string_view grid_desc, u64 root_seed)
+{
+    return derive_seed(root_seed, fnv1a(grid_desc));
+}
+
+// ---- serialization -----------------------------------------------------
+
+json::Value result_to_json(const sim::RunResult& r)
+{
+    json::Value v = json::Value::object();
+    json::Value trap = json::Value::object();
+    trap["kind"] = static_cast<int>(r.trap.kind);
+    trap["addr"] = r.trap.addr;
+    trap["pc"] = r.trap.pc;
+    v["trap"] = trap;
+    v["exit_code"] = r.exit_code;
+    v["cycles"] = r.cycles;
+    v["instret"] = r.instret;
+    json::Value out = json::Value::array();
+    for (const auto x : r.output) out.push_back(x);
+    v["output"] = out;
+    json::Value dc = json::Value::array();
+    dc.push_back(r.dcache.accesses);
+    dc.push_back(r.dcache.misses);
+    v["dcache"] = dc;
+    json::Value ic = json::Value::array();
+    ic.push_back(r.icache.accesses);
+    ic.push_back(r.icache.misses);
+    v["icache"] = ic;
+    json::Value kb = json::Value::array();
+    kb.push_back(r.keybuffer.lookups);
+    kb.push_back(r.keybuffer.hits);
+    kb.push_back(r.keybuffer.flushes);
+    v["keybuffer"] = kb;
+    v["scu_checks"] = r.scu_checks;
+    v["tcu_checks"] = r.tcu_checks;
+    v["scu_saturated"] = r.scu_saturated;
+    v["tcu_saturated"] = r.tcu_saturated;
+    v["smac_translations"] = r.smac_translations;
+    json::Value mix = json::Value::array();
+    for (const u64 x :
+         {r.mix.alu, r.mix.loads, r.mix.stores, r.mix.checked_loads,
+          r.mix.checked_stores, r.mix.meta_moves, r.mix.binds, r.mix.tchk,
+          r.mix.branches, r.mix.jumps, r.mix.ecalls, r.mix.other})
+        mix.push_back(x);
+    v["mix"] = mix;
+    return v;
+}
+
+namespace {
+
+u64 get_u64(const json::Value& v, std::string_view key)
+{
+    return static_cast<u64>(v.at(key).as_int());
+}
+
+void expect_items(const json::Value& v, std::string_view what,
+                  std::size_t n)
+{
+    if (!v.is_array() || v.size() != n)
+        throw json::JsonError{std::string{what} + ": expected " +
+                              std::to_string(n) + "-element array"};
+}
+
+} // namespace
+
+sim::RunResult result_from_json(const json::Value& v)
+{
+    sim::RunResult r;
+    const json::Value& trap = v.at("trap");
+    const auto kind = trap.at("kind").as_int();
+    if (kind < 0 ||
+        kind > static_cast<json::i64>(hwst::TrapKind::FuelExhausted))
+        throw json::JsonError{"trap.kind out of range: " +
+                              std::to_string(kind)};
+    r.trap.kind = static_cast<hwst::TrapKind>(kind);
+    r.trap.addr = get_u64(trap, "addr");
+    r.trap.pc = get_u64(trap, "pc");
+    r.exit_code = v.at("exit_code").as_int();
+    r.cycles = get_u64(v, "cycles");
+    r.instret = get_u64(v, "instret");
+    for (const json::Value& x : v.at("output").items())
+        r.output.push_back(x.as_int());
+    const json::Value& dc = v.at("dcache");
+    expect_items(dc, "dcache", 2);
+    r.dcache.accesses = static_cast<u64>(dc.items()[0].as_int());
+    r.dcache.misses = static_cast<u64>(dc.items()[1].as_int());
+    const json::Value& ic = v.at("icache");
+    expect_items(ic, "icache", 2);
+    r.icache.accesses = static_cast<u64>(ic.items()[0].as_int());
+    r.icache.misses = static_cast<u64>(ic.items()[1].as_int());
+    const json::Value& kb = v.at("keybuffer");
+    expect_items(kb, "keybuffer", 3);
+    r.keybuffer.lookups = static_cast<u64>(kb.items()[0].as_int());
+    r.keybuffer.hits = static_cast<u64>(kb.items()[1].as_int());
+    r.keybuffer.flushes = static_cast<u64>(kb.items()[2].as_int());
+    r.scu_checks = get_u64(v, "scu_checks");
+    r.tcu_checks = get_u64(v, "tcu_checks");
+    r.scu_saturated = get_u64(v, "scu_saturated");
+    r.tcu_saturated = get_u64(v, "tcu_saturated");
+    r.smac_translations = get_u64(v, "smac_translations");
+    const json::Value& mix = v.at("mix");
+    expect_items(mix, "mix", 12);
+    u64* const fields[] = {
+        &r.mix.alu,   &r.mix.loads,  &r.mix.stores, &r.mix.checked_loads,
+        &r.mix.checked_stores, &r.mix.meta_moves, &r.mix.binds,
+        &r.mix.tchk,  &r.mix.branches, &r.mix.jumps, &r.mix.ecalls,
+        &r.mix.other};
+    for (std::size_t i = 0; i < 12; ++i)
+        *fields[i] = static_cast<u64>(mix.items()[i].as_int());
+    return r;
+}
+
+json::Value outcome_to_record(const std::string& key,
+                              const JobOutcome& outcome)
+{
+    json::Value v = json::Value::object();
+    v["key"] = key;
+    v["status"] = job_status_name(outcome.status);
+    v["attempts"] = outcome.attempts;
+    v["wall_ms"] = outcome.wall_ms;
+    if (outcome.status == JobStatus::Ok)
+        v["result"] = result_to_json(outcome.result);
+    else
+        v["error"] = outcome.error;
+    if (!outcome.aux.is_null()) v["aux"] = outcome.aux;
+    return v;
+}
+
+std::pair<std::string, JobOutcome> outcome_from_record(const json::Value& v)
+{
+    const std::string& key = v.at("key").as_string();
+    if (key.empty()) throw json::JsonError{"record with empty key"};
+    JobOutcome out;
+    const auto status = job_status_from_name(v.at("status").as_string());
+    if (!status)
+        throw json::JsonError{"unknown status: " +
+                              v.at("status").as_string()};
+    out.status = *status;
+    out.attempts = static_cast<unsigned>(v.at("attempts").as_int());
+    out.wall_ms = v.at("wall_ms").as_double();
+    if (out.status == JobStatus::Ok)
+        out.result = result_from_json(v.at("result"));
+    else
+        out.error = v.at("error").as_string();
+    if (const json::Value* aux = v.find("aux")) out.aux = *aux;
+    return {key, std::move(out)};
+}
+
+// ---- the journal -------------------------------------------------------
+
+Journal::Journal(std::string path, std::string bench, u64 fingerprint,
+                 bool resume)
+    : path_{std::move(path)}, bench_{std::move(bench)},
+      fingerprint_{fingerprint}
+{
+    bool fresh = true;
+    if (resume) {
+        std::ifstream in{path_};
+        if (in) {
+            std::string line;
+            std::size_t lineno = 0;
+            bool have_header = false;
+            while (std::getline(in, line)) {
+                ++lineno;
+                if (line.empty()) continue;
+                fresh = false;
+                try {
+                    const json::Value v = json::Value::parse(line);
+                    if (!have_header) {
+                        if (v.at("journal_version").as_int() !=
+                            kJournalVersion)
+                            throw common::ToolchainError{
+                                path_ + ": unsupported journal_version"};
+                        if (v.at("bench").as_string() != bench_)
+                            throw common::ToolchainError{
+                                path_ + ": journal belongs to bench '" +
+                                v.at("bench").as_string() +
+                                "', refusing to resume '" + bench_ + "'"};
+                        if (v.at("grid_hash").as_string() !=
+                            hash_hex(fingerprint_))
+                            throw common::ToolchainError{
+                                path_ +
+                                ": journal was written by a different "
+                                "campaign grid (grid_hash " +
+                                v.at("grid_hash").as_string() +
+                                " != " + hash_hex(fingerprint_) +
+                                "); delete it or pass a fresh --journal "
+                                "path"};
+                        have_header = true;
+                        continue;
+                    }
+                    auto [key, outcome] = outcome_from_record(v);
+                    outcome.from_journal = true;
+                    records_.insert_or_assign(std::move(key),
+                                              std::move(outcome));
+                } catch (const json::JsonError& e) {
+                    // The expected crash artifact: a half-written line.
+                    // Diagnose and skip; everything before it replays.
+                    ++corrupt_;
+                    std::cerr << "[journal] " << path_ << ":" << lineno
+                              << ": skipping malformed record ("
+                              << e.what() << ")\n";
+                }
+            }
+            if (!fresh && !have_header)
+                throw common::ToolchainError{
+                    path_ + ": no valid journal header; delete the file "
+                            "or pass a fresh --journal path"};
+            loaded_ = records_.size();
+        }
+    }
+
+#ifdef HWST_JOURNAL_POSIX
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (fresh) flags |= O_TRUNC;
+    fd_ = ::open(path_.c_str(), flags, 0644);
+    if (fd_ < 0)
+        throw common::ToolchainError{"cannot open journal " + path_ +
+                                     " for append"};
+#else
+    throw common::ToolchainError{
+        "checkpoint journal requires a POSIX host"};
+#endif
+    if (fresh) {
+        json::Value header = json::Value::object();
+        header["journal_version"] = kJournalVersion;
+        header["bench"] = bench_;
+        header["grid_hash"] = hash_hex(fingerprint_);
+        append_line(header.dump(0));
+    }
+}
+
+Journal::~Journal()
+{
+#ifdef HWST_JOURNAL_POSIX
+    if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+const JobOutcome* Journal::find(const std::string& key) const
+{
+    std::lock_guard lock{mutex_};
+    const auto it = records_.find(key);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+void Journal::append_line(const std::string& line)
+{
+#ifdef HWST_JOURNAL_POSIX
+    std::string buf = line;
+    buf += '\n';
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+        if (n < 0)
+            throw common::ToolchainError{"short write to journal " +
+                                         path_};
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0)
+        throw common::ToolchainError{"fsync failed on journal " + path_};
+#else
+    (void)line;
+#endif
+}
+
+void Journal::record(const std::string& key, const JobOutcome& outcome)
+{
+    std::lock_guard lock{mutex_};
+    if (write_failed_) return;
+    try {
+        append_line(outcome_to_record(key, outcome).dump(0));
+        records_.insert_or_assign(key, outcome);
+    } catch (const std::exception& e) {
+        // Durability degrades; the campaign itself keeps running.
+        write_failed_ = true;
+        std::cerr << "[journal] " << e.what()
+                  << "; further checkpoints disabled\n";
+    }
+}
+
+std::unique_ptr<Journal> open_journal(const GridOptions& grid,
+                                      const std::string& bench,
+                                      u64 fingerprint)
+{
+    if (!grid.journal && !grid.resume) return nullptr;
+    const std::string path =
+        grid.journal_path.empty() ? journal_path(bench) : grid.journal_path;
+    return std::make_unique<Journal>(path, bench, fingerprint,
+                                     grid.resume);
+}
+
+} // namespace hwst::exec

@@ -1,0 +1,111 @@
+// Checkpoint journal: an append-only, fsync'd JSONL file recording each
+// completed JobOutcome, keyed by the job's grid coordinates and guarded
+// by a fingerprint of (bench name, root seed, grid shape). A campaign
+// killed by a crash, OOM or Ctrl-C and restarted with --resume replays
+// every journaled job instead of re-running it, so the final BENCH
+// envelope is bit-identical to an uninterrupted run (docs/execution.md,
+// "Durability").
+//
+// File format (one JSON document per line):
+//   {"journal_version":1,"bench":"fig5","grid_hash":"0x...."}   header
+//   {"key":"crc32/none","status":"ok","attempts":1,...}          record
+//
+// A half-written trailing line (the normal crash artifact) or a corrupt
+// line in the middle is diagnosed on stderr and skipped — the loader
+// never throws on malformed records, only on a journal that belongs to
+// a different campaign entirely.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "exec/cli.hpp"
+#include "exec/job.hpp"
+
+namespace hwst::exec {
+
+inline constexpr int kJournalVersion = 1;
+
+/// Default journal path for a bench: BENCH_<name>.journal in the cwd,
+/// next to the BENCH_<name>.json envelope it checkpoints.
+std::string journal_path(const std::string& bench);
+
+/// Fingerprint of a campaign grid: mixes the root seed with every job's
+/// key, workload, scheme and seed. Any change to the grid (different
+/// workload list, scheme set, seeds, order) changes the fingerprint, so
+/// --resume can refuse a journal written by a different campaign.
+u64 grid_fingerprint(std::span<const Job> jobs, u64 root_seed = 0);
+
+/// Fingerprint for harnesses whose grid is built lazily (Engine::map
+/// chunks, multi-grid ablations): hash a descriptor string that names
+/// the campaign shape instead.
+u64 grid_fingerprint(std::string_view grid_desc, u64 root_seed = 0);
+
+// ---- JobOutcome <-> journal record (full-fidelity round trip) --------
+
+/// Serialize a RunResult with every counter the harnesses fold into
+/// their tables, so a replayed job is indistinguishable from a run one.
+json::Value result_to_json(const sim::RunResult& r);
+sim::RunResult result_from_json(const json::Value& v);
+
+/// One journal line (minus the trailing newline).
+json::Value outcome_to_record(const std::string& key,
+                              const JobOutcome& outcome);
+/// Parse + validate one record; throws json::JsonError on a malformed
+/// or incomplete one (the loader catches and skips).
+std::pair<std::string, JobOutcome> outcome_from_record(
+    const json::Value& v);
+
+/// The journal itself. `record()` is thread-safe (workers call it);
+/// each record is appended and fsync'd before the call returns, so a
+/// later SIGKILL can lose at most the line being written — which the
+/// loader then skips.
+class Journal {
+public:
+    /// Opens `path`. resume=false truncates and writes a fresh header;
+    /// resume=true loads the existing records first (header must match
+    /// `bench` + `fingerprint`, else common::ToolchainError) and then
+    /// reopens for append. A missing file under resume starts fresh.
+    Journal(std::string path, std::string bench, u64 fingerprint,
+            bool resume);
+    ~Journal();
+    Journal(const Journal&) = delete;
+    Journal& operator=(const Journal&) = delete;
+
+    /// The replayable outcome for `key`, or nullptr.
+    const JobOutcome* find(const std::string& key) const;
+
+    /// Append one completed outcome (fsync'd). I/O failures are
+    /// reported on stderr once and disable further writes — durability
+    /// degrades, the campaign itself keeps running.
+    void record(const std::string& key, const JobOutcome& outcome);
+
+    std::size_t loaded() const { return loaded_; }
+    std::size_t corrupt_lines() const { return corrupt_; }
+    const std::string& path() const { return path_; }
+
+private:
+    void append_line(const std::string& line);
+
+    std::string path_;
+    std::string bench_;
+    u64 fingerprint_ = 0;
+    int fd_ = -1;
+    bool write_failed_ = false;
+    std::size_t loaded_ = 0;
+    std::size_t corrupt_ = 0;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, JobOutcome> records_;
+};
+
+/// Build the Journal a harness asked for on the command line, or
+/// nullptr when neither --journal nor --resume was given. `fingerprint`
+/// comes from grid_fingerprint().
+std::unique_ptr<Journal> open_journal(const GridOptions& grid,
+                                      const std::string& bench,
+                                      u64 fingerprint);
+
+} // namespace hwst::exec

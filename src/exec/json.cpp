@@ -123,9 +123,33 @@ public:
 private:
     [[noreturn]] void fail(const std::string& why)
     {
+        // Quote a printable excerpt around the failure so a truncated
+        // journal line or garbage BENCH file is diagnosable at a
+        // glance.
+        std::string near;
+        for (std::size_t i = pos_;
+             i < text_.size() && near.size() < 16; ++i) {
+            const char c = text_[i];
+            near += (c >= 0x20 && c < 0x7F) ? c : '?';
+        }
         throw JsonError{"json parse error at offset " +
-                        std::to_string(pos_) + ": " + why};
+                        std::to_string(pos_) + ": " + why +
+                        (near.empty() ? std::string{" (at end of input)"}
+                                      : " near '" + near + "'")};
     }
+
+    /// Nesting bound: malicious or corrupt input (e.g. kilobytes of
+    /// '[') must produce a JsonError, not a stack overflow.
+    static constexpr int kMaxDepth = 128;
+
+    struct DepthGuard {
+        explicit DepthGuard(Parser& p) : p_{p}
+        {
+            if (++p_.depth_ > kMaxDepth) p_.fail("nesting too deep");
+        }
+        ~DepthGuard() { --p_.depth_; }
+        Parser& p_;
+    };
 
     void skip_ws()
     {
@@ -176,6 +200,7 @@ private:
 
     Value object()
     {
+        const DepthGuard guard{*this};
         expect('{');
         Value v = Value::object();
         skip_ws();
@@ -195,6 +220,7 @@ private:
 
     Value array()
     {
+        const DepthGuard guard{*this};
         expect('[');
         Value v = Value::array();
         skip_ws();
@@ -285,6 +311,7 @@ private:
 
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

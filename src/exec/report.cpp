@@ -46,7 +46,14 @@ json::Value read_bench_json(const std::string& path)
     if (!in) throw common::ToolchainError{"cannot open " + path};
     std::ostringstream buf;
     buf << in.rdbuf();
-    json::Value root = json::Value::parse(buf.str());
+    json::Value root = json::Value::object();
+    try {
+        root = json::Value::parse(buf.str());
+    } catch (const json::JsonError& e) {
+        // A truncated or garbage BENCH file must name itself, not just
+        // an offset (satellite of the durability layer).
+        throw json::JsonError{path + ": " + e.what()};
+    }
     if (root.at("schema_version").as_int() != kBenchSchemaVersion)
         throw common::ToolchainError{
             path + ": unsupported schema_version " +
@@ -71,6 +78,56 @@ json::Value outcome_json(const Job& job, const JobOutcome& outcome)
         row["error"] = outcome.error;
     }
     return row;
+}
+
+OutcomeCounts count_outcomes(std::span<const JobOutcome> outcomes)
+{
+    OutcomeCounts c;
+    for (const JobOutcome& o : outcomes) {
+        switch (o.status) {
+        case JobStatus::Ok: ++c.ok; break;
+        case JobStatus::Timeout: ++c.timeout; break;
+        case JobStatus::Error: ++c.error; break;
+        case JobStatus::Quarantined: ++c.quarantined; break;
+        case JobStatus::Skipped: ++c.skipped; break;
+        }
+    }
+    return c;
+}
+
+json::Value summary_json(std::span<const Job> jobs,
+                         std::span<const JobOutcome> outcomes)
+{
+    const OutcomeCounts c = count_outcomes(outcomes);
+    json::Value v = json::Value::object();
+    v["ok"] = c.ok;
+    v["timeout"] = c.timeout;
+    v["error"] = c.error;
+    v["quarantined"] = c.quarantined;
+    v["skipped"] = c.skipped;
+    v["partial"] = c.partial();
+    json::Value quarantined = json::Value::array();
+    json::Value failed = json::Value::array();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const std::string& name =
+            i < jobs.size() ? jobs[i].name : std::to_string(i);
+        if (outcomes[i].status == JobStatus::Quarantined)
+            quarantined.push_back(name);
+        else if (outcomes[i].status == JobStatus::Timeout ||
+                 outcomes[i].status == JobStatus::Error)
+            failed.push_back(name);
+    }
+    v["quarantined_jobs"] = quarantined;
+    v["failed_jobs"] = failed;
+    return v;
+}
+
+int grid_exit_code(std::span<const JobOutcome> outcomes, bool keep_going)
+{
+    const OutcomeCounts c = count_outcomes(outcomes);
+    if (c.partial()) return 130;
+    if (c.failed() > 0 && !keep_going) return 1;
+    return 0;
 }
 
 } // namespace hwst::exec

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <span>
 
 #include "exec/job.hpp"
 #include "exec/json.hpp"
@@ -35,6 +36,34 @@ json::Value read_bench_json(const std::string& path);
 /// One JobOutcome as a JSON row fragment: status, wall_ms and — when
 /// the job succeeded — the core RunResult counters every harness wants.
 json::Value outcome_json(const Job& job, const JobOutcome& outcome);
+
+/// Aggregate status counts over a grid's outcomes.
+struct OutcomeCounts {
+    std::size_t ok = 0;
+    std::size_t timeout = 0;
+    std::size_t error = 0;
+    std::size_t quarantined = 0;
+    std::size_t skipped = 0;
+
+    std::size_t failed() const { return timeout + error + quarantined; }
+    /// True when a graceful shutdown left jobs unstarted — the
+    /// envelope is valid but partial, and a --resume can finish it.
+    bool partial() const { return skipped != 0; }
+};
+
+OutcomeCounts count_outcomes(std::span<const JobOutcome> outcomes);
+
+/// The envelope's durability summary: status counts, the quarantined /
+/// failed job names (so CI output names the culprits), and the partial
+/// flag. Deterministic — resumed and uninterrupted runs emit identical
+/// summaries.
+json::Value summary_json(std::span<const Job> jobs,
+                         std::span<const JobOutcome> outcomes);
+
+/// The shared exit-code policy (CI-visible failures by default):
+/// 130 when the grid was cut short by a shutdown, 1 when any job ended
+/// timeout/error/quarantined and --keep-going was not given, else 0.
+int grid_exit_code(std::span<const JobOutcome> outcomes, bool keep_going);
 
 /// Wall-clock stopwatch for the envelope's wall_ms field.
 class Stopwatch {

@@ -1,0 +1,60 @@
+#include "exec/shutdown.hpp"
+
+#include <csignal>
+#include <cstdlib>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace hwst::exec {
+
+std::atomic<bool>& shutdown_flag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+void request_shutdown()
+{
+    shutdown_flag().store(true, std::memory_order_relaxed);
+}
+
+void clear_shutdown()
+{
+    shutdown_flag().store(false, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Async-signal-safe: one atomic exchange plus (optionally) write(2).
+extern "C" void on_signal(int)
+{
+    if (shutdown_flag().exchange(true, std::memory_order_relaxed)) {
+        // Second signal: the cooperative drain is not fast enough for
+        // the user — stop immediately, without flushing anything more.
+        std::_Exit(130);
+    }
+#if defined(__unix__) || defined(__APPLE__)
+    static const char msg[] =
+        "\n[exec] shutdown requested: draining in-flight jobs, flushing "
+        "journal (signal again to abort)\n";
+    // The return value is deliberately ignored; there is nothing a
+    // signal handler could do about a failed diagnostic write.
+    const auto ignored = write(2, msg, sizeof msg - 1);
+    (void)ignored;
+#endif
+}
+
+} // namespace
+
+void install_signal_handlers()
+{
+    static bool installed = false;
+    if (installed) return;
+    installed = true;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+}
+
+} // namespace hwst::exec

@@ -1,0 +1,33 @@
+// Graceful-shutdown plumbing for the campaign engine. SIGINT/SIGTERM
+// flip one process-wide flag; every CancelToken polls it, so in-flight
+// jobs drain cooperatively (JobTimeout -> Skipped), queued jobs are
+// never started, and the driver gets a partial-but-valid outcome vector
+// to flush into its envelope and checkpoint journal before exiting.
+#pragma once
+
+#include <atomic>
+
+namespace hwst::exec {
+
+/// The process-wide shutdown flag. Signal handlers and tests set it;
+/// CancelToken::expired() and the engine's worker loop poll it.
+std::atomic<bool>& shutdown_flag();
+
+inline bool shutdown_requested()
+{
+    return shutdown_flag().load(std::memory_order_relaxed);
+}
+
+/// Request a graceful shutdown (what the SIGINT/SIGTERM handler does).
+void request_shutdown();
+
+/// Re-arm after a drained shutdown (tests simulate a kill in-process,
+/// then "restart" by clearing the flag and resuming from the journal).
+void clear_shutdown();
+
+/// Install SIGINT/SIGTERM handlers that request a graceful shutdown.
+/// Idempotent. A second signal while a shutdown is already pending
+/// hard-exits with status 130 (the drain itself is wedged).
+void install_signal_handlers();
+
+} // namespace hwst::exec

@@ -32,14 +32,15 @@ Job make_sim_job(std::string name, std::string workload,
     job.workload = std::move(workload);
     job.scheme = compiler::scheme_name(scheme);
     job.seed = seed;
+    job.key = job.name;
     job.body = [scheme, build = std::move(build),
-                tweak = std::move(tweak)](const CancelToken& token) {
+                tweak = std::move(tweak)](const JobContext& ctx) {
         // Codegen holds a reference to the module during compile; keep
         // it alive for the whole body.
         const mir::Module module = build();
         compiler::CompiledProgram cp = compiler::compile(module, scheme);
         if (tweak) tweak(cp.machine_config);
-        return run_program(cp.program, cp.machine_config, token);
+        return run_program(cp.program, cp.machine_config, ctx.token);
     };
     return job;
 }

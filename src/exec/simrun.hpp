@@ -29,7 +29,8 @@ sim::RunResult run_program(const riscv::Program& program,
 /// The standard campaign job: compile `build()` under `scheme`, apply
 /// the machine-config `tweak`, run cancellably. Everything happens
 /// inside the body, on the worker thread, so jobs never share mutable
-/// state.
+/// state. The job's journal `key` defaults to its name, so sim jobs
+/// participate in --journal / --resume checkpointing out of the box.
 Job make_sim_job(std::string name, std::string workload,
                  compiler::Scheme scheme,
                  std::function<mir::Module()> build,

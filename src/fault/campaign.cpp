@@ -6,6 +6,8 @@
 #include "common/table.hpp"
 #include "compiler/driver.hpp"
 #include "exec/engine.hpp"
+#include "exec/journal.hpp"
+#include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
@@ -38,6 +40,20 @@ u64 CampaignReport::total_timeouts() const
 {
     u64 n = 0;
     for (const PointStats& p : points) n += p.timeouts;
+    return n;
+}
+
+u64 CampaignReport::total_quarantined() const
+{
+    u64 n = 0;
+    for (const PointStats& p : points) n += p.quarantined;
+    return n;
+}
+
+u64 CampaignReport::total_skipped() const
+{
+    u64 n = 0;
+    for (const PointStats& p : points) n += p.skipped;
     return n;
 }
 
@@ -81,6 +97,56 @@ struct RunRecord {
     double latency = 0.0;
 };
 
+/// Journal round trip for a RunRecord, so --resume replays classified
+/// runs instead of re-simulating them.
+exec::json::Value record_to_json(const RunRecord& r)
+{
+    exec::json::Value v = exec::json::Value::object();
+    v["t"] = r.timed_out;
+    v["f"] = r.fired;
+    v["v"] = static_cast<common::i64>(r.verdict);
+    v["hl"] = r.has_latency;
+    v["l"] = r.latency;
+    return v;
+}
+
+RunRecord record_from_json(const exec::json::Value& v)
+{
+    RunRecord r;
+    r.timed_out = v.at("t").as_bool();
+    r.fired = v.at("f").as_bool();
+    const common::i64 verdict = v.at("v").as_int();
+    if (verdict < 0 ||
+        verdict > static_cast<common::i64>(Verdict::SilentCorruption))
+        throw exec::json::JsonError{"bad verdict"};
+    r.verdict = static_cast<Verdict>(verdict);
+    r.has_latency = v.at("hl").as_bool();
+    r.latency = v.at("l").as_double();
+    return r;
+}
+
+/// Everything that shapes the run grid or its outcomes, hashed into the
+/// journal fingerprint so --resume refuses a journal from a different
+/// campaign.
+std::string campaign_desc(const CampaignConfig& cfg)
+{
+    std::string d = "fault_campaign scheme=";
+    d += compiler::scheme_name(cfg.scheme);
+    d += " mode=";
+    d += fault_mode_name(cfg.mode);
+    d += " seeds=" + std::to_string(cfg.seeds_per_point);
+    d += " seed=" + std::to_string(cfg.base_seed);
+    d += " timeout=" + std::to_string(cfg.timeout_ms);
+    d += " workloads=";
+    for (const auto& w : cfg.workloads) { d += w; d += ','; }
+    d += " points=";
+    for (const Probe p : cfg.points) {
+        d += sim::probe_name(p);
+        d += ',';
+    }
+    return d;
+}
+
 } // namespace
 
 CampaignReport run_campaign(const CampaignConfig& cfg)
@@ -91,9 +157,25 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
     for (std::size_t i = 0; i < cfg.points.size(); ++i)
         report.points[i].point = cfg.points[i];
 
+    // The journal holds classified faulted runs only. Goldens are
+    // deliberately keyless (cheap, and a compiled program does not
+    // round-trip through JSON), so they re-run on every resume.
+    std::unique_ptr<exec::Journal> journal;
+    if (cfg.journal || cfg.resume) {
+        const std::string path = cfg.journal_path.empty()
+                                     ? exec::journal_path("fault_campaign")
+                                     : cfg.journal_path;
+        journal = std::make_unique<exec::Journal>(
+            path, "fault_campaign",
+            exec::grid_fingerprint(campaign_desc(cfg)), cfg.resume);
+    }
+
     const exec::Engine engine{exec::EngineOptions{
         .jobs = cfg.jobs,
         .timeout = std::chrono::milliseconds{cfg.timeout_ms},
+        .retries = cfg.retries,
+        .backoff = std::chrono::milliseconds{cfg.backoff_ms},
+        .journal = journal.get(),
     }};
 
     // Phase 1: compile + golden run, one job per workload. Goldens are
@@ -103,7 +185,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
     {
         const auto outcomes = engine.map<std::shared_ptr<Golden>>(
             cfg.workloads.size(),
-            [&](std::size_t wi, const exec::CancelToken&) {
+            [&](std::size_t wi, const exec::JobContext&) {
                 auto g = std::make_shared<Golden>();
                 const auto& wl = workloads::workload(cfg.workloads[wi]);
                 g->module = wl.build();
@@ -138,10 +220,15 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
     const std::size_t n_points = cfg.points.size();
     const std::size_t n_seeds = cfg.seeds_per_point;
     const std::size_t n_runs = cfg.workloads.size() * n_points * n_seeds;
+    const exec::MapCodec<RunRecord> codec{
+        .label = "run",
+        .encode = record_to_json,
+        .decode = record_from_json,
+    };
     std::vector<RunRecord> records;
     const auto outcomes = engine.map<RunRecord>(
         n_runs,
-        [&](std::size_t i, const exec::CancelToken& token) {
+        [&](std::size_t i, const exec::JobContext& ctx) {
             const std::size_t wi = i / (n_points * n_seeds);
             const std::size_t pi = (i / n_seeds) % n_points;
             const std::size_t si = i % n_seeds;
@@ -159,8 +246,13 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
             RunRecord rec;
             std::optional<sim::RunResult> faulted;
             try {
-                faulted = exec::run_machine(machine, token);
+                faulted = exec::run_machine(machine, ctx.token);
             } catch (const exec::JobTimeout&) {
+                // A shutdown expires the same token as a wall-clock
+                // timeout. Only the latter is a classification; a
+                // cancelled run must rethrow so the engine skips it
+                // (unjournaled) and --resume re-runs it.
+                if (exec::shutdown_requested()) throw;
                 rec.timed_out = true;
                 return rec;
             }
@@ -174,7 +266,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
             }
             return rec;
         },
-        records);
+        records, codec);
 
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (outcomes[i].status == exec::JobStatus::Error)
@@ -191,6 +283,14 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
                 const std::size_t i = (wi * n_points + pi) * n_seeds + si;
                 const RunRecord& rec = records[i];
                 ++stats.runs;
+                if (outcomes[i].status == exec::JobStatus::Skipped) {
+                    ++stats.skipped;
+                    continue;
+                }
+                if (outcomes[i].status == exec::JobStatus::Quarantined) {
+                    ++stats.quarantined;
+                    continue;
+                }
                 if (rec.timed_out ||
                     outcomes[i].status == exec::JobStatus::Timeout) {
                     ++stats.timeouts;
@@ -238,6 +338,14 @@ void CampaignReport::print(std::ostream& os) const
     if (total_timeouts())
         os << "warning: " << total_timeouts()
            << " runs hit the wall-clock budget and were not classified\n";
+    if (total_quarantined())
+        os << "warning: " << total_quarantined()
+           << " runs exhausted the retry budget (quarantined, not "
+              "classified)\n";
+    if (total_skipped())
+        os << "warning: " << total_skipped()
+           << " runs were skipped by a graceful shutdown — the report is "
+              "partial, finish it with --resume\n";
 }
 
 exec::json::Value CampaignReport::to_json() const
@@ -266,6 +374,8 @@ exec::json::Value CampaignReport::to_json() const
         jp["masked"] = p.masked;
         jp["silent"] = p.silent;
         jp["timeouts"] = p.timeouts;
+        jp["quarantined"] = p.quarantined;
+        jp["skipped"] = p.skipped;
         jp["detection_rate"] = p.detection_rate();
         jp["mean_latency"] = p.mean_latency();
         jpoints.push_back(jp);
@@ -275,6 +385,9 @@ exec::json::Value CampaignReport::to_json() const
     root["total_silent"] = total_silent();
     root["protected_silent"] = protected_silent();
     root["total_timeouts"] = total_timeouts();
+    root["total_quarantined"] = total_quarantined();
+    root["total_skipped"] = total_skipped();
+    root["partial"] = total_skipped() != 0;
     return root;
 }
 

@@ -43,6 +43,16 @@ struct CampaignConfig {
     /// Per-run wall-clock budget in ms (0 = none). Timed-out runs are
     /// counted separately, never classified.
     u64 timeout_ms = 0;
+    /// Retry budget for timeout/error runs (exhaustion -> quarantined,
+    /// counted but never classified). 0 = classic fail-once behavior.
+    unsigned retries = 0;
+    /// Base retry backoff in ms; doubles per attempt.
+    u64 backoff_ms = 100;
+    /// Checkpoint each finished run to an fsync'd journal.
+    bool journal = false;
+    std::string journal_path; ///< "" = BENCH_fault_campaign.journal
+    /// Replay finished runs from the journal before running the rest.
+    bool resume = false;
 };
 
 struct PointStats {
@@ -52,7 +62,9 @@ struct PointStats {
     u64 detected = 0;
     u64 masked = 0;
     u64 silent = 0;
-    u64 timeouts = 0; ///< runs killed by the wall-clock budget
+    u64 timeouts = 0;    ///< runs killed by the wall-clock budget
+    u64 quarantined = 0; ///< runs that exhausted the retry budget
+    u64 skipped = 0;     ///< runs not started (graceful shutdown)
     /// Detection latencies (instructions) over detected-and-fired runs.
     std::vector<double> latencies;
 
@@ -77,6 +89,8 @@ struct CampaignReport {
     u64 total_runs() const;
     u64 total_silent() const;
     u64 total_timeouts() const;
+    u64 total_quarantined() const;
+    u64 total_skipped() const;
 
     /// Silent corruptions at metadata_protected() points only — the
     /// quantity that must be zero for the completeness claim to hold.

@@ -113,10 +113,11 @@ TEST(ExecEngine, TimeoutCancelsAHungJobAndSparesTheRest)
 TEST(ExecEngine, BodyExceptionIsCapturedAsError)
 {
     std::vector<Job> jobs;
-    jobs.push_back(Job{.name = "boom",
-                       .body = [](const CancelToken&) -> sim::RunResult {
-                           throw common::ToolchainError{"deliberate"};
-                       }});
+    jobs.push_back(
+        Job{.name = "boom",
+            .body = [](const exec::JobContext&) -> sim::RunResult {
+                throw common::ToolchainError{"deliberate"};
+            }});
     const auto outcomes = Engine{}.run(jobs);
     ASSERT_EQ(outcomes.size(), 1u);
     EXPECT_EQ(outcomes[0].status, JobStatus::Error);
@@ -128,7 +129,8 @@ TEST(ExecEngine, MapCollectsTypedResultsInIndexOrder)
     const Engine engine{EngineOptions{.jobs = 4}};
     std::vector<std::size_t> out;
     const auto outcomes = engine.map<std::size_t>(
-        16, [](std::size_t i, const CancelToken&) { return i * i; }, out);
+        16, [](std::size_t i, const exec::JobContext&) { return i * i; },
+        out);
     ASSERT_EQ(out.size(), 16u);
     for (std::size_t i = 0; i < out.size(); ++i) {
         EXPECT_EQ(outcomes[i].status, JobStatus::Ok);
@@ -143,6 +145,30 @@ TEST(ExecEngine, DeriveSeedIsCoordinateStable)
     EXPECT_NE(s, exec::derive_seed(0xC0FFEE, 1, 2, 4));
     EXPECT_NE(s, exec::derive_seed(0xC0FFEE, 2, 1, 3));
     EXPECT_NE(s, exec::derive_seed(0xBEEF, 1, 2, 3));
+}
+
+TEST(ExecEngine, AttemptSeedKeepsAttemptZeroByteCompatible)
+{
+    // Attempt 0 must reproduce the original seed exactly (a retry-free
+    // campaign is bit-identical to the pre-retry engine); later
+    // attempts re-derive so a flaky run sees fresh randomness.
+    EXPECT_EQ(exec::attempt_seed(42, 0), 42u);
+    EXPECT_EQ(exec::attempt_seed(42, 1), exec::derive_seed(42, 1));
+    EXPECT_NE(exec::attempt_seed(42, 1), exec::attempt_seed(42, 2));
+}
+
+TEST(ExecEngine, JobStatusNamesRoundTrip)
+{
+    using exec::JobStatus;
+    for (const JobStatus s :
+         {JobStatus::Ok, JobStatus::Timeout, JobStatus::Error,
+          JobStatus::Quarantined, JobStatus::Skipped}) {
+        const auto back =
+            exec::job_status_from_name(exec::job_status_name(s));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, s);
+    }
+    EXPECT_FALSE(exec::job_status_from_name("nonsense").has_value());
 }
 
 TEST(ExecEngine, ResolveJobsNeverReturnsZero)
@@ -181,6 +207,39 @@ TEST(ExecCli, ParsesTheSharedGridFlags)
         common::ToolchainError);
 }
 
+TEST(ExecCli, ParsesTheDurabilityFlags)
+{
+    exec::GridOptions o;
+    const char* argv[] = {"prog",      "--retries", "3",
+                          "--backoff-ms", "50",     "--journal",
+                          "ckpt.journal", "--keep-going"};
+    const int argc = static_cast<int>(std::size(argv));
+    for (int i = 1; i < argc; ++i)
+        EXPECT_TRUE(exec::parse_grid_flag(
+            o, argc, const_cast<char**>(argv), i));
+    EXPECT_EQ(o.retries, 3u);
+    EXPECT_EQ(o.backoff_ms, 50u);
+    EXPECT_TRUE(o.journal);
+    EXPECT_EQ(o.journal_path, "ckpt.journal");
+    EXPECT_FALSE(o.resume);
+    EXPECT_TRUE(o.keep_going);
+
+    // --resume implies --journal; --journal without a path keeps the
+    // default (bench-derived) location.
+    exec::GridOptions r;
+    const char* argv2[] = {"prog", "--resume"};
+    int i = 1;
+    EXPECT_TRUE(
+        exec::parse_grid_flag(r, 2, const_cast<char**>(argv2), i));
+    EXPECT_TRUE(r.resume);
+    EXPECT_TRUE(r.journal);
+    EXPECT_TRUE(r.journal_path.empty());
+
+    const exec::EngineOptions eo = o.engine();
+    EXPECT_EQ(eo.retries, 3u);
+    EXPECT_EQ(eo.backoff, std::chrono::milliseconds{50});
+}
+
 TEST(ExecJson, RoundTripsEveryValueKind)
 {
     using exec::json::Value;
@@ -211,6 +270,87 @@ TEST(ExecJson, ParserRejectsMalformedInput)
     EXPECT_THROW(Value::parse("{\"a\":1} trailing"),
                  exec::json::JsonError);
     EXPECT_THROW(Value::parse("nul"), exec::json::JsonError);
+}
+
+TEST(ExecJson, ParserSurvivesTruncatedAndGarbageInput)
+{
+    using exec::json::Value;
+    // The crash artifacts the journal loader must shrug off: truncated
+    // records, torn strings, half-written numbers. Every one must be a
+    // JsonError, never a crash or hang.
+    EXPECT_THROW(Value::parse(""), exec::json::JsonError);
+    EXPECT_THROW(Value::parse("{\"a\":1"), exec::json::JsonError);
+    EXPECT_THROW(Value::parse("{\"key\":\"unterminat"),
+                 exec::json::JsonError);
+    EXPECT_THROW(Value::parse("\"\\u12"), exec::json::JsonError);
+    EXPECT_THROW(Value::parse("-"), exec::json::JsonError);
+    EXPECT_THROW(Value::parse("1e999999"), exec::json::JsonError);
+    EXPECT_THROW(Value::parse("{\"a\":}"), exec::json::JsonError);
+    EXPECT_THROW(Value::parse(std::string(64, '\xff')),
+                 exec::json::JsonError);
+}
+
+TEST(ExecJson, ParserBoundsNestingDepth)
+{
+    using exec::json::Value;
+    // A kilobyte of '[' (or alternating {"a":[...) must fail cleanly
+    // instead of overflowing the parser's stack.
+    EXPECT_THROW(Value::parse(std::string(1000, '[')),
+                 exec::json::JsonError);
+    std::string deep;
+    for (int i = 0; i < 500; ++i) deep += "{\"a\":[";
+    EXPECT_THROW(Value::parse(deep), exec::json::JsonError);
+    // 100 levels is legitimate and must still parse.
+    const std::string ok =
+        std::string(100, '[') + "1" + std::string(100, ']');
+    EXPECT_EQ(Value::parse(ok).kind(), Value::Kind::Array);
+}
+
+TEST(ExecJson, ParseErrorsQuoteAnExcerpt)
+{
+    using exec::json::Value;
+    try {
+        Value::parse("{\"a\": gargage-here}");
+        FAIL() << "expected JsonError";
+    } catch (const exec::json::JsonError& e) {
+        // The diagnostic names the offset and shows printable context,
+        // so a corrupt journal line is identifiable at a glance.
+        EXPECT_NE(std::string{e.what()}.find("offset"), std::string::npos);
+        EXPECT_NE(std::string{e.what()}.find("gargage"), std::string::npos);
+    }
+}
+
+TEST(ExecReport, OutcomeCountsAndExitPolicy)
+{
+    using exec::JobOutcome;
+    using exec::JobStatus;
+    std::vector<JobOutcome> outcomes(5);
+    outcomes[0].status = JobStatus::Ok;
+    outcomes[1].status = JobStatus::Timeout;
+    outcomes[2].status = JobStatus::Error;
+    outcomes[3].status = JobStatus::Quarantined;
+    outcomes[4].status = JobStatus::Skipped;
+
+    const exec::OutcomeCounts c = exec::count_outcomes(outcomes);
+    EXPECT_EQ(c.ok, 1u);
+    EXPECT_EQ(c.failed(), 3u);
+    EXPECT_TRUE(c.partial());
+
+    // Shutdown-partial dominates (130), then failures (1), and
+    // --keep-going only forgives failures, never partiality.
+    EXPECT_EQ(exec::grid_exit_code(outcomes, false), 130);
+    EXPECT_EQ(exec::grid_exit_code(outcomes, true), 130);
+    outcomes[4].status = JobStatus::Ok;
+    EXPECT_EQ(exec::grid_exit_code(outcomes, false), 1);
+    EXPECT_EQ(exec::grid_exit_code(outcomes, true), 0);
+    outcomes[1].status = JobStatus::Ok;
+    outcomes[2].status = JobStatus::Ok;
+    outcomes[3].status = JobStatus::Ok;
+    EXPECT_EQ(exec::grid_exit_code(outcomes, false), 0);
+
+    const exec::json::Value s = exec::summary_json({}, outcomes);
+    EXPECT_EQ(s.at("ok").as_int(), 5);
+    EXPECT_EQ(s.at("partial").as_bool(), false);
 }
 
 TEST(ExecReport, BenchEnvelopeRoundTrips)
