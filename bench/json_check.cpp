@@ -10,6 +10,12 @@
 // through outcome_from_record. Unlike --resume (which forgives a torn
 // tail), the validator treats any malformed line as a failure — CI
 // journals come from completed runs and should be whole.
+//
+// `json_check --equiv A B` compares two BENCH envelopes after stripping
+// host-side fields (wall_ms, run_ms, mips, geo_mean_mips, git_rev,
+// jobs): the determinism contract of docs/performance.md says host
+// speed may change between runs and revisions, simulated numbers may
+// not — this is the check that enforces it.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,6 +26,82 @@
 using namespace hwst;
 
 namespace {
+
+/// Keys that carry host-side timing or provenance, legitimately
+/// different between two runs of the same campaign.
+bool is_host_key(std::string_view key)
+{
+    return key == "wall_ms" || key == "run_ms" || key == "mips" ||
+           key == "geo_mean_mips" || key == "git_rev" || key == "jobs";
+}
+
+/// Deep copy with every host-side key removed, at any nesting depth.
+exec::json::Value strip_host_fields(const exec::json::Value& v)
+{
+    if (v.is_object()) {
+        exec::json::Value out = exec::json::Value::object();
+        for (const auto& [key, member] : v.members())
+            if (!is_host_key(key)) out[key] = strip_host_fields(member);
+        return out;
+    }
+    if (v.is_array()) {
+        exec::json::Value out = exec::json::Value::array();
+        for (const auto& item : v.items())
+            out.push_back(strip_host_fields(item));
+        return out;
+    }
+    return v;
+}
+
+int check_equiv(const char* a_path, const char* b_path)
+{
+    const auto a = strip_host_fields(exec::read_bench_json(a_path));
+    const auto b = strip_host_fields(exec::read_bench_json(b_path));
+    if (a.dump(2) != b.dump(2)) {
+        std::cerr << "json_check: " << a_path << " and " << b_path
+                  << " differ beyond host-side fields\n";
+        return 1;
+    }
+    std::cout << a_path << " == " << b_path
+              << " (modulo host-side fields)\n";
+    return 0;
+}
+
+/// Extra schema for the interpreter-throughput envelope: the perf
+/// trajectory is only diffable if every entry records its revision and
+/// per-workload MIPS rows.
+void check_interp_speed(const exec::json::Value& v)
+{
+    const auto* rev = v.find("git_rev");
+    if (!rev || !rev->is_string())
+        throw exec::json::JsonError{"missing string key: git_rev"};
+    const auto* geo = v.find("geo_mean_mips");
+    if (!geo || !(geo->is_number() || geo->is_null()))
+        throw exec::json::JsonError{"geo_mean_mips must be number|null"};
+    const auto* rows = v.find("rows");
+    if (!rows || !rows->is_array())
+        throw exec::json::JsonError{"missing array key: rows"};
+    for (const auto& row : rows->items()) {
+        for (const char* key : {"workload", "scheme"}) {
+            const auto* s = row.find(key);
+            if (!s || !s->is_string())
+                throw exec::json::JsonError{
+                    std::string{"row: missing string key: "} + key};
+        }
+        for (const char* key : {"instret", "cycles"}) {
+            const auto* n = row.find(key);
+            if (!n || !n->is_int())
+                throw exec::json::JsonError{
+                    std::string{"row: missing int key: "} + key};
+        }
+        for (const char* key : {"run_ms", "mips"}) {
+            const auto* n = row.find(key);
+            if (!n || !n->is_number())
+                throw exec::json::JsonError{
+                    std::string{"row: missing number key: "} + key};
+        }
+    }
+}
 
 void check_journal(const char* path)
 {
@@ -81,9 +163,22 @@ int main(int argc, char** argv)
         journal_mode = true;
         first = 2;
     }
+    if (argc > 1 && std::string{argv[1]} == "--equiv") {
+        if (argc != 4) {
+            std::cerr << "usage: json_check --equiv A.json B.json\n";
+            return 2;
+        }
+        try {
+            return check_equiv(argv[2], argv[3]);
+        } catch (const std::exception& e) {
+            std::cerr << "json_check: " << e.what() << '\n';
+            return 1;
+        }
+    }
     if (first >= argc) {
         std::cerr << "usage: json_check BENCH_<name>.json...\n"
-                     "       json_check --journal BENCH_<name>.journal...\n";
+                     "       json_check --journal BENCH_<name>.journal...\n"
+                     "       json_check --equiv A.json B.json\n";
         return 2;
     }
     for (int i = first; i < argc; ++i) {
@@ -102,6 +197,8 @@ int main(int argc, char** argv)
                 throw exec::json::JsonError{"missing int key: jobs"};
             if (!wall || !wall->is_number())
                 throw exec::json::JsonError{"missing number key: wall_ms"};
+            if (bench->as_string() == "interp_speed")
+                check_interp_speed(v);
             std::cout << argv[i] << ": ok (bench="
                       << bench->as_string() << ", jobs=" << jobs->as_int()
                       << ")\n";

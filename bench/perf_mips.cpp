@@ -1,0 +1,212 @@
+// perf_mips — interpreter-throughput harness: how many simulated
+// instructions per host second does the Machine retire? The simulator
+// is the product, so host MIPS is our "fast as the hardware allows"
+// metric (docs/performance.md); every entry lands in
+// BENCH_interp_speed.json, the perf trajectory later PRs diff against
+// (bench/baselines/BENCH_interp_speed.baseline.json).
+//
+// Runs the workload registry x a scheme list through the exec engine.
+// Compilation happens outside the timed window: each job compiles its
+// workload, then times run_machine alone, so the MIPS figure is pure
+// interpreter throughput. Simulated observables (cycles, instret,
+// checksums) are asserted against the registry's expected values — the
+// harness fails loudly if a "speedup" changed simulation results.
+//
+// Flags: the shared grid vocabulary (--jobs/--json/--smoke/...) plus
+//   --schemes a,b,c   comma list of schemes (default none,hwst128_tchk)
+//   --rev STR         override the recorded git revision
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "compiler/driver.hpp"
+#include "exec/cli.hpp"
+#include "exec/report.hpp"
+#include "exec/shutdown.hpp"
+#include "exec/simrun.hpp"
+#include "workloads/workload.hpp"
+
+using namespace hwst;
+using compiler::Scheme;
+
+#ifndef HWST_GIT_REV
+#define HWST_GIT_REV "unknown"
+#endif
+
+namespace {
+
+/// Host-side timing of one job's simulation phase, filled in by the job
+/// body on the worker thread (index-aligned with the job grid, so no
+/// synchronisation is needed beyond the engine's own join).
+struct PerfCell {
+    double run_ms = 0.0; ///< wall time inside run_machine only
+};
+
+Scheme scheme_from_name(const std::string& name)
+{
+    for (const Scheme s : compiler::kAllSchemes)
+        if (compiler::scheme_name(s) == name) return s;
+    throw common::ToolchainError{"unknown scheme: " + name};
+}
+
+std::vector<std::string> split_csv(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss{csv};
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty()) out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    exec::GridOptions grid;
+    std::vector<Scheme> schemes = {Scheme::None, Scheme::Hwst128Tchk};
+    std::string git_rev = HWST_GIT_REV;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            if (exec::parse_grid_flag(grid, argc, argv, i)) continue;
+            const std::string a = argv[i];
+            if (a == "--schemes") {
+                if (i + 1 >= argc)
+                    throw common::ToolchainError{"--schemes needs a list"};
+                schemes.clear();
+                for (const auto& name : split_csv(argv[++i]))
+                    schemes.push_back(scheme_from_name(name));
+                if (schemes.empty())
+                    throw common::ToolchainError{"--schemes: empty list"};
+            } else if (a == "--rev") {
+                if (i + 1 >= argc)
+                    throw common::ToolchainError{"--rev needs an argument"};
+                git_rev = argv[++i];
+            } else {
+                throw common::ToolchainError{"unknown flag: " + a};
+            }
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "perf_mips: " << e.what() << "\nflags:\n"
+                  << exec::kGridFlagsHelp
+                  << "  --schemes a,b,c  scheme list (default "
+                     "none,hwst128_tchk)\n"
+                     "  --rev STR        record STR as the git revision\n";
+        return 2;
+    }
+
+    std::vector<const workloads::Workload*> ws;
+    for (const auto& w : workloads::all_workloads()) ws.push_back(&w);
+    if (grid.smoke && ws.size() > 3) ws.resize(3);
+
+    std::vector<exec::Job> jobs;
+    std::vector<PerfCell> cells(ws.size() * schemes.size());
+    for (const auto* w : ws) {
+        for (const Scheme s : schemes) {
+            const std::size_t idx = jobs.size();
+            exec::Job job;
+            job.name =
+                w->name + "/" + std::string{compiler::scheme_name(s)};
+            job.workload = w->name;
+            job.scheme = compiler::scheme_name(s);
+            // No journal key: a replayed job would have no host timing,
+            // so perf runs never resume from a checkpoint.
+            job.body = [w, s, idx, &cells](const exec::JobContext& ctx) {
+                const mir::Module module = w->build();
+                compiler::CompiledProgram cp =
+                    compiler::compile(module, s);
+                sim::Machine machine{cp.program, cp.machine_config};
+                const exec::Stopwatch stopwatch;
+                sim::RunResult r = exec::run_machine(machine, ctx.token);
+                cells[idx].run_ms = stopwatch.elapsed_ms();
+                return r;
+            };
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    exec::install_signal_handlers();
+    const exec::Engine engine{grid.engine()};
+    const exec::Stopwatch stopwatch;
+    const auto outcomes = engine.run(jobs);
+    const double wall_ms = stopwatch.elapsed_ms();
+
+    std::cout << "Interpreter throughput (host MIPS = simulated "
+                 "instructions / host second / 1e6)\n\n";
+    common::TextTable table{
+        {"workload", "scheme", "instret", "run ms", "host MIPS"}};
+
+    exec::json::Value rows = exec::json::Value::array();
+    std::vector<double> mips_all;
+    bool bad_result = false;
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const std::size_t idx = wi * schemes.size() + si;
+            const exec::JobOutcome& o = outcomes[idx];
+            if (o.status != exec::JobStatus::Ok) {
+                std::cerr << jobs[idx].name << " failed: "
+                          << exec::job_status_name(o.status)
+                          << (o.error.empty() ? "" : " (" + o.error + ")")
+                          << '\n';
+                continue;
+            }
+            if (o.result.exit_code != ws[wi]->expected) {
+                std::cerr << jobs[idx].name
+                          << ": wrong checksum (interpreter bug?): got "
+                          << o.result.exit_code << ", expected "
+                          << ws[wi]->expected << '\n';
+                bad_result = true;
+                continue;
+            }
+            const double run_ms = std::max(cells[idx].run_ms, 1e-6);
+            const double mips =
+                static_cast<double>(o.result.instret) / run_ms / 1e3;
+            mips_all.push_back(mips);
+            table.add_row({ws[wi]->name, jobs[idx].scheme,
+                           std::to_string(o.result.instret),
+                           common::fmt(run_ms, 1), common::fmt(mips, 2)});
+            exec::json::Value row = exec::json::Value::object();
+            row["workload"] = ws[wi]->name;
+            row["scheme"] = jobs[idx].scheme;
+            row["instret"] = o.result.instret;
+            row["cycles"] = o.result.cycles;
+            row["run_ms"] = run_ms;
+            row["mips"] = mips;
+            rows.push_back(row);
+        }
+    }
+
+    exec::json::Value geo = nullptr;
+    std::vector<std::string> means{"geo. mean", "", "", ""};
+    if (!mips_all.empty()) {
+        const double g = common::geo_mean(mips_all);
+        geo = g;
+        means.push_back(common::fmt(g, 2));
+    } else {
+        means.push_back("n/a");
+    }
+    table.add_row(means);
+    table.print(std::cout);
+
+    if (grid.json) {
+        exec::json::Value payload = exec::json::Value::object();
+        payload["git_rev"] = git_rev;
+        exec::json::Value snames = exec::json::Value::array();
+        for (const Scheme s : schemes)
+            snames.push_back(compiler::scheme_name(s));
+        payload["schemes"] = snames;
+        payload["rows"] = rows;
+        payload["geo_mean_mips"] = geo;
+        payload["summary"] = exec::summary_json(jobs, outcomes);
+        const std::string path = exec::write_bench_json(
+            "interp_speed", exec::resolve_jobs(grid.jobs), wall_ms,
+            payload, grid.json_path);
+        std::cout << "wrote " << path << '\n';
+    }
+    const int rc = exec::grid_exit_code(outcomes, grid.keep_going);
+    if (rc == 0 && bad_result && !grid.keep_going) return 1;
+    return rc;
+}

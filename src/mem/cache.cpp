@@ -12,7 +12,7 @@ Cache::Cache(const CacheConfig& cfg) : cfg_{cfg}
     lines_.resize(static_cast<std::size_t>(cfg_.sets) * cfg_.ways);
 }
 
-unsigned Cache::access(u64 addr)
+unsigned Cache::access_slow(u64 addr)
 {
     ++stats_.accesses;
     ++tick_;
@@ -26,6 +26,8 @@ unsigned Cache::access(u64 addr)
         if (line.valid && line.tag == tag) {
             line.lru = tick_;
             last_miss_ = false;
+            last_line_ = &line;
+            last_line_addr_ = addr / cfg_.line_bytes;
             return cfg_.hit_cycles;
         }
         if (!line.valid) {
@@ -40,6 +42,8 @@ unsigned Cache::access(u64 addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lru = tick_;
+    last_line_ = victim;
+    last_line_addr_ = addr / cfg_.line_bytes;
     return cfg_.hit_cycles + cfg_.miss_penalty;
 }
 
@@ -57,6 +61,7 @@ bool Cache::would_hit(u64 addr) const
 void Cache::flush()
 {
     for (Line& line : lines_) line = Line{};
+    last_line_ = nullptr;
 }
 
 } // namespace hwst::mem

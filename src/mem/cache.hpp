@@ -39,7 +39,24 @@ public:
     /// Touch `addr`; returns the access latency in cycles and updates
     /// LRU/stats. Accesses never straddle lines in our ISA (max width 8,
     /// line 64, all accesses naturally aligned by codegen).
-    unsigned access(u64 addr);
+    ///
+    /// Fast path: consecutive accesses to the same line (sequential
+    /// fetch, stack traffic) skip the way scan. `last_line_` always
+    /// points at the line touched by the most recent access, so a match
+    /// on `last_line_addr_` cannot be stale — any eviction of that line
+    /// would itself have gone through access_slow and repointed it.
+    /// Stats/LRU updates are identical to the slow-path hit.
+    unsigned access(u64 addr)
+    {
+        const u64 line_addr = addr / cfg_.line_bytes;
+        if (last_line_ && last_line_addr_ == line_addr) {
+            ++stats_.accesses;
+            last_line_->lru = ++tick_;
+            last_miss_ = false;
+            return cfg_.hit_cycles;
+        }
+        return access_slow(addr);
+    }
 
     /// Probe without updating state (diagnostics).
     bool would_hit(u64 addr) const;
@@ -65,11 +82,17 @@ private:
     u64 set_of(u64 addr) const { return (addr / cfg_.line_bytes) % cfg_.sets; }
     u64 tag_of(u64 addr) const { return addr / cfg_.line_bytes / cfg_.sets; }
 
+    unsigned access_slow(u64 addr);
+
     CacheConfig cfg_;
     std::vector<Line> lines_; // sets * ways
     CacheStats stats_;
     u64 tick_ = 0;
     bool last_miss_ = false;
+    // Most recently touched line (fast path). Never dangles: lines_ is
+    // sized once in the constructor and flush() resets the pointer.
+    Line* last_line_ = nullptr;
+    u64 last_line_addr_ = 0; ///< addr / line_bytes of last_line_
 };
 
 } // namespace hwst::mem

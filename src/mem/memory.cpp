@@ -1,15 +1,18 @@
 #include "mem/memory.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace hwst::mem {
-
-using common::sign_extend;
 
 void Memory::map_region(std::string name, u64 base, u64 size)
 {
     if (size == 0) throw common::ConfigError{"map_region: empty region"};
     regions_.push_back(Region{std::move(name), base, size});
+    // The region set changed: cached full-page validity claims may be
+    // stale relative to the new layout. Refill on demand.
+    tlb_invalidate();
 }
 
 bool Memory::is_mapped(u64 addr, unsigned width) const
@@ -37,6 +40,25 @@ void Memory::check_mapped(u64 addr, unsigned width, Access kind) const
     if (!is_mapped(addr, width)) throw MemFault{addr, kind};
 }
 
+bool Memory::page_fully_mapped(u64 page_base) const
+{
+    if (page_base < kPageSize) return false; // null guard page
+    for (const Region& r : regions_) {
+        if (page_base >= r.base &&
+            page_base + kPageSize <= r.base + r.size)
+            return true;
+    }
+    return false;
+}
+
+void Memory::tlb_fill(u64 addr) const
+{
+    const u64 page_base = addr & ~(kPageSize - 1);
+    if (!page_fully_mapped(page_base)) return;
+    tlb_[tlb_slot(addr)] =
+        TlbEntry{page_base, page_for(page_base, false)};
+}
+
 u8* Memory::page_for(u64 addr, bool create) const
 {
     const u64 key = addr / kPageSize;
@@ -46,10 +68,14 @@ u8* Memory::page_for(u64 addr, bool create) const
     auto page = std::make_unique<u8[]>(kPageSize);
     u8* raw = page.get();
     pages_.emplace(key, std::move(page));
+    // First touch: a cached entry for this page (if any) still claims
+    // host == null; drop it so the next access picks up the backing
+    // store.
+    tlb_[tlb_slot(addr)] = TlbEntry{};
     return raw;
 }
 
-u64 Memory::load(u64 addr, unsigned width, bool do_sign_extend) const
+u64 Memory::load_slow(u64 addr, unsigned width, bool do_sign_extend) const
 {
     check_mapped(addr, width, Access::Read);
     u64 value = 0;
@@ -59,11 +85,13 @@ u64 Memory::load(u64 addr, unsigned width, bool do_sign_extend) const
         const u64 byte = page ? page[a % kPageSize] : 0;
         value |= byte << (8 * i);
     }
-    return do_sign_extend ? static_cast<u64>(sign_extend(value, 8 * width))
-                          : value;
+    if ((addr & (kPageSize - 1)) + width <= kPageSize) tlb_fill(addr);
+    return do_sign_extend
+               ? static_cast<u64>(common::sign_extend(value, 8 * width))
+               : value;
 }
 
-void Memory::store(u64 addr, unsigned width, u64 value)
+void Memory::store_slow(u64 addr, unsigned width, u64 value)
 {
     check_mapped(addr, width, Access::Write);
     for (unsigned i = 0; i < width; ++i) {
@@ -71,22 +99,35 @@ void Memory::store(u64 addr, unsigned width, u64 value)
         u8* page = page_for(a, true);
         page[a % kPageSize] = static_cast<u8>(value >> (8 * i));
     }
+    if ((addr & (kPageSize - 1)) + width <= kPageSize) tlb_fill(addr);
 }
 
 void Memory::write_bytes(u64 addr, std::span<const u8> bytes)
 {
-    for (std::size_t i = 0; i < bytes.size(); ++i) {
-        u8* page = page_for(addr + i, true);
-        page[(addr + i) % kPageSize] = bytes[i];
+    // One page lookup per touched page, not per byte.
+    std::size_t i = 0;
+    while (i < bytes.size()) {
+        const u64 a = addr + i;
+        const u64 off = a & (kPageSize - 1);
+        const u64 chunk =
+            std::min<u64>(kPageSize - off, bytes.size() - i);
+        u8* page = page_for(a, true);
+        std::memcpy(page + off, bytes.data() + i, chunk);
+        i += chunk;
     }
 }
 
 std::vector<u8> Memory::read_bytes(u64 addr, u64 len) const
 {
     std::vector<u8> out(len, 0);
-    for (u64 i = 0; i < len; ++i) {
-        const u8* page = page_for(addr + i, false);
-        if (page) out[i] = page[(addr + i) % kPageSize];
+    u64 i = 0;
+    while (i < len) {
+        const u64 a = addr + i;
+        const u64 off = a & (kPageSize - 1);
+        const u64 chunk = std::min<u64>(kPageSize - off, len - i);
+        if (const u8* page = page_for(a, false))
+            std::memcpy(out.data() + i, page + off, chunk);
+        i += chunk;
     }
     return out;
 }

@@ -7,8 +7,21 @@
 // lets the uninstrumented "GCC" baseline of Fig. 6 detect null derefs
 // while missing in-bounds-of-some-region corruption, exactly like a
 // processor with an MMU.
+//
+// Hot path (docs/performance.md): a small direct-mapped translation
+// cache short-circuits both the region scan and the page-table hash for
+// accesses that stay on recently touched pages. An entry asserts that
+// its whole page lies inside one mapped region, so any access contained
+// in the page needs no further validity check; `host` is the page's
+// backing store (null until the page materialises — loads of untouched
+// pages observe zero). The cache is a pure accelerator: it is
+// invalidated on map_region and on page creation, and every miss falls
+// back to the original region-scan + hash path, so behaviour is
+// bit-identical with the cache disabled.
 #pragma once
 
+#include <array>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -40,6 +53,7 @@ public:
 
     /// Map [base, base+size) as accessible. Overlaps are allowed (the
     /// region list is a pure validity check, not an ownership model).
+    /// Invalidates the translation cache.
     void map_region(std::string name, u64 base, u64 size);
 
     /// True if [addr, addr+width) lies inside some mapped region and
@@ -47,8 +61,35 @@ public:
     bool is_mapped(u64 addr, unsigned width) const;
 
     // ---- typed access (little-endian). Throws MemFault when unmapped.
-    u64 load(u64 addr, unsigned width, bool sign_extend) const;
-    void store(u64 addr, unsigned width, u64 value);
+    u64 load(u64 addr, unsigned width, bool sign_extend) const
+    {
+        const u64 off = addr & (kPageSize - 1);
+        if (off + width <= kPageSize) {
+            const TlbEntry& e = tlb_[tlb_slot(addr)];
+            if (e.page_base == (addr & ~(kPageSize - 1))) {
+                u64 value = 0;
+                if (e.host) std::memcpy(&value, e.host + off, width);
+                return sign_extend
+                           ? static_cast<u64>(
+                                 common::sign_extend(value, 8 * width))
+                           : value;
+            }
+        }
+        return load_slow(addr, width, sign_extend);
+    }
+
+    void store(u64 addr, unsigned width, u64 value)
+    {
+        const u64 off = addr & (kPageSize - 1);
+        if (off + width <= kPageSize) {
+            const TlbEntry& e = tlb_[tlb_slot(addr)];
+            if (e.page_base == (addr & ~(kPageSize - 1)) && e.host) {
+                std::memcpy(e.host + off, &value, width);
+                return;
+            }
+        }
+        store_slow(addr, width, value);
+    }
 
     u8 load_u8(u64 addr) const { return static_cast<u8>(load(addr, 1, false)); }
     u64 load_u64(u64 addr) const { return load(addr, 8, false); }
@@ -76,6 +117,17 @@ public:
         return out;
     }
 
+    // ---- translation-cache introspection (tests, diagnostics) --------
+    /// Entries in the direct-mapped translation cache.
+    static constexpr unsigned kTlbEntries = 64;
+    /// Translation-cache hit for addr's page without touching state?
+    bool tlb_holds(u64 addr) const
+    {
+        return tlb_[tlb_slot(addr)].page_base == (addr & ~(kPageSize - 1));
+    }
+    /// Drop every translation-cache entry (misses refill on demand).
+    void tlb_invalidate() const { tlb_.fill(TlbEntry{}); }
+
 private:
     struct Region {
         std::string name;
@@ -83,14 +135,43 @@ private:
         u64 size;
     };
 
+    /// One translation-cache entry: `page_base` is the page's base
+    /// address (~0 = empty — never a valid page base since it is not
+    /// page-aligned) and `host` its backing store, null while the page
+    /// is unmaterialised. A present entry guarantees the whole page lies
+    /// inside one mapped region.
+    struct TlbEntry {
+        u64 page_base = ~u64{0};
+        u8* host = nullptr;
+    };
+
+    static constexpr unsigned tlb_slot(u64 addr)
+    {
+        return static_cast<unsigned>((addr / kPageSize) %
+                                     kTlbEntries);
+    }
+
     u8* page_for(u64 addr, bool create) const;
     void check_mapped(u64 addr, unsigned width, Access kind) const;
+
+    /// Whole page inside one mapped region (and not the null guard)?
+    bool page_fully_mapped(u64 page_base) const;
+
+    /// Install a translation-cache entry for addr's page if the page is
+    /// fully mapped; called from the slow paths after they validated
+    /// the access the old way.
+    void tlb_fill(u64 addr) const;
+
+    u64 load_slow(u64 addr, unsigned width, bool sign_extend) const;
+    void store_slow(u64 addr, unsigned width, u64 value);
 
     // Sparse page store. mutable: loads of never-written pages observe
     // zero without materialising them.
     mutable std::unordered_map<u64, std::unique_ptr<u8[]>> pages_;
     std::vector<Region> regions_;
     mutable std::size_t last_region_ = 0;
+    // mutable: loads warm the translation cache too.
+    mutable std::array<TlbEntry, kTlbEntries> tlb_{};
 };
 
 } // namespace hwst::mem

@@ -1,5 +1,7 @@
 #include "sim/machine.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
 #include "riscv/encoding.hpp"
 #include "sim/syscalls.hpp"
@@ -38,6 +40,43 @@ constexpr bool reads_rs2(Format f)
     return f == Format::R || f == Format::S || f == Format::B;
 }
 
+/// InstrMix counter for `op` — the predecoded form of the old
+/// per-step classify() switch (same mapping, applied once per static
+/// instruction at construction instead of once per retired one).
+u64 sim::InstrMix::* mix_bucket(Opcode op)
+{
+    using Mix = sim::InstrMix;
+    switch (op) {
+    case Opcode::CLB: case Opcode::CLH: case Opcode::CLW: case Opcode::CLD:
+    case Opcode::CLBU: case Opcode::CLHU: case Opcode::CLWU:
+        return &Mix::checked_loads;
+    case Opcode::CSB: case Opcode::CSH: case Opcode::CSW: case Opcode::CSD:
+        return &Mix::checked_stores;
+    case Opcode::SBDL: case Opcode::SBDU: case Opcode::LBDLS:
+    case Opcode::LBDUS: case Opcode::LBAS: case Opcode::LBND:
+    case Opcode::LKEY: case Opcode::LLOC:
+        return &Mix::meta_moves;
+    case Opcode::BNDRS: case Opcode::BNDRT:
+        return &Mix::binds;
+    case Opcode::TCHK:
+        return &Mix::tchk;
+    case Opcode::JAL: case Opcode::JALR:
+        return &Mix::jumps;
+    case Opcode::ECALL:
+        return &Mix::ecalls;
+    default:
+        break;
+    }
+    if (riscv::is_load(op)) return &Mix::loads;
+    if (riscv::is_store(op)) return &Mix::stores;
+    if (riscv::is_branch(op)) return &Mix::branches;
+    if (op == Opcode::KBFLUSH || op == Opcode::SRFMV ||
+        op == Opcode::SRFCLR || op == Opcode::FENCE ||
+        op == Opcode::EBREAK)
+        return &Mix::other;
+    return &Mix::alu;
+}
+
 } // namespace
 
 Machine::Machine(const riscv::Program& program, MachineConfig cfg)
@@ -48,6 +87,18 @@ Machine::Machine(const riscv::Program& program, MachineConfig cfg)
       keybuffer_{cfg.keybuffer_entries}
 {
     const auto& lay = program.layout();
+
+    // Predecode: lower the instruction stream into the uop side table
+    // so the per-step format/classify work disappears from the hot
+    // loop (docs/performance.md).
+    text_base_ = lay.text_base;
+    code_bytes_ = program.code().size() * 4;
+    uops_.reserve(program.code().size());
+    for (const riscv::Instruction& in : program.code()) {
+        const Format fmt = riscv::op_format(in.op);
+        uops_.push_back(Uop{in, fmt, reads_rs1(fmt), reads_rs2(fmt),
+                            riscv::is_load(in.op), mix_bucket(in.op)});
+    }
 
     // Process address-space map.
     const u64 text_size =
@@ -75,11 +126,12 @@ Machine::Machine(const riscv::Program& program, MachineConfig cfg)
     }
 
     // Load text (encoded, for fidelity) and data.
+    std::vector<u8> text(program.code().size() * 4);
     for (std::size_t i = 0; i < program.code().size(); ++i) {
         const u32 word = riscv::encode(program.code()[i]);
-        mem_.write_bytes(lay.text_base + 4 * i,
-                         std::span{reinterpret_cast<const u8*>(&word), 4});
+        std::memcpy(text.data() + 4 * i, &word, 4);
     }
+    mem_.write_bytes(lay.text_base, text);
     mem_.write_bytes(lay.data_base, program.data());
 
     heap_ = std::make_unique<mem::HeapAllocator>(lay.heap_base, lay.heap_size);
@@ -104,46 +156,6 @@ Machine::Machine(const riscv::Program& program, MachineConfig cfg)
     csrs_.write(hwst::kCsrLockSize, lay.lock_entries);
     csrs_.write(hwst::kCsrStatus,
                 hwst::kStatusSpatialEnable | hwst::kStatusTemporalEnable);
-}
-
-void Machine::classify(Opcode op)
-{
-    switch (op) {
-    case Opcode::CLB: case Opcode::CLH: case Opcode::CLW: case Opcode::CLD:
-    case Opcode::CLBU: case Opcode::CLHU: case Opcode::CLWU:
-        ++mix_.checked_loads;
-        return;
-    case Opcode::CSB: case Opcode::CSH: case Opcode::CSW: case Opcode::CSD:
-        ++mix_.checked_stores;
-        return;
-    case Opcode::SBDL: case Opcode::SBDU: case Opcode::LBDLS:
-    case Opcode::LBDUS: case Opcode::LBAS: case Opcode::LBND:
-    case Opcode::LKEY: case Opcode::LLOC:
-        ++mix_.meta_moves;
-        return;
-    case Opcode::BNDRS: case Opcode::BNDRT:
-        ++mix_.binds;
-        return;
-    case Opcode::TCHK:
-        ++mix_.tchk;
-        return;
-    case Opcode::JAL: case Opcode::JALR:
-        ++mix_.jumps;
-        return;
-    case Opcode::ECALL:
-        ++mix_.ecalls;
-        return;
-    default:
-        break;
-    }
-    if (riscv::is_load(op)) ++mix_.loads;
-    else if (riscv::is_store(op)) ++mix_.stores;
-    else if (riscv::is_branch(op)) ++mix_.branches;
-    else if (op == Opcode::KBFLUSH || op == Opcode::SRFMV ||
-             op == Opcode::SRFCLR || op == Opcode::FENCE ||
-             op == Opcode::EBREAK)
-        ++mix_.other;
-    else ++mix_.alu;
 }
 
 unsigned Machine::dcache_extra(u64 addr)
@@ -224,27 +236,29 @@ Trap Machine::step()
     if (!running_)
         throw SimError{"Machine::step called after the program stopped"};
 
-    const auto& lay = program_.layout();
-    if (pc_ < lay.text_base || (pc_ - lay.text_base) / 4 >= program_.code().size() ||
-        pc_ % 4 != 0) {
+    // Unsigned wrap folds the pc < text_base case into one compare;
+    // pc % 4 is checked against pc itself, as before (text_base is
+    // page-aligned, so off & 3 would be equivalent for our layouts).
+    const u64 off = pc_ - text_base_;
+    if (off >= code_bytes_ || (pc_ & 3) != 0) {
         running_ = false;
         return Trap{TrapKind::AccessFault, pc_, pc_};
     }
-    const Instruction& in = program_.code()[(pc_ - lay.text_base) / 4];
+    const Uop& uop = uops_[off >> 2];
+    const Instruction& in = uop.in;
 
     if (trace_) trace_(pc_, in);
     ++instret_;
     ++cycles_;
     if (cfg_.icache_enabled)
         cycles_ += icache_.access(pc_) - cfg_.icache.hit_cycles;
-    classify(in.op);
+    ++(mix_.*uop.bucket);
 
     // Load-use hazard: the instruction right after a load stalls one
     // cycle if it consumes the loaded register.
     if (last_load_rd_ != Reg::zero) {
-        const Format f = riscv::op_format(in.op);
-        if ((reads_rs1(f) && in.rs1 == last_load_rd_) ||
-            (reads_rs2(f) && in.rs2 == last_load_rd_)) {
+        if ((uop.reads_rs1 && in.rs1 == last_load_rd_) ||
+            (uop.reads_rs2 && in.rs2 == last_load_rd_)) {
             cycles_ += cfg_.timing.load_use_stall;
         }
     }
@@ -262,8 +276,8 @@ Trap Machine::step()
         running_ = false;
         return trap;
     }
-    if (riscv::is_load(in.op)) last_load_rd_ = in.rd;
-    srf_effects(in);
+    if (uop.is_load) last_load_rd_ = in.rd;
+    srf_effects(in, uop.fmt);
     pc_ = next_pc;
     return Trap{};
 }
@@ -685,7 +699,7 @@ Trap Machine::exec_hwst(const Instruction& in)
     return Trap{};
 }
 
-void Machine::srf_effects(const Instruction& in)
+void Machine::srf_effects(const Instruction& in, Format fmt)
 {
     // In-pipeline metadata propagation (paper Fig. 1-b): Hardbound-style
     // rules — a register move or pointer arithmetic carries the source's
@@ -721,9 +735,9 @@ void Machine::srf_effects(const Instruction& in)
     default:
         // Any other writer invalidates the destination's metadata.
         if (in.rd != Reg::zero) {
-            const Format f = riscv::op_format(in.op);
-            if (f != Format::S && f != Format::B && in.op != Opcode::ECALL &&
-                in.op != Opcode::EBREAK && in.op != Opcode::FENCE) {
+            if (fmt != Format::S && fmt != Format::B &&
+                in.op != Opcode::ECALL && in.op != Opcode::EBREAK &&
+                in.op != Opcode::FENCE) {
                 srf_.clear(in.rd);
             }
         }
@@ -915,11 +929,16 @@ std::optional<RunResult> Machine::run_cancellable(
     const std::function<bool()>& cancel, u64 stride)
 {
     RunResult result;
-    u64 next_check = instret_ + stride;
+    // Countdown poll: one decrement per step instead of re-deriving the
+    // next poll point from instret_. Poll positions are unchanged
+    // (every `stride` loop iterations), and an uncancelled run is
+    // bit-identical either way.
+    if (stride == 0) stride = 1;
+    u64 countdown = stride;
     while (running_) {
-        if (cancel && instret_ >= next_check) {
+        if (cancel && --countdown == 0) {
             if (cancel()) return std::nullopt;
-            next_check = instret_ + stride;
+            countdown = stride;
         }
         if (instret_ >= cfg_.fuel) {
             result.trap = Trap{TrapKind::FuelExhausted, 0, pc_};

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -137,6 +138,22 @@ enum class Probe : common::u8 {
 
 inline constexpr unsigned kNumProbes = 8;
 
+/// One predecoded instruction (docs/performance.md). Built once at
+/// Machine construction from program.code(), indexed by
+/// (pc - text_base) >> 2: everything step() used to re-derive per
+/// retired instruction — format, operand-read flags, load-ness and the
+/// InstrMix bucket — is looked up instead. Pure acceleration: the facts
+/// are exactly what the riscv:: helpers and the old classify() switch
+/// would compute, which tests/perf_paths_test.cpp asserts.
+struct Uop {
+    riscv::Instruction in;   ///< copy, for locality
+    riscv::Format fmt;       ///< riscv::op_format(in.op)
+    bool reads_rs1;          ///< format reads rs1 (load-use hazard)
+    bool reads_rs2;          ///< format reads rs2 (load-use hazard)
+    bool is_load;            ///< riscv::is_load(in.op)
+    u64 InstrMix::* bucket;  ///< the classify() counter for in.op
+};
+
 constexpr std::string_view probe_name(Probe p)
 {
     switch (p) {
@@ -213,12 +230,15 @@ public:
         return csrs_.compression();
     }
 
+    /// The predecoded instruction stream (read-only; tests assert it
+    /// against per-instruction re-derivation).
+    std::span<const Uop> uops() const { return uops_; }
+
 private:
     hwst::Trap exec(const riscv::Instruction& in, u64& next_pc);
-    void classify(riscv::Opcode op);
     hwst::Trap exec_hwst(const riscv::Instruction& in);
     hwst::Trap exec_ecall();
-    void srf_effects(const riscv::Instruction& in);
+    void srf_effects(const riscv::Instruction& in, riscv::Format fmt);
 
     u64 mem_load(u64 addr, unsigned width, bool sign_extend);
     void mem_store(u64 addr, unsigned width, u64 value);
@@ -245,6 +265,11 @@ private:
 
     const riscv::Program& program_;
     MachineConfig cfg_;
+
+    // Predecoded instruction stream + hoisted bounds (see Uop).
+    std::vector<Uop> uops_;
+    u64 text_base_ = 0;
+    u64 code_bytes_ = 0;
 
     std::array<u64, riscv::kNumRegs> regs_{};
     u64 pc_ = 0;
