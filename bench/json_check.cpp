@@ -28,11 +28,15 @@ using namespace hwst;
 namespace {
 
 /// Keys that carry host-side timing or provenance, legitimately
-/// different between two runs of the same campaign.
+/// different between two runs of the same campaign. "dbt"/"dbt_enabled"
+/// are the superblock tier's host-side counters: fig5/perf envelopes
+/// from DBT-on and DBT-off runs must compare equal once they are
+/// stripped (the tier may change host speed, never simulated numbers).
 bool is_host_key(std::string_view key)
 {
     return key == "wall_ms" || key == "run_ms" || key == "mips" ||
-           key == "geo_mean_mips" || key == "git_rev" || key == "jobs";
+           key == "geo_mean_mips" || key == "git_rev" || key == "jobs" ||
+           key == "dbt" || key == "dbt_enabled";
 }
 
 /// Deep copy with every host-side key removed, at any nesting depth.
@@ -100,7 +104,20 @@ void check_interp_speed(const exec::json::Value& v)
                 throw exec::json::JsonError{
                     std::string{"row: missing number key: "} + key};
         }
+        const auto* dbt = row.find("dbt");
+        if (!dbt || !dbt->is_object())
+            throw exec::json::JsonError{"row: missing object key: dbt"};
+        for (const char* key : {"blocks", "block_execs", "chained",
+                                "flushes", "fallback_runs"}) {
+            const auto* n = dbt->find(key);
+            if (!n || !n->is_int())
+                throw exec::json::JsonError{
+                    std::string{"row.dbt: missing int key: "} + key};
+        }
     }
+    const auto* enabled = v.find("dbt_enabled");
+    if (!enabled || enabled->kind() != exec::json::Value::Kind::Bool)
+        throw exec::json::JsonError{"missing bool key: dbt_enabled"};
 }
 
 void check_journal(const char* path)

@@ -43,6 +43,7 @@ namespace {
 /// synchronisation is needed beyond the engine's own join).
 struct PerfCell {
     double run_ms = 0.0; ///< wall time inside run_machine only
+    sim::DbtStats dbt;   ///< superblock-tier counters (host-side only)
 };
 
 Scheme scheme_from_name(const std::string& name)
@@ -69,11 +70,14 @@ int main(int argc, char** argv)
     exec::GridOptions grid;
     std::vector<Scheme> schemes = {Scheme::None, Scheme::Hwst128Tchk};
     std::string git_rev = HWST_GIT_REV;
+    bool use_dbt = true;
     try {
         for (int i = 1; i < argc; ++i) {
             if (exec::parse_grid_flag(grid, argc, argv, i)) continue;
             const std::string a = argv[i];
-            if (a == "--schemes") {
+            if (a == "--no-dbt") {
+                use_dbt = false;
+            } else if (a == "--schemes") {
                 if (i + 1 >= argc)
                     throw common::ToolchainError{"--schemes needs a list"};
                 schemes.clear();
@@ -94,6 +98,10 @@ int main(int argc, char** argv)
                   << exec::kGridFlagsHelp
                   << "  --schemes a,b,c  scheme list (default "
                      "none,hwst128_tchk)\n"
+                     "  --no-dbt         force the interpreter tier "
+                     "(simulated results identical;\n"
+                     "                   the HWST_DBT env var overrides "
+                     "both this flag and the default)\n"
                      "  --rev STR        record STR as the git revision\n";
         return 2;
     }
@@ -114,14 +122,17 @@ int main(int argc, char** argv)
             job.scheme = compiler::scheme_name(s);
             // No journal key: a replayed job would have no host timing,
             // so perf runs never resume from a checkpoint.
-            job.body = [w, s, idx, &cells](const exec::JobContext& ctx) {
+            job.body = [w, s, idx, use_dbt,
+                        &cells](const exec::JobContext& ctx) {
                 const mir::Module module = w->build();
                 compiler::CompiledProgram cp =
                     compiler::compile(module, s);
+                cp.machine_config.dbt = use_dbt;
                 sim::Machine machine{cp.program, cp.machine_config};
                 const exec::Stopwatch stopwatch;
                 sim::RunResult r = exec::run_machine(machine, ctx.token);
                 cells[idx].run_ms = stopwatch.elapsed_ms();
+                cells[idx].dbt = machine.dbt_stats();
                 return r;
             };
             jobs.push_back(std::move(job));
@@ -175,6 +186,15 @@ int main(int argc, char** argv)
             row["cycles"] = o.result.cycles;
             row["run_ms"] = run_ms;
             row["mips"] = mips;
+            // Host-side tier counters; json_check --equiv strips them
+            // along with the other wall-clock fields.
+            exec::json::Value dbt = exec::json::Value::object();
+            dbt["blocks"] = cells[idx].dbt.blocks;
+            dbt["block_execs"] = cells[idx].dbt.block_execs;
+            dbt["chained"] = cells[idx].dbt.chained;
+            dbt["flushes"] = cells[idx].dbt.flushes;
+            dbt["fallback_runs"] = cells[idx].dbt.fallback_runs;
+            row["dbt"] = dbt;
             rows.push_back(row);
         }
     }
@@ -198,6 +218,7 @@ int main(int argc, char** argv)
         for (const Scheme s : schemes)
             snames.push_back(compiler::scheme_name(s));
         payload["schemes"] = snames;
+        payload["dbt_enabled"] = use_dbt;
         payload["rows"] = rows;
         payload["geo_mean_mips"] = geo;
         payload["summary"] = exec::summary_json(jobs, outcomes);

@@ -50,6 +50,7 @@ public:
     /// Write a HWST CSR; returns false if the address is not ours.
     bool write(u32 addr, u64 value)
     {
+        ++version_;
         switch (addr) {
         case kCsrSmOffset: sm_offset_ = value; return true;
         case kCsrBitw: bitw_ = static_cast<u32>(value) & 0xFFFFFF; return true;
@@ -61,6 +62,12 @@ public:
         default: return false;
         }
     }
+
+    /// Bumped on every write (any address, even rejected ones — over-
+    /// invalidation is safe). Lets the Machine memoize values derived
+    /// from CSR state (the decoded compression config) and recompute
+    /// only when the file may have changed.
+    u64 version() const { return version_; }
 
     u64 sm_offset() const { return sm_offset_; }
     bool spatial_enabled() const { return status_ & kStatusSpatialEnable; }
@@ -75,6 +82,7 @@ public:
 
     void record_violation(u64 cause, u64 addr)
     {
+        ++version_;
         violation_ = cause;
         vaddr_ = addr;
     }
@@ -87,6 +95,7 @@ private:
     u64 status_ = 0;
     u64 violation_ = 0;
     u64 vaddr_ = 0;
+    u64 version_ = 0;
 };
 
 } // namespace hwst::hwst

@@ -9,6 +9,9 @@ Cache::Cache(const CacheConfig& cfg) : cfg_{cfg}
         throw common::ConfigError{"Cache: line/sets must be powers of two, "
                                   "ways nonzero"};
     }
+    line_shift_ = common::clog2(cfg_.line_bytes);
+    set_shift_ = common::clog2(cfg_.sets);
+    set_mask_ = cfg_.sets - 1;
     lines_.resize(static_cast<std::size_t>(cfg_.sets) * cfg_.ways);
 }
 
@@ -26,8 +29,10 @@ unsigned Cache::access_slow(u64 addr)
         if (line.valid && line.tag == tag) {
             line.lru = tick_;
             last_miss_ = false;
+            last2_line_ = last_line_;
+            last2_line_addr_ = last_line_addr_;
             last_line_ = &line;
-            last_line_addr_ = addr / cfg_.line_bytes;
+            last_line_addr_ = addr >> line_shift_;
             return cfg_.hit_cycles;
         }
         if (!line.valid) {
@@ -42,8 +47,14 @@ unsigned Cache::access_slow(u64 addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lru = tick_;
+    last2_line_ = last_line_;
+    last2_line_addr_ = last_line_addr_;
     last_line_ = victim;
-    last_line_addr_ = addr / cfg_.line_bytes;
+    last_line_addr_ = addr >> line_shift_;
+    // The evicted line may be the one the second fast-path entry points
+    // at (with 1 way it can even be the previous MRU just shifted in);
+    // its tag changed, so the cached mapping would be a false hit.
+    if (last2_line_ == victim) last2_line_ = nullptr;
     return cfg_.hit_cycles + cfg_.miss_penalty;
 }
 
@@ -62,6 +73,7 @@ void Cache::flush()
 {
     for (Line& line : lines_) line = Line{};
     last_line_ = nullptr;
+    last2_line_ = nullptr;
 }
 
 } // namespace hwst::mem

@@ -13,6 +13,7 @@ void Memory::map_region(std::string name, u64 base, u64 size)
     // The region set changed: cached full-page validity claims may be
     // stale relative to the new layout. Refill on demand.
     tlb_invalidate();
+    if (invalidation_hook_) invalidation_hook_();
 }
 
 bool Memory::is_mapped(u64 addr, unsigned width) const
@@ -55,8 +56,19 @@ void Memory::tlb_fill(u64 addr) const
 {
     const u64 page_base = addr & ~(kPageSize - 1);
     if (!page_fully_mapped(page_base)) return;
-    tlb_[tlb_slot(addr)] =
-        TlbEntry{page_base, page_for(page_base, false)};
+    TlbSet& s = tlb_[tlb_slot(addr)];
+    u8* host = page_for(page_base, false);
+    // Refresh an existing way in place (a straddling access may have
+    // taken the slow path for a page that is already cached; minting a
+    // duplicate entry would let the two copies disagree about `host`).
+    for (TlbEntry& w : s.way) {
+        if (w.page_base == page_base) {
+            w.host = host;
+            return;
+        }
+    }
+    s.way[s.victim] = TlbEntry{page_base, host};
+    s.victim ^= 1;
 }
 
 u8* Memory::page_for(u64 addr, bool create) const
@@ -70,13 +82,20 @@ u8* Memory::page_for(u64 addr, bool create) const
     pages_.emplace(key, std::move(page));
     // First touch: a cached entry for this page (if any) still claims
     // host == null; drop it so the next access picks up the backing
-    // store.
-    tlb_[tlb_slot(addr)] = TlbEntry{};
+    // store. Only the matching way — its set neighbour is a different
+    // page and stays valid.
+    const u64 page_base = addr & ~(kPageSize - 1);
+    for (TlbEntry& w : tlb_[tlb_slot(addr)].way) {
+        if (w.page_base == page_base) w = TlbEntry{};
+    }
     return raw;
 }
 
 u64 Memory::load_slow(u64 addr, unsigned width, bool do_sign_extend) const
 {
+    // A single-page access reaching the slow path is a translation-cache
+    // miss (straddles are never cacheable and count as neither).
+    if ((addr & (kPageSize - 1)) + width <= kPageSize) ++tlb_stats_.misses;
     check_mapped(addr, width, Access::Read);
     u64 value = 0;
     for (unsigned i = 0; i < width; ++i) {
@@ -93,6 +112,7 @@ u64 Memory::load_slow(u64 addr, unsigned width, bool do_sign_extend) const
 
 void Memory::store_slow(u64 addr, unsigned width, u64 value)
 {
+    if ((addr & (kPageSize - 1)) + width <= kPageSize) ++tlb_stats_.misses;
     check_mapped(addr, width, Access::Write);
     for (unsigned i = 0; i < width; ++i) {
         const u64 a = addr + i;

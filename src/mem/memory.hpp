@@ -8,20 +8,25 @@
 // while missing in-bounds-of-some-region corruption, exactly like a
 // processor with an MMU.
 //
-// Hot path (docs/performance.md): a small direct-mapped translation
-// cache short-circuits both the region scan and the page-table hash for
-// accesses that stay on recently touched pages. An entry asserts that
-// its whole page lies inside one mapped region, so any access contained
-// in the page needs no further validity check; `host` is the page's
-// backing store (null until the page materialises — loads of untouched
-// pages observe zero). The cache is a pure accelerator: it is
-// invalidated on map_region and on page creation, and every miss falls
-// back to the original region-scan + hash path, so behaviour is
-// bit-identical with the cache disabled.
+// Hot path (docs/performance.md): a small 2-way set-associative
+// translation cache short-circuits both the region scan and the
+// page-table hash for accesses that stay on recently touched pages. An
+// entry asserts that its whole page lies inside one mapped region, so
+// any access contained in the page needs no further validity check;
+// `host` is the page's backing store (null until the page materialises
+// — loads of untouched pages observe zero). Two ways with a per-set
+// round-robin victim bit fix the pathological aliasing a direct-mapped
+// cache has when text and shadow pages collide on the same index (the
+// shadow of a page is 4 pages away linearly, but distinct *spaces* sit
+// 2^38 apart and landed on identical slots). The cache is a pure
+// accelerator: it is invalidated on map_region and on page creation,
+// and every miss falls back to the original region-scan + hash path,
+// so behaviour is bit-identical with the cache disabled.
 #pragma once
 
 #include <array>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -65,10 +70,17 @@ public:
     {
         const u64 off = addr & (kPageSize - 1);
         if (off + width <= kPageSize) {
-            const TlbEntry& e = tlb_[tlb_slot(addr)];
-            if (e.page_base == (addr & ~(kPageSize - 1))) {
+            const u64 page_base = addr & ~(kPageSize - 1);
+            const TlbSet& s = tlb_[tlb_slot(addr)];
+            const TlbEntry* e = s.way[0].page_base == page_base
+                                    ? &s.way[0]
+                                    : s.way[1].page_base == page_base
+                                          ? &s.way[1]
+                                          : nullptr;
+            if (e) {
+                ++tlb_stats_.hits;
                 u64 value = 0;
-                if (e.host) std::memcpy(&value, e.host + off, width);
+                if (e->host) std::memcpy(&value, e->host + off, width);
                 return sign_extend
                            ? static_cast<u64>(
                                  common::sign_extend(value, 8 * width))
@@ -82,9 +94,16 @@ public:
     {
         const u64 off = addr & (kPageSize - 1);
         if (off + width <= kPageSize) {
-            const TlbEntry& e = tlb_[tlb_slot(addr)];
-            if (e.page_base == (addr & ~(kPageSize - 1)) && e.host) {
-                std::memcpy(e.host + off, &value, width);
+            const u64 page_base = addr & ~(kPageSize - 1);
+            const TlbSet& s = tlb_[tlb_slot(addr)];
+            const TlbEntry* e = s.way[0].page_base == page_base
+                                    ? &s.way[0]
+                                    : s.way[1].page_base == page_base
+                                          ? &s.way[1]
+                                          : nullptr;
+            if (e && e->host) {
+                ++tlb_stats_.hits;
+                std::memcpy(e->host + off, &value, width);
                 return;
             }
         }
@@ -118,15 +137,39 @@ public:
     }
 
     // ---- translation-cache introspection (tests, diagnostics) --------
-    /// Entries in the direct-mapped translation cache.
+    /// Sets in the translation cache (kTlbWays entries each).
     static constexpr unsigned kTlbEntries = 64;
+    static constexpr unsigned kTlbWays = 2;
     /// Translation-cache hit for addr's page without touching state?
     bool tlb_holds(u64 addr) const
     {
-        return tlb_[tlb_slot(addr)].page_base == (addr & ~(kPageSize - 1));
+        const u64 page_base = addr & ~(kPageSize - 1);
+        const TlbSet& s = tlb_[tlb_slot(addr)];
+        return s.way[0].page_base == page_base ||
+               s.way[1].page_base == page_base;
     }
     /// Drop every translation-cache entry (misses refill on demand).
-    void tlb_invalidate() const { tlb_.fill(TlbEntry{}); }
+    /// Victim bits reset too: invalidation restarts the round-robin.
+    void tlb_invalidate() const { tlb_.fill(TlbSet{}); }
+
+    /// Fast-path hits vs. slow-path fills for single-page accesses
+    /// (multi-page straddles always bypass the cache and count as
+    /// neither). Host-side observability only — never fed back into
+    /// simulated state.
+    struct TlbStats {
+        u64 hits = 0;
+        u64 misses = 0;
+    };
+    const TlbStats& tlb_stats() const { return tlb_stats_; }
+
+    /// Invoked after every map_region (the region set changed, so any
+    /// derived structure — e.g. the Machine's superblock cache — must
+    /// revalidate). The translation cache itself is already dropped
+    /// before the hook runs.
+    void set_invalidation_hook(std::function<void()> hook)
+    {
+        invalidation_hook_ = std::move(hook);
+    }
 
 private:
     struct Region {
@@ -143,6 +186,13 @@ private:
     struct TlbEntry {
         u64 page_base = ~u64{0};
         u8* host = nullptr;
+    };
+
+    /// One set: kTlbWays entries plus the round-robin victim bit
+    /// (alternates on every fill that did not refresh an existing way).
+    struct TlbSet {
+        TlbEntry way[kTlbWays]{};
+        u8 victim = 0;
     };
 
     static constexpr unsigned tlb_slot(u64 addr)
@@ -171,7 +221,9 @@ private:
     std::vector<Region> regions_;
     mutable std::size_t last_region_ = 0;
     // mutable: loads warm the translation cache too.
-    mutable std::array<TlbEntry, kTlbEntries> tlb_{};
+    mutable std::array<TlbSet, kTlbEntries> tlb_{};
+    mutable TlbStats tlb_stats_{};
+    std::function<void()> invalidation_hook_;
 };
 
 } // namespace hwst::mem

@@ -67,75 +67,10 @@ bool representable(const Metadata& md, const CompressionConfig& cfg)
     return c.lo != saturated_spatial(cfg) && c.hi != saturated_temporal(cfg);
 }
 
-u64 saturated_spatial(const CompressionConfig& cfg)
-{
-    return mask64(cfg.base_bits + cfg.range_bits);
-}
-
-u64 saturated_temporal(const CompressionConfig& cfg)
-{
-    return mask64(cfg.key_bits() + cfg.lock_bits);
-}
-
-bool is_saturated_spatial(u64 lo, const CompressionConfig& cfg)
-{
-    return lo == saturated_spatial(cfg);
-}
-
-bool is_saturated_temporal(u64 hi, const CompressionConfig& cfg)
-{
-    return hi == saturated_temporal(cfg);
-}
-
-u64 compress_spatial(u64 base, u64 bound, const CompressionConfig& cfg)
-{
-    const u64 base_g = base >> 3;
-    const u64 range = bound >= base ? bound - base : 0; // Eq. 2
-    // align_up would wrap past 2^64 for a range in the last 7 bytes of
-    // the address space; that is an overflow like any other.
-    if (base_g > mask64(cfg.base_bits) || range > ~u64{0} - 7 ||
-        (align_up(range, 8) >> 3) > mask64(cfg.range_bits)) {
-        return saturated_spatial(cfg);
-    }
-    return base_g | ((align_up(range, 8) >> 3) << cfg.base_bits);
-}
-
-u64 compress_temporal(u64 key, u64 lock, const CompressionConfig& cfg)
-{
-    const unsigned kb = cfg.key_bits();
-    if (key > mask64(kb)) return saturated_temporal(cfg);
-    // lock 0 = "no temporal metadata" (index 0); any other lock below
-    // the region base is garbage and must not silently drop to index 0.
-    if (lock == 0) return key;
-    if (lock < cfg.lock_base) return saturated_temporal(cfg);
-    const u64 lock_index = (lock - cfg.lock_base) >> 3;
-    if (lock_index > mask64(cfg.lock_bits)) return saturated_temporal(cfg);
-    return key | (lock_index << kb);
-}
-
 Compressed compress(const Metadata& md, const CompressionConfig& cfg)
 {
     return Compressed{compress_spatial(md.base, md.bound, cfg),
                       compress_temporal(md.key, md.lock, cfg)};
-}
-
-void decompress_spatial(u64 lo, const CompressionConfig& cfg, u64& base,
-                        u64& bound)
-{
-    base = bits(lo, 0, cfg.base_bits) << 3;
-    const u64 range = bits(lo, cfg.base_bits, cfg.range_bits) << 3;
-    bound = base + range;
-}
-
-void decompress_temporal(u64 hi, const CompressionConfig& cfg, u64& key,
-                         u64& lock)
-{
-    const unsigned kb = cfg.key_bits();
-    key = bits(hi, 0, kb);
-    // Lock index 0 is reserved ("no temporal metadata"): DECOMP emits a
-    // null lock so software sequences can test it with a single beqz.
-    const u64 index = bits(hi, kb, cfg.lock_bits);
-    lock = index == 0 ? 0 : cfg.lock_base + (index << 3);
 }
 
 Metadata decompress(const Compressed& c, const CompressionConfig& cfg)

@@ -85,24 +85,83 @@ bool representable(const Metadata& md, const CompressionConfig& cfg);
 /// every check, so overflow degrades to a conservative trap on first
 /// use. The all-ones pattern is reserved: representable() rejects
 /// metadata that would legitimately encode to it.
-u64 saturated_spatial(const CompressionConfig& cfg);
-u64 saturated_temporal(const CompressionConfig& cfg);
-bool is_saturated_spatial(u64 lo, const CompressionConfig& cfg);
-bool is_saturated_temporal(u64 hi, const CompressionConfig& cfg);
+/// (Defined inline: these sit on the per-checked-access hot path of the
+/// simulator — SCU/TCU checks run them once per instrumented memory op.)
+inline u64 saturated_spatial(const CompressionConfig& cfg)
+{
+    return common::mask64(cfg.base_bits + cfg.range_bits);
+}
+
+inline u64 saturated_temporal(const CompressionConfig& cfg)
+{
+    return common::mask64(cfg.key_bits() + cfg.lock_bits);
+}
+
+inline bool is_saturated_spatial(u64 lo, const CompressionConfig& cfg)
+{
+    return lo == saturated_spatial(cfg);
+}
+
+inline bool is_saturated_temporal(u64 hi, const CompressionConfig& cfg)
+{
+    return hi == saturated_temporal(cfg);
+}
 
 /// COMP unit: compress. Out-of-width fields saturate (see above);
-/// callers use representable() to predict that.
-u64 compress_spatial(u64 base, u64 bound, const CompressionConfig& cfg);
-u64 compress_temporal(u64 key, u64 lock, const CompressionConfig& cfg);
+/// callers use representable() to predict that. Inline for the same
+/// reason as the saturation helpers: BNDRS/BNDRT run once per
+/// instrumented pointer creation.
+inline u64 compress_spatial(u64 base, u64 bound, const CompressionConfig& cfg)
+{
+    const u64 base_g = base >> 3;
+    const u64 range = bound >= base ? bound - base : 0; // Eq. 2
+    // align_up would wrap past 2^64 for a range in the last 7 bytes of
+    // the address space; that is an overflow like any other.
+    if (base_g > common::mask64(cfg.base_bits) || range > ~u64{0} - 7 ||
+        (common::align_up(range, 8) >> 3) > common::mask64(cfg.range_bits)) {
+        return saturated_spatial(cfg);
+    }
+    return base_g | ((common::align_up(range, 8) >> 3) << cfg.base_bits);
+}
+
+inline u64 compress_temporal(u64 key, u64 lock, const CompressionConfig& cfg)
+{
+    const unsigned kb = cfg.key_bits();
+    if (key > common::mask64(kb)) return saturated_temporal(cfg);
+    // lock 0 = "no temporal metadata" (index 0); any other lock below
+    // the region base is garbage and must not silently drop to index 0.
+    if (lock == 0) return key;
+    if (lock < cfg.lock_base) return saturated_temporal(cfg);
+    const u64 lock_index = (lock - cfg.lock_base) >> 3;
+    if (lock_index > common::mask64(cfg.lock_bits))
+        return saturated_temporal(cfg);
+    return key | (lock_index << kb);
+}
+
 Compressed compress(const Metadata& md, const CompressionConfig& cfg);
 
 /// DECOMP unit: decompress. The spatial half reconstructs base and
 /// bound = base + range (8-byte granules); the temporal half
 /// reconstructs key and lock = lock_base + 8*index.
 Metadata decompress(const Compressed& c, const CompressionConfig& cfg);
-void decompress_spatial(u64 lo, const CompressionConfig& cfg, u64& base,
-                        u64& bound);
-void decompress_temporal(u64 hi, const CompressionConfig& cfg, u64& key,
-                         u64& lock);
+
+inline void decompress_spatial(u64 lo, const CompressionConfig& cfg,
+                               u64& base, u64& bound)
+{
+    base = common::bits(lo, 0, cfg.base_bits) << 3;
+    const u64 range = common::bits(lo, cfg.base_bits, cfg.range_bits) << 3;
+    bound = base + range;
+}
+
+inline void decompress_temporal(u64 hi, const CompressionConfig& cfg,
+                                u64& key, u64& lock)
+{
+    const unsigned kb = cfg.key_bits();
+    key = common::bits(hi, 0, kb);
+    // Lock index 0 is reserved ("no temporal metadata"): DECOMP emits a
+    // null lock so software sequences can test it with a single beqz.
+    const u64 index = common::bits(hi, kb, cfg.lock_bits);
+    lock = index == 0 ? 0 : cfg.lock_base + (index << 3);
+}
 
 } // namespace hwst::metadata

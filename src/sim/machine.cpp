@@ -1,9 +1,11 @@
 #include "sim/machine.hpp"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/error.hpp"
 #include "riscv/encoding.hpp"
+#include "sim/dispatch.hpp"
 #include "sim/syscalls.hpp"
 
 namespace hwst::sim {
@@ -156,6 +158,21 @@ Machine::Machine(const riscv::Program& program, MachineConfig cfg)
     csrs_.write(hwst::kCsrLockSize, lay.lock_entries);
     csrs_.write(hwst::kCsrStatus,
                 hwst::kStatusSpatialEnable | hwst::kStatusTemporalEnable);
+
+    // HWST_DBT overrides the config field ("0" = force interpreter,
+    // anything else = force DBT) so bench presets can pin the tier
+    // without rebuilding.
+    if (const char* e = std::getenv("HWST_DBT")) cfg_.dbt = e[0] != '0';
+
+    // Translated-block invalidation: any remap drops every superblock.
+    // Registered after the address-space map above (sbcache_ does not
+    // exist yet, so those initial map_region calls cost nothing), and
+    // deferred while the dispatcher is on-stack.
+    mem_.set_invalidation_hook([this] {
+        if (!sbcache_) return;
+        if (in_dispatch_) sbcache_->request_flush();
+        else sbcache_->flush(dbt_stats_);
+    });
 }
 
 unsigned Machine::dcache_extra(u64 addr)
@@ -190,6 +207,11 @@ void Machine::mem_store(u64 addr, unsigned width, u64 value)
 
 Machine::ActiveCompression Machine::active_compression()
 {
+    // Memoized against the CSR file's version counter: the decode +
+    // validate work only reruns after a CSR write. A probe hook
+    // bypasses the memo entirely — it must observe (and may perturb)
+    // every single invocation.
+    if (!probe_hook_ && comp_version_ == csrs_.version()) return comp_memo_;
     const u64 bitw = probe(Probe::CompCsrWidths,
                            csrs_.read(hwst::kCsrBitw).value_or(0));
     auto cfg = metadata::CompressionConfig::from_csr(
@@ -200,6 +222,10 @@ Machine::ActiveCompression Machine::active_compression()
         cfg.validate();
     } catch (const common::ConfigError&) {
         valid = false;
+    }
+    if (!probe_hook_) {
+        comp_memo_ = ActiveCompression{cfg, valid};
+        comp_version_ = csrs_.version();
     }
     return ActiveCompression{cfg, valid};
 }
@@ -934,21 +960,37 @@ std::optional<RunResult> Machine::run_cancellable(
     // (every `stride` loop iterations), and an uncancelled run is
     // bit-identical either way.
     if (stride == 0) stride = 1;
-    u64 countdown = stride;
-    while (running_) {
-        if (cancel && --countdown == 0) {
-            if (cancel()) return std::nullopt;
-            countdown = stride;
-        }
-        if (instret_ >= cfg_.fuel) {
-            result.trap = Trap{TrapKind::FuelExhausted, 0, pc_};
-            running_ = false;
-            break;
-        }
-        const Trap trap = step();
-        if (trap.kind != TrapKind::None) {
-            result.trap = trap;
-            break;
+    if (cfg_.dbt && !trace_ && !probe_hook_) {
+        // Superblock tier (sim/dispatch.cpp). Cancellation polls move
+        // to block boundaries — every >= stride retired instructions —
+        // which cannot change simulated results (a poll that does not
+        // fire has no architectural effect).
+        if (!sbcache_) sbcache_ = std::make_unique<SuperblockCache>();
+        in_dispatch_ = true;
+        const bool finished = run_superblocks(
+            *this, cancel ? &cancel : nullptr, stride, result.trap);
+        in_dispatch_ = false;
+        if (!finished) return std::nullopt;
+    } else {
+        // Interpreter tier: per-instruction hooks installed (or DBT
+        // disabled outright).
+        if (cfg_.dbt && running_) ++dbt_stats_.fallback_runs;
+        u64 countdown = stride;
+        while (running_) {
+            if (cancel && --countdown == 0) {
+                if (cancel()) return std::nullopt;
+                countdown = stride;
+            }
+            if (instret_ >= cfg_.fuel) {
+                result.trap = Trap{TrapKind::FuelExhausted, 0, pc_};
+                running_ = false;
+                break;
+            }
+            const Trap trap = step();
+            if (trap.kind != TrapKind::None) {
+                result.trap = trap;
+                break;
+            }
         }
     }
     result.exit_code = exit_code_;

@@ -24,6 +24,7 @@
 #include "metadata/keybuffer.hpp"
 #include "metadata/srf.hpp"
 #include "riscv/program.hpp"
+#include "sim/superblock.hpp"
 
 namespace hwst::sim {
 
@@ -70,6 +71,14 @@ struct MachineConfig {
     /// the key from memory on every check.
     bool keybuffer_enabled = true;
     u64 fuel = 400'000'000; ///< max instructions before FuelExhausted
+    /// Superblock DBT tier (docs/performance.md "Translation tier").
+    /// Host-side acceleration only: simulated results are bit-identical
+    /// with it on or off. Runs automatically fall back to the
+    /// interpreter while a trace or probe hook is installed. The
+    /// HWST_DBT environment variable ("0" = off, anything else = on)
+    /// overrides this field — it is how the dbt-smoke bench preset
+    /// forces both tiers through identical binaries.
+    bool dbt = true;
     TimingConfig timing{};
     RuntimeConfig runtime{};
 };
@@ -137,6 +146,13 @@ enum class Probe : common::u8 {
 };
 
 inline constexpr unsigned kNumProbes = 8;
+
+class Machine;
+
+/// Superblock-tier dispatcher (sim/dispatch.cpp); a friend of Machine
+/// so the executor bodies can touch the interpreter's state directly.
+bool run_superblocks(Machine& m, const std::function<bool()>* cancel,
+                     u64 stride, hwst::Trap& out);
 
 /// One predecoded instruction (docs/performance.md). Built once at
 /// Machine construction from program.code(), indexed by
@@ -234,7 +250,13 @@ public:
     /// against per-instruction re-derivation).
     std::span<const Uop> uops() const { return uops_; }
 
+    /// Host-side counters of the superblock DBT tier (never part of the
+    /// simulated envelope).
+    const DbtStats& dbt_stats() const { return dbt_stats_; }
+
 private:
+    friend bool run_superblocks(Machine&, const std::function<bool()>*,
+                                u64, hwst::Trap&);
     hwst::Trap exec(const riscv::Instruction& in, u64& next_pc);
     hwst::Trap exec_hwst(const riscv::Instruction& in);
     hwst::Trap exec_ecall();
@@ -262,6 +284,16 @@ private:
         bool valid;
     };
     ActiveCompression active_compression();
+
+    // Superblock DBT tier state. The block cache is created lazily on
+    // the first translated run; comp_memo_ caches active_compression()
+    // against the CSR file's version counter (bypassed whenever a probe
+    // hook is installed — the hook must see every invocation).
+    std::unique_ptr<SuperblockCache> sbcache_;
+    DbtStats dbt_stats_;
+    bool in_dispatch_ = false;
+    u64 comp_version_ = ~u64{0};
+    ActiveCompression comp_memo_{};
 
     const riscv::Program& program_;
     MachineConfig cfg_;

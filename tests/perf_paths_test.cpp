@@ -362,7 +362,9 @@ TEST(RunCancellable, CancellationStillFires)
     EXPECT_EQ(polls, 3);
     EXPECT_TRUE(m.running()) << "cancelled machine stays inspectable";
     EXPECT_GT(m.instret(), 0u);
-    EXPECT_LE(m.instret(), 300u);
+    // The superblock tier polls at block boundaries, so each of the 3
+    // poll points can overshoot its stride by at most one block.
+    EXPECT_LE(m.instret(), 300u + 3 * sim::kMaxSuperblockLen);
 }
 
 } // namespace
