@@ -98,6 +98,10 @@ CampaignConfig parse(int argc, char** argv, exec::GridOptions& grid)
     cfg.journal = grid.journal;
     cfg.journal_path = grid.journal_path;
     cfg.resume = grid.resume;
+    cfg.isolate = grid.isolate;
+    cfg.rlimit_mb = grid.rlimit_mb;
+    cfg.rlimit_cpu_s = grid.rlimit_cpu_s;
+    cfg.sentinel = grid.sentinel;
     if (cfg.workloads.empty() || cfg.points.empty() ||
         cfg.seeds_per_point == 0) {
         throw common::ToolchainError{

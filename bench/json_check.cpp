@@ -4,21 +4,25 @@
 // non-zero on the first malformed file. `bench-smoke` runs it after
 // every harness.
 //
-// `json_check --journal FILE...` switches to journal mode: every line
-// of a BENCH_<name>.journal must parse, the header must carry
-// journal_version/bench/grid_hash, and every record must round-trip
-// through outcome_from_record. Unlike --resume (which forgives a torn
-// tail), the validator treats any malformed line as a failure — CI
-// journals come from completed runs and should be whole.
+// `json_check --journal FILE...` switches to journal mode: the header
+// must carry journal_version/bench/grid_hash, and every record should
+// round-trip through outcome_from_record. Mirroring --resume (which
+// forgives a torn tail from a crashed worker), malformed record lines
+// are skipped but *counted*: the report names their line numbers.
+// `--strict-journal` makes any skipped line a failure — for journals
+// from completed runs, which should be whole.
 //
 // `json_check --equiv A B` compares two BENCH envelopes after stripping
 // host-side fields (wall_ms, run_ms, mips, geo_mean_mips, git_rev,
 // jobs): the determinism contract of docs/performance.md says host
 // speed may change between runs and revisions, simulated numbers may
-// not — this is the check that enforces it.
+// not — this is the check that enforces it. The strip itself is
+// exec::strip_host_fields, shared with the engine's DBT divergence
+// sentinel so the two comparators cannot drift apart.
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "exec/journal.hpp"
 #include "exec/report.hpp"
@@ -27,40 +31,10 @@ using namespace hwst;
 
 namespace {
 
-/// Keys that carry host-side timing or provenance, legitimately
-/// different between two runs of the same campaign. "dbt"/"dbt_enabled"
-/// are the superblock tier's host-side counters: fig5/perf envelopes
-/// from DBT-on and DBT-off runs must compare equal once they are
-/// stripped (the tier may change host speed, never simulated numbers).
-bool is_host_key(std::string_view key)
-{
-    return key == "wall_ms" || key == "run_ms" || key == "mips" ||
-           key == "geo_mean_mips" || key == "git_rev" || key == "jobs" ||
-           key == "dbt" || key == "dbt_enabled";
-}
-
-/// Deep copy with every host-side key removed, at any nesting depth.
-exec::json::Value strip_host_fields(const exec::json::Value& v)
-{
-    if (v.is_object()) {
-        exec::json::Value out = exec::json::Value::object();
-        for (const auto& [key, member] : v.members())
-            if (!is_host_key(key)) out[key] = strip_host_fields(member);
-        return out;
-    }
-    if (v.is_array()) {
-        exec::json::Value out = exec::json::Value::array();
-        for (const auto& item : v.items())
-            out.push_back(strip_host_fields(item));
-        return out;
-    }
-    return v;
-}
-
 int check_equiv(const char* a_path, const char* b_path)
 {
-    const auto a = strip_host_fields(exec::read_bench_json(a_path));
-    const auto b = strip_host_fields(exec::read_bench_json(b_path));
+    const auto a = exec::strip_host_fields(exec::read_bench_json(a_path));
+    const auto b = exec::strip_host_fields(exec::read_bench_json(b_path));
     if (a.dump(2) != b.dump(2)) {
         std::cerr << "json_check: " << a_path << " and " << b_path
                   << " differ beyond host-side fields\n";
@@ -120,7 +94,12 @@ void check_interp_speed(const exec::json::Value& v)
         throw exec::json::JsonError{"missing bool key: dbt_enabled"};
 }
 
-void check_journal(const char* path)
+/// Validate one journal. The header is load-bearing (a journal without
+/// one replays nothing) and always fatal when broken; record lines that
+/// fail to parse or round-trip are skipped-and-counted, exactly as a
+/// --resume would skip them. Returns the number of skipped lines so
+/// --strict-journal can turn any of them into a failure.
+std::size_t check_journal(const char* path)
 {
     std::ifstream in{path};
     if (!in)
@@ -128,6 +107,7 @@ void check_journal(const char* path)
     std::string line;
     std::size_t lineno = 0;
     std::size_t records = 0;
+    std::vector<std::size_t> skipped;
     std::string bench;
     while (std::getline(in, line)) {
         ++lineno;
@@ -136,8 +116,11 @@ void check_journal(const char* path)
         try {
             v = exec::json::Value::parse(line);
         } catch (const exec::json::JsonError& e) {
-            throw exec::json::JsonError{"line " + std::to_string(lineno) +
-                                        ": " + e.what()};
+            if (lineno == 1)
+                throw exec::json::JsonError{"header: " +
+                                            std::string{e.what()}};
+            skipped.push_back(lineno);
+            continue;
         }
         if (lineno == 1) {
             const auto* version = v.find("journal_version");
@@ -159,15 +142,21 @@ void check_journal(const char* path)
         try {
             (void)exec::outcome_from_record(v);
             ++records;
-        } catch (const exec::json::JsonError& e) {
-            throw exec::json::JsonError{"line " + std::to_string(lineno) +
-                                        ": " + e.what()};
+        } catch (const exec::json::JsonError&) {
+            skipped.push_back(lineno);
         }
     }
     if (lineno == 0)
         throw exec::json::JsonError{"empty journal (missing header)"};
     std::cout << path << ": ok (bench=" << bench << ", records=" << records
-              << ")\n";
+              << ", skipped=" << skipped.size();
+    if (!skipped.empty()) {
+        std::cout << " [lines";
+        for (const std::size_t n : skipped) std::cout << ' ' << n;
+        std::cout << ']';
+    }
+    std::cout << ")\n";
+    return skipped.size();
 }
 
 } // namespace
@@ -175,9 +164,15 @@ void check_journal(const char* path)
 int main(int argc, char** argv)
 {
     bool journal_mode = false;
+    bool strict_journal = false;
     int first = 1;
     if (argc > 1 && std::string{argv[1]} == "--journal") {
         journal_mode = true;
+        first = 2;
+    }
+    if (argc > 1 && std::string{argv[1]} == "--strict-journal") {
+        journal_mode = true;
+        strict_journal = true;
         first = 2;
     }
     if (argc > 1 && std::string{argv[1]} == "--equiv") {
@@ -193,15 +188,22 @@ int main(int argc, char** argv)
         }
     }
     if (first >= argc) {
-        std::cerr << "usage: json_check BENCH_<name>.json...\n"
-                     "       json_check --journal BENCH_<name>.journal...\n"
-                     "       json_check --equiv A.json B.json\n";
+        std::cerr
+            << "usage: json_check BENCH_<name>.json...\n"
+               "       json_check --journal BENCH_<name>.journal...\n"
+               "       json_check --strict-journal "
+               "BENCH_<name>.journal...\n"
+               "       json_check --equiv A.json B.json\n"
+               "--journal skips-and-counts malformed record lines (like "
+               "--resume);\n"
+               "--strict-journal fails on any skipped line.\n";
         return 2;
     }
+    bool any_skipped = false;
     for (int i = first; i < argc; ++i) {
         try {
             if (journal_mode) {
-                check_journal(argv[i]);
+                if (check_journal(argv[i]) != 0) any_skipped = true;
                 continue;
             }
             const auto v = exec::read_bench_json(argv[i]);
@@ -224,6 +226,11 @@ int main(int argc, char** argv)
                       << '\n';
             return 1;
         }
+    }
+    if (strict_journal && any_skipped) {
+        std::cerr << "json_check: --strict-journal: journals contain "
+                     "skipped lines\n";
+        return 1;
     }
     return 0;
 }

@@ -93,6 +93,13 @@ int main(int argc, char** argv)
                 throw common::ToolchainError{"unknown flag: " + a};
             }
         }
+        // Host-MIPS cells are written by reference on the worker thread;
+        // a forked worker's timing could never flow back (and isolated
+        // timing would not be comparable anyway).
+        if (grid.isolate || grid.sentinel > 0)
+            throw common::ToolchainError{
+                "perf_mips measures host timing in-process; --isolate / "
+                "--sentinel are not supported here"};
     } catch (const std::exception& e) {
         std::cerr << "perf_mips: " << e.what() << "\nflags:\n"
                   << exec::kGridFlagsHelp
@@ -121,7 +128,10 @@ int main(int argc, char** argv)
             job.workload = w->name;
             job.scheme = compiler::scheme_name(s);
             // No journal key: a replayed job would have no host timing,
-            // so perf runs never resume from a checkpoint.
+            // so perf runs never resume from a checkpoint. Likewise
+            // in-process: the cells[] writes cannot cross a fork (and
+            // HWST_ISOLATE must not silently corrupt the numbers).
+            job.in_process = true;
             job.body = [w, s, idx, use_dbt,
                         &cells](const exec::JobContext& ctx) {
                 const mir::Module module = w->build();

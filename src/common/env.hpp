@@ -1,0 +1,54 @@
+// Shared environment-variable parsing for the HWST_* switches
+// (HWST_DBT, HWST_ISOLATE, HWST_SENTINEL, ...). One parser so every
+// switch accepts the same vocabulary and a typo'd value can never
+// silently flip a mode: the old per-site `e[0] != '0'` treated
+// HWST_DBT=off as *on*.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace hwst::common {
+
+/// Parse a boolean flag value, case-insensitively:
+/// "0"/"false"/"off"/"no" -> false, "1"/"true"/"on"/"yes" -> true,
+/// anything else -> nullopt.
+inline std::optional<bool> parse_bool_flag(std::string_view s)
+{
+    std::string t;
+    t.reserve(s.size());
+    for (const char c : s)
+        t.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (t == "0" || t == "false" || t == "off" || t == "no") return false;
+    if (t == "1" || t == "true" || t == "on" || t == "yes") return true;
+    return std::nullopt;
+}
+
+/// Read `name` as a boolean flag. Unset -> nullopt (caller keeps its
+/// default); set to an unrecognized value -> nullopt plus a
+/// once-per-variable stderr diagnostic.
+inline std::optional<bool> env_flag(const char* name)
+{
+    const char* e = std::getenv(name);
+    if (!e) return std::nullopt;
+    const auto v = parse_bool_flag(e);
+    if (!v) {
+        static std::mutex mutex;
+        static std::set<std::string> warned;
+        const std::lock_guard lock{mutex};
+        if (warned.insert(name).second)
+            std::cerr << "[env] " << name << "='" << e
+                      << "' is not a boolean "
+                         "(0/1/on/off/true/false/yes/no); ignoring\n";
+    }
+    return v;
+}
+
+} // namespace hwst::common

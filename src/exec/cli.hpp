@@ -26,6 +26,10 @@ struct GridOptions {
     std::string journal_path; ///< explicit --journal PATH ("" = default)
     bool resume = false;      ///< replay finished jobs from the journal
     bool keep_going = false;  ///< exit 0 despite failed/quarantined jobs
+    bool isolate = false;     ///< fork one caged worker per job attempt
+    u64 rlimit_mb = 0;        ///< worker RLIMIT_AS cap in MiB (0 = off)
+    u64 rlimit_cpu_s = 0;     ///< worker RLIMIT_CPU cap in s (0 = off)
+    unsigned sentinel = 0;    ///< 1-in-N DBT divergence sentinel (0 = off)
 
     EngineOptions engine() const
     {
@@ -35,6 +39,10 @@ struct GridOptions {
             .progress = progress,
             .retries = retries,
             .backoff = std::chrono::milliseconds{backoff_ms},
+            .isolate = isolate,
+            .rlimit_mb = rlimit_mb,
+            .rlimit_cpu_s = rlimit_cpu_s,
+            .sentinel = sentinel,
         };
     }
 };
@@ -106,6 +114,33 @@ inline bool parse_grid_flag(GridOptions& o, int argc, char** argv, int& i)
         o.keep_going = true;
         return true;
     }
+    if (a == "--isolate") {
+        o.isolate = true;
+        return true;
+    }
+    if (a == "--rlimit-mb") {
+        // Caging a worker only makes sense with workers to cage.
+        o.rlimit_mb = std::stoull(need("--rlimit-mb"));
+        o.isolate = true;
+        return true;
+    }
+    if (a == "--rlimit-cpu-s") {
+        o.rlimit_cpu_s = std::stoull(need("--rlimit-cpu-s"));
+        o.isolate = true;
+        return true;
+    }
+    if (a == "--sentinel") {
+        // Optional rate: bare --sentinel samples 1-in-4 by default.
+        o.sentinel = kDefaultSentinelRate;
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+            o.sentinel =
+                static_cast<unsigned>(std::stoul(argv[++i]));
+            if (o.sentinel == 0)
+                throw common::ToolchainError{"--sentinel rate must be >= 1"};
+        }
+        o.isolate = true;
+        return true;
+    }
     return false;
 }
 
@@ -126,6 +161,20 @@ inline constexpr const char* kGridFlagsHelp =
     "  --resume         replay finished jobs from the journal, run the "
     "rest\n"
     "  --keep-going     exit 0 even when jobs failed or were "
-    "quarantined\n";
+    "quarantined\n"
+    "  --isolate        run each job attempt in a forked worker process;\n"
+    "                   crashes/hangs become quarantinable outcomes\n"
+    "  --rlimit-mb N    cap each worker's address space at N MiB "
+    "(implies\n"
+    "                   --isolate)\n"
+    "  --rlimit-cpu-s N cap each worker's CPU time at N seconds "
+    "(implies\n"
+    "                   --isolate)\n"
+    "  --sentinel [N]   re-run 1-in-N successful jobs (default 4) under "
+    "the\n"
+    "                   pure interpreter and compare; divergence "
+    "degrades\n"
+    "                   the job to the interpreter result (implies "
+    "--isolate)\n";
 
 } // namespace hwst::exec

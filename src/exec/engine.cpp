@@ -5,7 +5,11 @@
 #include <mutex>
 #include <thread>
 
+#include "common/env.hpp"
+#include "common/error.hpp"
 #include "exec/journal.hpp"
+#include "exec/process.hpp"
+#include "exec/supervisor.hpp"
 
 namespace hwst::exec {
 
@@ -22,36 +26,29 @@ unsigned resolve_jobs(unsigned requested)
 
 namespace {
 
-/// One body invocation. `attempt` is 0-based; the context's seed is the
-/// attempt-indexed re-derivation of the job's seed.
-JobOutcome attempt_once(const Job& job, const CancelToken& token,
-                        unsigned attempt, json::Value* aux)
+/// EngineOptions with the environment folded in: HWST_ISOLATE /
+/// HWST_SENTINEL opt whole presets into isolation without touching a
+/// harness command line, and a nonzero sentinel rate implies isolation
+/// (the cross-check needs sibling workers).
+EngineOptions effective_options(const EngineOptions& requested)
 {
-    JobOutcome out;
-    out.attempts = attempt + 1;
-    const JobContext ctx{token, attempt, attempt_seed(job.seed, attempt),
-                         aux};
-    const auto t0 = std::chrono::steady_clock::now();
-    try {
-        out.result = job.body(ctx);
-        out.status = JobStatus::Ok;
-    } catch (const JobTimeout& e) {
-        out.status = JobStatus::Timeout;
-        out.error = e.what();
-    } catch (const std::exception& e) {
-        out.status = JobStatus::Error;
-        out.error = e.what();
-    }
-    out.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-    return out;
+    EngineOptions opts = requested;
+    if (!opts.isolate)
+        opts.isolate = common::env_flag("HWST_ISOLATE").value_or(false);
+    if (opts.sentinel == 0) opts.sentinel = sentinel_from_env();
+    if (opts.sentinel > 0) opts.isolate = true;
+    if (opts.isolate && !isolation_supported())
+        throw common::ToolchainError{
+            "process isolation (--isolate/--sentinel) requires a POSIX "
+            "host"};
+    return opts;
 }
 
 } // namespace
 
 std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
 {
+    const EngineOptions opts = effective_options(opts_);
     std::vector<JobOutcome> outcomes(jobs.size());
     for (auto& o : outcomes) {
         // Overwritten by replay or execution; anything left over was
@@ -62,10 +59,10 @@ std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
     }
     if (jobs.empty()) return outcomes;
 
-    const auto stop_requested = [this] {
+    const auto stop_requested = [&opts] {
         return shutdown_requested() ||
-               (opts_.stop &&
-                opts_.stop->load(std::memory_order_relaxed));
+               (opts.stop &&
+                opts.stop->load(std::memory_order_relaxed));
     };
 
     // Replay prepass: jobs already in the checkpoint journal never hit
@@ -75,8 +72,8 @@ std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
     pending.reserve(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const JobOutcome* rec =
-            opts_.journal && !jobs[i].key.empty()
-                ? opts_.journal->find(jobs[i].key)
+            opts.journal && !jobs[i].key.empty()
+                ? opts.journal->find(jobs[i].key)
                 : nullptr;
         if (rec) {
             outcomes[i] = *rec;
@@ -87,20 +84,44 @@ std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
     }
 
     const unsigned workers = std::max<std::size_t>(
-        1, std::min<std::size_t>(resolve_jobs(opts_.jobs),
+        1, std::min<std::size_t>(resolve_jobs(opts.jobs),
                                  pending.size()));
 
     const auto token_for = [&]() {
         std::optional<std::chrono::steady_clock::time_point> deadline;
-        if (opts_.timeout.count() > 0)
-            deadline = std::chrono::steady_clock::now() + opts_.timeout;
-        return CancelToken{deadline, opts_.stop};
+        if (opts.timeout.count() > 0)
+            deadline = std::chrono::steady_clock::now() + opts.timeout;
+        return CancelToken{deadline, opts.stop};
+    };
+
+    const SuperviseOptions supervise{
+        .timeout = opts.timeout,
+        .grace = opts.grace,
+        .heartbeat = opts.heartbeat,
+        .rlimit_mb = opts.rlimit_mb,
+        .rlimit_cpu_s = opts.rlimit_cpu_s,
+        .stop = opts.stop,
+    };
+
+    // One attempt, routed by mode: in-process on this thread, or in a
+    // forked worker whose death is contained and classified — plus the
+    // sentinel cross-check on sampled successful jobs.
+    const auto run_attempt = [&](const Job& job, unsigned attempt) {
+        if (opts.isolate && !job.in_process) {
+            JobOutcome out = attempt_isolated(job, attempt, supervise);
+            if (opts.sentinel > 0 && out.status == JobStatus::Ok &&
+                sentinel_sampled(job, opts.sentinel))
+                out = sentinel_check(job, attempt, supervise,
+                                     std::move(out));
+            return out;
+        }
+        return attempt_in_process(job, token_for(), attempt);
     };
 
     // Interruptible exponential backoff before retry `attempt + 1`.
     const auto backoff_wait = [&](unsigned attempt) {
         auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-            opts_.backoff * (1LL << std::min(attempt, 8u)));
+            opts.backoff * (1LL << std::min(attempt, 8u)));
         if (remaining > std::chrono::milliseconds{30'000})
             remaining = std::chrono::milliseconds{30'000};
         while (remaining.count() > 0 && !stop_requested()) {
@@ -113,11 +134,9 @@ std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
 
     const auto run_job = [&](const Job& job) {
         JobOutcome out;
-        const unsigned max_attempts = opts_.retries + 1;
+        const unsigned max_attempts = opts.retries + 1;
         for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
-            json::Value aux;
-            out = attempt_once(job, token_for(), attempt, &aux);
-            out.aux = std::move(aux);
+            out = run_attempt(job, attempt);
             if (out.status == JobStatus::Ok) break;
             if (stop_requested()) {
                 // The "timeout" was the shutdown flag, not a verdict:
@@ -129,15 +148,16 @@ std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
             }
             if (attempt + 1 < max_attempts) {
                 backoff_wait(attempt);
-            } else if (opts_.retries > 0) {
+            } else if (opts.retries > 0) {
                 // Exhausted the retry budget: quarantine, so the
                 // harness excludes it from aggregates instead of
-                // aborting the whole campaign.
+                // aborting the whole campaign. Crash forensics (and
+                // the worker's last error) ride along into the record.
                 out.status = JobStatus::Quarantined;
             }
         }
-        if (opts_.journal && !job.key.empty())
-            opts_.journal->record(job.key, out);
+        if (opts.journal && !job.key.empty())
+            opts.journal->record(job.key, out);
         return out;
     };
 
@@ -146,7 +166,7 @@ std::vector<JobOutcome> Engine::run(std::span<const Job> jobs) const
     std::mutex progress_mutex;
 
     const auto report = [&](const Job& job, const JobOutcome& out) {
-        if (!opts_.progress) return;
+        if (!opts.progress) return;
         const std::size_t n = done.fetch_add(1) + 1;
         std::lock_guard lock{progress_mutex};
         std::cerr << "\r[" << n << "/" << jobs.size() << "] " << job.name

@@ -50,7 +50,32 @@ struct EngineOptions {
     /// Optional extra stop flag merged with the process-wide shutdown
     /// flag (tests cancel mid-grid in-process through this).
     const std::atomic<bool>* stop = nullptr;
+    /// Process-isolation mode (--isolate / HWST_ISOLATE): run each job
+    /// attempt in a forked, rlimit-caged worker subprocess. A worker
+    /// SIGSEGV, runaway allocation or hang becomes a Crashed/Timeout
+    /// outcome with forensics instead of killing the campaign
+    /// (docs/execution.md, "Process isolation & failure taxonomy").
+    bool isolate = false;
+    /// Worker RLIMIT_AS cap in MiB (0 = unlimited; isolate mode only).
+    u64 rlimit_mb = 0;
+    /// Worker RLIMIT_CPU cap in seconds (0 = unlimited).
+    u64 rlimit_cpu_s = 0;
+    /// SIGTERM -> SIGKILL escalation window for hard kills.
+    std::chrono::milliseconds grace{500};
+    /// Worker heartbeat period; the watchdog kills a worker after 8
+    /// missed beats. 0 disables the watchdog.
+    std::chrono::milliseconds heartbeat{250};
+    /// DBT divergence sentinel (--sentinel / HWST_SENTINEL): re-run
+    /// 1-in-N successful jobs under the pure interpreter in a sibling
+    /// worker and compare via the host-field-stripping comparator;
+    /// divergent jobs degrade to the interpreter result with a
+    /// journaled report. 0 = off. Nonzero implies isolate.
+    unsigned sentinel = 0;
 };
+
+/// The 1-in-N sample rate --sentinel / HWST_SENTINEL=1 select when no
+/// explicit rate is given.
+inline constexpr unsigned kDefaultSentinelRate = 4;
 
 /// Resolve an EngineOptions::jobs request against HWST_JOBS and
 /// hardware_concurrency (never returns 0).
@@ -112,12 +137,20 @@ public:
                             *ctx.aux = codec.encode(out[i]);
                         return sim::RunResult{};
                     },
+                // Without a codec the only channel back is the out[i]
+                // write above, which cannot cross a fork — those
+                // chunks must stay in the caller's process even under
+                // --isolate.
+                .in_process = !codec.enabled(),
             });
         }
         auto outcomes = run(jobs);
         if (codec.enabled()) {
             for (std::size_t i = 0; i < count; ++i) {
-                if (outcomes[i].from_journal &&
+                // Replayed chunks never ran here; isolated chunks ran,
+                // but their out[i] write happened in the worker child.
+                // Either way the payload comes back through aux.
+                if ((outcomes[i].from_journal || outcomes[i].isolated) &&
                     outcomes[i].status == JobStatus::Ok)
                     out[i] = codec.decode(outcomes[i].aux);
             }

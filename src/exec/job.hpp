@@ -28,6 +28,12 @@ using common::u64;
 /// shutdown (SIGINT/SIGTERM) is in progress; long-running bodies must
 /// poll `expired()` at a reasonable granularity (run_machine does this
 /// every few thousand simulated instructions).
+/// Bump the per-process job-progress counter (one tick per CancelToken
+/// poll, i.e. every few thousand simulated instructions). Isolated
+/// workers report it in their heartbeats, so a crash forensic record
+/// can say how far the job got (exec/process.cpp).
+void note_worker_progress();
+
 class CancelToken {
 public:
     CancelToken() = default;
@@ -39,6 +45,7 @@ public:
 
     bool expired() const
     {
+        note_worker_progress();
         if (shutdown_requested()) return true;
         if (stop_ && stop_->load(std::memory_order_relaxed)) return true;
         return deadline_ &&
@@ -63,7 +70,8 @@ enum class JobStatus : common::u8 {
     Ok,          ///< body completed and returned a RunResult
     Timeout,     ///< body observed its deadline and unwound (JobTimeout)
     Error,       ///< body threw any other exception (message captured)
-    Quarantined, ///< exhausted its --retries budget on timeout/error
+    Crashed,     ///< isolated worker died (signal / nonzero exit) or hung
+    Quarantined, ///< exhausted its --retries budget on timeout/error/crash
     Skipped,     ///< never ran / was cancelled by a graceful shutdown
 };
 
@@ -73,6 +81,7 @@ constexpr std::string_view job_status_name(JobStatus s)
     case JobStatus::Ok: return "ok";
     case JobStatus::Timeout: return "timeout";
     case JobStatus::Error: return "error";
+    case JobStatus::Crashed: return "crashed";
     case JobStatus::Quarantined: return "quarantined";
     case JobStatus::Skipped: return "skipped";
     }
@@ -83,7 +92,7 @@ constexpr std::optional<JobStatus> job_status_from_name(std::string_view s)
 {
     for (const JobStatus k :
          {JobStatus::Ok, JobStatus::Timeout, JobStatus::Error,
-          JobStatus::Quarantined, JobStatus::Skipped}) {
+          JobStatus::Crashed, JobStatus::Quarantined, JobStatus::Skipped}) {
         if (job_status_name(k) == s) return k;
     }
     return std::nullopt;
@@ -118,6 +127,10 @@ struct Job {
     u64 seed = 0;
     std::string key;      ///< journal key; empty opts out of the journal
     std::function<sim::RunResult(const JobContext&)> body;
+    /// Force this job onto the caller's process even under --isolate:
+    /// its body hands results back through captured references (golden
+    /// compiles, host-timing cells) that cannot cross a fork.
+    bool in_process = false;
 };
 
 /// What the engine hands back for one Job, in the job's grid slot:
@@ -130,7 +143,12 @@ struct JobOutcome {
     double wall_ms = 0.0;    ///< host wall-clock time spent in the body
     unsigned attempts = 1;   ///< body invocations (0 when skipped)
     bool from_journal = false; ///< replayed from the checkpoint journal
+    bool isolated = false;   ///< ran in a worker subprocess (--isolate)
     json::Value aux;         ///< body side-channel (journal-persisted)
+    /// Failure-taxonomy record (journal-persisted when non-null): exit
+    /// status / terminating signal / last-reported progress of a dead
+    /// worker, or the sentinel's divergence report.
+    json::Value forensics;
 };
 
 /// Deterministic per-job seed: a SplitMix64-style mix of the root seed

@@ -180,6 +180,7 @@ json::Value outcome_to_record(const std::string& key,
     else
         v["error"] = outcome.error;
     if (!outcome.aux.is_null()) v["aux"] = outcome.aux;
+    if (!outcome.forensics.is_null()) v["forensics"] = outcome.forensics;
     return v;
 }
 
@@ -200,6 +201,7 @@ std::pair<std::string, JobOutcome> outcome_from_record(const json::Value& v)
     else
         out.error = v.at("error").as_string();
     if (const json::Value* aux = v.find("aux")) out.aux = *aux;
+    if (const json::Value* f = v.find("forensics")) out.forensics = *f;
     return {key, std::move(out)};
 }
 

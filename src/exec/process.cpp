@@ -1,0 +1,343 @@
+#include "exec/process.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "exec/journal.hpp"
+#include "exec/shutdown.hpp"
+#include "exec/supervisor.hpp"
+#include "sim/machine.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define HWST_PROCESS_POSIX 1
+#endif
+
+namespace hwst::exec {
+
+namespace {
+
+/// Progress ticks since this process (or worker child) started its
+/// current job: one per CancelToken poll, bumped from the simulation
+/// hot loop via note_worker_progress(). Read by the heartbeat signal
+/// handler, so it must be a lock-free atomic.
+std::atomic<u64>& worker_progress()
+{
+    static std::atomic<u64> ticks{0};
+    return ticks;
+}
+
+} // namespace
+
+void note_worker_progress()
+{
+    worker_progress().fetch_add(1, std::memory_order_relaxed);
+}
+
+bool isolation_supported()
+{
+#ifdef HWST_PROCESS_POSIX
+    return true;
+#else
+    return false;
+#endif
+}
+
+#ifdef HWST_PROCESS_POSIX
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Write the whole buffer, retrying on EINTR/short writes. Returns
+/// false on a hard error (parent gone -> EPIPE with SIGPIPE ignored).
+bool write_all(int fd, const char* data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+// ---- the worker child ------------------------------------------------
+
+/// Heartbeat state for the async-signal handler. Plain ints/atomics
+/// only: the handler runs between arbitrary instructions of the body.
+int g_heartbeat_fd = -1;
+
+/// "H <progress>\n", formatted without the (non-async-signal-safe)
+/// printf family. A heartbeat is one short write, far below PIPE_BUF,
+/// so it is atomic and can never interleave with itself.
+extern "C" void on_heartbeat(int)
+{
+    const int saved_errno = errno;
+    if (g_heartbeat_fd >= 0) {
+        char buf[32];
+        char* p = buf + sizeof buf;
+        *--p = '\n';
+        u64 n = worker_progress().load(std::memory_order_relaxed);
+        do {
+            *--p = static_cast<char>('0' + n % 10);
+            n /= 10;
+        } while (n != 0);
+        *--p = ' ';
+        *--p = 'H';
+        const auto ignored =
+            ::write(g_heartbeat_fd, p,
+                    static_cast<std::size_t>(buf + sizeof buf - p));
+        (void)ignored;
+    }
+    errno = saved_errno;
+}
+
+extern "C" void on_worker_term(int)
+{
+    // Cooperative half of the kill escalation: the child's CancelToken
+    // observes the shutdown flag and unwinds with a Timeout record.
+    // Only if it ignores this does the parent escalate to SIGKILL.
+    shutdown_flag().store(true, std::memory_order_relaxed);
+}
+
+void apply_rlimit(int resource, u64 value)
+{
+    struct rlimit rl;
+    rl.rlim_cur = static_cast<rlim_t>(value);
+    rl.rlim_max = static_cast<rlim_t>(value);
+    // Failure to cage is not failure to run: keep going uncapped (the
+    // supervisor still has the watchdog and the hard deadline).
+    (void)::setrlimit(resource, &rl);
+}
+
+[[noreturn]] void worker_main(int fd, const Job& job, unsigned attempt,
+                              const WorkerRequest& req)
+{
+    // Single-threaded from here on (fork keeps only the calling
+    // thread). A dying parent must surface as EPIPE, not SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, on_worker_term);
+    clear_shutdown();
+    worker_progress().store(0, std::memory_order_relaxed);
+
+    if (req.rlimit_mb > 0) apply_rlimit(RLIMIT_AS, req.rlimit_mb << 20);
+    if (req.rlimit_cpu_s > 0) apply_rlimit(RLIMIT_CPU, req.rlimit_cpu_s);
+    if (req.force_interpreter) sim::force_interpreter(true);
+
+    if (req.heartbeat.count() > 0) {
+        g_heartbeat_fd = fd;
+        struct sigaction sa = {};
+        sa.sa_handler = on_heartbeat;
+        sa.sa_flags = SA_RESTART;
+        ::sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGALRM, &sa, nullptr);
+        struct itimerval tv = {};
+        tv.it_interval.tv_sec = req.heartbeat.count() / 1000;
+        tv.it_interval.tv_usec = (req.heartbeat.count() % 1000) * 1000;
+        tv.it_value = tv.it_interval;
+        ::setitimer(ITIMER_REAL, &tv, nullptr);
+    }
+
+    int exit_code = 0;
+    try {
+        std::optional<clock::time_point> deadline;
+        if (req.timeout.count() > 0)
+            deadline = clock::now() + req.timeout;
+        // No extra stop flag: SIGTERM -> shutdown flag covers stops.
+        const CancelToken token{deadline, nullptr};
+        const JobOutcome out = attempt_in_process(job, token, attempt);
+
+        // Disarm the heartbeat and block SIGALRM before the record
+        // write: a beat spliced mid-record would tear the final line.
+        struct itimerval off = {};
+        ::setitimer(ITIMER_REAL, &off, nullptr);
+        g_heartbeat_fd = -1;
+        sigset_t block;
+        ::sigemptyset(&block);
+        ::sigaddset(&block, SIGALRM);
+        ::sigprocmask(SIG_BLOCK, &block, nullptr);
+
+        const std::string key = job.name.empty() ? "#" : job.name;
+        const std::string line =
+            "R " + outcome_to_record(key, out).dump(0) + "\n";
+        if (!write_all(fd, line.data(), line.size())) exit_code = 4;
+    } catch (...) {
+        // The attempt itself never throws; this is the host failing to
+        // build or serialize the record (e.g. bad_alloc under
+        // RLIMIT_AS). A distinct exit status so forensics can tell.
+        exit_code = 3;
+    }
+    // _exit, not exit: no atexit handlers, no static destructors — the
+    // child shares the parent's entire C++ runtime state.
+    ::_exit(exit_code);
+}
+
+// ---- the parent supervisor -------------------------------------------
+
+std::string errno_string(const char* what)
+{
+    return std::string{what} + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+WorkerReport run_worker(const Job& job, unsigned attempt,
+                        const WorkerRequest& req)
+{
+    WorkerReport rep;
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        rep.spawn_error = errno_string("pipe");
+        return rep;
+    }
+
+    // Buffered stdio duplicates across fork; flush so a worker can
+    // never replay half a table when it crashes mid-write.
+    std::cout.flush();
+    std::cerr.flush();
+
+    const auto t0 = clock::now();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        rep.spawn_error = errno_string("fork");
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return rep;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        worker_main(fds[1], job, attempt, req); // never returns
+    }
+    ::close(fds[1]);
+    const int fd = fds[0];
+
+    const auto stop_requested = [&req] {
+        return shutdown_requested() ||
+               (req.stop && req.stop->load(std::memory_order_relaxed));
+    };
+
+    // Hard deadline: the child gets its full cooperative budget plus
+    // one grace period to unwind and report before SIGTERM.
+    std::optional<clock::time_point> hard_deadline;
+    if (req.timeout.count() > 0)
+        hard_deadline = t0 + req.timeout + req.grace;
+    const auto hang_window = req.heartbeat * 8;
+
+    std::string buf;
+    std::string record_line;
+    auto last_beat = t0;
+    bool term_sent = false;
+    bool kill_sent = false;
+    std::optional<clock::time_point> kill_at;
+
+    const auto send_term = [&](clock::time_point now) {
+        if (term_sent) return;
+        term_sent = true;
+        kill_at = now + req.grace;
+        (void)::kill(pid, SIGTERM);
+    };
+
+    for (;;) {
+        const auto now = clock::now();
+        if (term_sent && !kill_sent && now >= *kill_at) {
+            kill_sent = true;
+            (void)::kill(pid, SIGKILL);
+        } else if (!term_sent) {
+            if (hard_deadline && now >= *hard_deadline) {
+                rep.hard_timeout = true;
+                send_term(now);
+            } else if (req.heartbeat.count() > 0 &&
+                       now - last_beat >= hang_window) {
+                // No heartbeat for 8 periods: the worker is wedged in
+                // a way even SIGALRM can't interrupt (or blocked it).
+                rep.hung = true;
+                send_term(now);
+            } else if (stop_requested()) {
+                // Graceful shutdown: forward it; the child drains
+                // cooperatively and reports, or eats the escalation.
+                send_term(now);
+            }
+        }
+
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, 20);
+        if (pr < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (pr == 0) continue;
+
+        char chunk[4096];
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (n == 0) break; // EOF: the child exited (or was killed)
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (line.rfind("H ", 0) == 0) {
+                ++rep.heartbeats;
+                last_beat = clock::now();
+                rep.last_progress =
+                    std::strtoull(line.c_str() + 2, nullptr, 10);
+            } else if (line.rfind("R ", 0) == 0) {
+                record_line = line.substr(2);
+            }
+        }
+    }
+    ::close(fd);
+
+    // A partial record line at EOF is the torn-write crash artifact.
+    if (record_line.empty() && buf.rfind("R ", 0) == 0)
+        rep.torn_record = true;
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    rep.wall_ms = std::chrono::duration<double, std::milli>(clock::now() -
+                                                            t0)
+                      .count();
+    if (WIFEXITED(status)) rep.exit_status = WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) rep.term_signal = WTERMSIG(status);
+
+    if (!record_line.empty()) {
+        try {
+            rep.record = json::Value::parse(record_line);
+            rep.has_record = true;
+        } catch (const json::JsonError&) {
+            rep.torn_record = true;
+        }
+    }
+    return rep;
+}
+
+#else // !HWST_PROCESS_POSIX
+
+WorkerReport run_worker(const Job&, unsigned, const WorkerRequest&)
+{
+    throw common::ToolchainError{
+        "process isolation requires a POSIX host (fork/pipe/poll)"};
+}
+
+#endif
+
+} // namespace hwst::exec

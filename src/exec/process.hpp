@@ -1,0 +1,75 @@
+// Low-level worker-process plumbing for the isolation execution mode
+// (docs/execution.md, "Process isolation & failure taxonomy"). One
+// call — run_worker() — forks a sandboxed child, runs a single job
+// attempt inside it, and supervises the pipe back to the parent:
+//
+//   child:  setrlimit(RLIMIT_AS/RLIMIT_CPU), SIGALRM heartbeat timer
+//           ("H <progress>\n" every beat), one attempt_in_process(),
+//           then the final outcome as one "R <record-json>\n" line
+//           (timer disarmed + SIGALRM blocked first, so the record can
+//           never be spliced), _exit().
+//   parent: poll() loop enforcing the hard wall-clock deadline
+//           (SIGTERM, then SIGKILL after the grace period), a heartbeat
+//           watchdog for wedged workers, and graceful-shutdown
+//           forwarding; then waitpid() and a WorkerReport the
+//           supervisor classifies into a JobOutcome.
+//
+// Everything here is deliberately mechanism, not policy: what a dead
+// worker *means* (crash vs hard timeout vs hang, retry vs quarantine)
+// lives in exec/supervisor.cpp.
+#pragma once
+
+#include <string>
+
+#include "exec/job.hpp"
+
+namespace hwst::exec {
+
+/// True when the host supports fork/pipe/poll/setrlimit (POSIX).
+/// run_worker() throws common::ToolchainError otherwise.
+bool isolation_supported();
+
+/// How to cage and supervise one worker.
+struct WorkerRequest {
+    /// Cooperative deadline handed to the child's CancelToken; the
+    /// parent's hard deadline is timeout + grace (0 = no deadline).
+    std::chrono::milliseconds timeout{0};
+    /// SIGTERM -> SIGKILL escalation window (also the slack between the
+    /// child's cooperative deadline and the parent's SIGTERM).
+    std::chrono::milliseconds grace{500};
+    /// Child heartbeat interval; the watchdog declares the worker hung
+    /// after 8 missed beats. 0 disables both.
+    std::chrono::milliseconds heartbeat{250};
+    u64 rlimit_mb = 0;    ///< RLIMIT_AS cap in MiB (0 = unlimited)
+    u64 rlimit_cpu_s = 0; ///< RLIMIT_CPU cap in seconds (0 = unlimited)
+    /// Sentinel re-check worker: force the child's runs onto the pure
+    /// interpreter tier (sim::force_interpreter).
+    bool force_interpreter = false;
+    /// Extra stop flag (engine tests); merged with the process-wide
+    /// shutdown flag when forwarding a graceful stop to the child.
+    const std::atomic<bool>* stop = nullptr;
+};
+
+/// What the parent observed. Exactly one of these shapes comes back:
+/// a parsed record (the worker finished and reported), or death
+/// forensics (exit status / terminating signal plus the kill
+/// escalation that caused it, when the parent pulled the trigger).
+struct WorkerReport {
+    bool has_record = false;
+    json::Value record;       ///< the child's outcome record (if any)
+    bool torn_record = false; ///< a record line arrived but won't parse
+    int exit_status = -1;     ///< WEXITSTATUS when the child exited
+    int term_signal = 0;      ///< WTERMSIG when a signal killed it
+    bool hard_timeout = false; ///< parent killed it past the deadline
+    bool hung = false;         ///< heartbeat watchdog killed it
+    u64 last_progress = 0;     ///< progress ticks in the last heartbeat
+    u64 heartbeats = 0;        ///< heartbeat lines received
+    double wall_ms = 0.0;      ///< fork-to-reap wall clock
+    std::string spawn_error;   ///< non-empty: pipe/fork itself failed
+};
+
+/// Fork a worker, run one attempt of `job` inside it, supervise, reap.
+WorkerReport run_worker(const Job& job, unsigned attempt,
+                        const WorkerRequest& req);
+
+} // namespace hwst::exec

@@ -80,6 +80,35 @@ json::Value outcome_json(const Job& job, const JobOutcome& outcome)
     return row;
 }
 
+bool is_host_field(std::string_view key)
+{
+    // wall_ms/run_ms/mips/geo_mean_mips: host timing. git_rev/jobs:
+    // provenance. dbt/dbt_enabled: the superblock tier's host-side
+    // counters — DBT-on and DBT-off envelopes must compare equal once
+    // stripped (the tier may change host speed, never simulated
+    // numbers).
+    return key == "wall_ms" || key == "run_ms" || key == "mips" ||
+           key == "geo_mean_mips" || key == "git_rev" || key == "jobs" ||
+           key == "dbt" || key == "dbt_enabled";
+}
+
+json::Value strip_host_fields(const json::Value& v)
+{
+    if (v.is_object()) {
+        json::Value out = json::Value::object();
+        for (const auto& [key, member] : v.members())
+            if (!is_host_field(key)) out[key] = strip_host_fields(member);
+        return out;
+    }
+    if (v.is_array()) {
+        json::Value out = json::Value::array();
+        for (const auto& item : v.items())
+            out.push_back(strip_host_fields(item));
+        return out;
+    }
+    return v;
+}
+
 OutcomeCounts count_outcomes(std::span<const JobOutcome> outcomes)
 {
     OutcomeCounts c;
@@ -88,6 +117,7 @@ OutcomeCounts count_outcomes(std::span<const JobOutcome> outcomes)
         case JobStatus::Ok: ++c.ok; break;
         case JobStatus::Timeout: ++c.timeout; break;
         case JobStatus::Error: ++c.error; break;
+        case JobStatus::Crashed: ++c.crashed; break;
         case JobStatus::Quarantined: ++c.quarantined; break;
         case JobStatus::Skipped: ++c.skipped; break;
         }
@@ -103,6 +133,7 @@ json::Value summary_json(std::span<const Job> jobs,
     v["ok"] = c.ok;
     v["timeout"] = c.timeout;
     v["error"] = c.error;
+    v["crashed"] = c.crashed;
     v["quarantined"] = c.quarantined;
     v["skipped"] = c.skipped;
     v["partial"] = c.partial();
@@ -114,7 +145,8 @@ json::Value summary_json(std::span<const Job> jobs,
         if (outcomes[i].status == JobStatus::Quarantined)
             quarantined.push_back(name);
         else if (outcomes[i].status == JobStatus::Timeout ||
-                 outcomes[i].status == JobStatus::Error)
+                 outcomes[i].status == JobStatus::Error ||
+                 outcomes[i].status == JobStatus::Crashed)
             failed.push_back(name);
     }
     v["quarantined_jobs"] = quarantined;

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <span>
+#include <string_view>
 
 #include "exec/job.hpp"
 #include "exec/json.hpp"
@@ -37,15 +38,29 @@ json::Value read_bench_json(const std::string& path);
 /// the job succeeded — the core RunResult counters every harness wants.
 json::Value outcome_json(const Job& job, const JobOutcome& outcome);
 
+/// True for envelope/record keys that carry host-side timing or
+/// provenance — legitimately different between two runs of the same
+/// campaign (json_check --equiv strips them; the DBT sentinel strips
+/// them before comparing tiers).
+bool is_host_field(std::string_view key);
+
+/// Deep copy of `v` with every host-side key removed, at any nesting
+/// depth.
+json::Value strip_host_fields(const json::Value& v);
+
 /// Aggregate status counts over a grid's outcomes.
 struct OutcomeCounts {
     std::size_t ok = 0;
     std::size_t timeout = 0;
     std::size_t error = 0;
+    std::size_t crashed = 0;
     std::size_t quarantined = 0;
     std::size_t skipped = 0;
 
-    std::size_t failed() const { return timeout + error + quarantined; }
+    std::size_t failed() const
+    {
+        return timeout + error + crashed + quarantined;
+    }
     /// True when a graceful shutdown left jobs unstarted — the
     /// envelope is valid but partial, and a --resume can finish it.
     bool partial() const { return skipped != 0; }

@@ -1,0 +1,61 @@
+// Supervisor policy for process-isolated campaign workers: turn a
+// WorkerReport (exec/process.hpp) into a first-class JobOutcome with a
+// failure-taxonomy forensic record, and run the DBT divergence
+// sentinel — the opt-in cross-check that re-executes a sampled
+// fraction of superblock-tier jobs under the pure interpreter in a
+// sibling worker and degrades the job to the interpreter result when
+// the tiers disagree (docs/execution.md, "Process isolation & failure
+// taxonomy").
+#pragma once
+
+#include "exec/job.hpp"
+
+namespace hwst::exec {
+
+/// Supervision knobs, resolved by the engine from EngineOptions and
+/// the HWST_ISOLATE / HWST_SENTINEL environment variables.
+struct SuperviseOptions {
+    std::chrono::milliseconds timeout{0};   ///< per-attempt budget
+    std::chrono::milliseconds grace{500};   ///< SIGTERM -> SIGKILL window
+    std::chrono::milliseconds heartbeat{250}; ///< worker heartbeat period
+    u64 rlimit_mb = 0;                      ///< worker RLIMIT_AS (MiB)
+    u64 rlimit_cpu_s = 0;                   ///< worker RLIMIT_CPU (s)
+    const std::atomic<bool>* stop = nullptr;
+};
+
+/// One body invocation on the calling thread (shared by the in-process
+/// engine path and the worker child). `attempt` is 0-based; the
+/// context's seed is the attempt-indexed re-derivation of the job's
+/// seed. The outcome's aux carries the body's side-channel payload.
+JobOutcome attempt_in_process(const Job& job, const CancelToken& token,
+                              unsigned attempt);
+
+/// One attempt in a forked, rlimit-caged worker subprocess. Worker
+/// death comes back as JobStatus::Crashed (or Timeout for a hard
+/// wall-clock kill) with exit-status/signal/last-progress forensics —
+/// it never takes the caller down.
+JobOutcome attempt_isolated(const Job& job, unsigned attempt,
+                            const SuperviseOptions& opts);
+
+/// Deterministic 1-in-N sampling for the sentinel: same job identity
+/// and seed -> same verdict, at any thread count and across resumes.
+bool sentinel_sampled(const Job& job, unsigned sentinel);
+
+/// Cross-check `primary` (a successful DBT-tier outcome) against a
+/// sibling worker forced onto the interpreter, comparing the two
+/// records through the shared host-field-stripping comparator. On
+/// agreement, returns `primary` annotated with a match note; on
+/// divergence, returns the interpreter outcome (graceful degradation —
+/// the sibling ran in a fresh process, i.e. with a flushed block
+/// cache) carrying a divergence report in its forensics, which the
+/// engine journals like any other outcome.
+JobOutcome sentinel_check(const Job& job, unsigned attempt,
+                          const SuperviseOptions& opts,
+                          JobOutcome primary);
+
+/// Sampling rate requested by HWST_SENTINEL: a boolean value enables
+/// the default 1-in-kDefaultSentinelRate, an integer N means 1-in-N,
+/// unset/unrecognized means off (0).
+unsigned sentinel_from_env();
+
+} // namespace hwst::exec

@@ -176,6 +176,10 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
         .retries = cfg.retries,
         .backoff = std::chrono::milliseconds{cfg.backoff_ms},
         .journal = journal.get(),
+        .isolate = cfg.isolate,
+        .rlimit_mb = cfg.rlimit_mb,
+        .rlimit_cpu_s = cfg.rlimit_cpu_s,
+        .sentinel = cfg.sentinel,
     }};
 
     // Phase 1: compile + golden run, one job per workload. Goldens are
@@ -287,7 +291,13 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
                     ++stats.skipped;
                     continue;
                 }
-                if (outcomes[i].status == exec::JobStatus::Quarantined) {
+                // A worker crash with retries=0 lands as Crashed; with
+                // a retry budget, exhaustion lands as Quarantined.
+                // Either way the run is contained, counted, and never
+                // classified — crash containment is the whole point of
+                // --isolate.
+                if (outcomes[i].status == exec::JobStatus::Quarantined ||
+                    outcomes[i].status == exec::JobStatus::Crashed) {
                     ++stats.quarantined;
                     continue;
                 }

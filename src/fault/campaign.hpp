@@ -53,6 +53,16 @@ struct CampaignConfig {
     std::string journal_path; ///< "" = BENCH_fault_campaign.journal
     /// Replay finished runs from the journal before running the rest.
     bool resume = false;
+    /// Run each faulted run in a forked, caged worker subprocess:
+    /// a run that crashes the simulator is quarantined with forensics
+    /// instead of taking the campaign down. Goldens always stay
+    /// in-process (their compiled programs cannot cross a fork).
+    bool isolate = false;
+    u64 rlimit_mb = 0;     ///< worker RLIMIT_AS cap in MiB (0 = off)
+    u64 rlimit_cpu_s = 0;  ///< worker RLIMIT_CPU cap in s (0 = off)
+    /// 1-in-N DBT divergence sentinel on faulted runs (0 = off;
+    /// implies isolate).
+    unsigned sentinel = 0;
 };
 
 struct PointStats {

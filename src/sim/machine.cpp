@@ -1,8 +1,10 @@
 #include "sim/machine.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "riscv/encoding.hpp"
 #include "sim/dispatch.hpp"
@@ -159,10 +161,10 @@ Machine::Machine(const riscv::Program& program, MachineConfig cfg)
     csrs_.write(hwst::kCsrStatus,
                 hwst::kStatusSpatialEnable | hwst::kStatusTemporalEnable);
 
-    // HWST_DBT overrides the config field ("0" = force interpreter,
-    // anything else = force DBT) so bench presets can pin the tier
-    // without rebuilding.
-    if (const char* e = std::getenv("HWST_DBT")) cfg_.dbt = e[0] != '0';
+    // HWST_DBT overrides the config field (0/off/false = interpreter,
+    // 1/on/true = DBT) so bench presets can pin the tier without
+    // rebuilding; unrecognized values are diagnosed and ignored.
+    if (const auto e = common::env_flag("HWST_DBT")) cfg_.dbt = *e;
 
     // Translated-block invalidation: any remap drops every superblock.
     // Registered after the address-space map above (sbcache_ does not
@@ -960,7 +962,7 @@ std::optional<RunResult> Machine::run_cancellable(
     // (every `stride` loop iterations), and an uncancelled run is
     // bit-identical either way.
     if (stride == 0) stride = 1;
-    if (cfg_.dbt && !trace_ && !probe_hook_) {
+    if (cfg_.dbt && !interpreter_forced() && !trace_ && !probe_hook_) {
         // Superblock tier (sim/dispatch.cpp). Cancellation polls move
         // to block boundaries — every >= stride retired instructions —
         // which cannot change simulated results (a poll that does not
@@ -971,10 +973,18 @@ std::optional<RunResult> Machine::run_cancellable(
             *this, cancel ? &cancel : nullptr, stride, result.trap);
         in_dispatch_ = false;
         if (!finished) return std::nullopt;
+        // Test-only divergence seed for the DBT sentinel: nudge the
+        // DBT-tier cycle count so a cross-check against the interpreter
+        // has something to catch. Never set outside the sentinel tests.
+        if (common::env_flag("HWST_DBT_FAULT").value_or(false)) ++cycles_;
     } else {
         // Interpreter tier: per-instruction hooks installed (or DBT
-        // disabled outright).
-        if (cfg_.dbt && running_) ++dbt_stats_.fallback_runs;
+        // disabled outright, or a sentinel worker forcing the
+        // reference tier).
+        if (cfg_.dbt && running_) {
+            ++dbt_stats_.fallback_runs;
+            if (interpreter_forced()) ++dbt_stats_.sentinel_degraded;
+        }
         u64 countdown = stride;
         while (running_) {
             if (cancel && --countdown == 0) {
@@ -1007,6 +1017,20 @@ std::optional<RunResult> Machine::run_cancellable(
     result.smac_translations = smac_.translations();
     result.mix = mix_;
     return result;
+}
+
+namespace {
+std::atomic<bool> g_force_interpreter{false};
+} // namespace
+
+void force_interpreter(bool on)
+{
+    g_force_interpreter.store(on, std::memory_order_relaxed);
+}
+
+bool interpreter_forced()
+{
+    return g_force_interpreter.load(std::memory_order_relaxed);
 }
 
 } // namespace hwst::sim

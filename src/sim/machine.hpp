@@ -75,9 +75,9 @@ struct MachineConfig {
     /// Host-side acceleration only: simulated results are bit-identical
     /// with it on or off. Runs automatically fall back to the
     /// interpreter while a trace or probe hook is installed. The
-    /// HWST_DBT environment variable ("0" = off, anything else = on)
-    /// overrides this field — it is how the dbt-smoke bench preset
-    /// forces both tiers through identical binaries.
+    /// HWST_DBT environment variable (a boolean: 0/1/on/off/true/false,
+    /// case-insensitive) overrides this field — it is how the dbt-smoke
+    /// bench preset forces both tiers through identical binaries.
     bool dbt = true;
     TimingConfig timing{};
     RuntimeConfig runtime{};
@@ -335,5 +335,14 @@ private:
     TraceHook trace_;
     ProbeHook probe_hook_;
 };
+
+/// Process-wide override forcing every run onto the interpreter tier,
+/// regardless of MachineConfig::dbt or HWST_DBT. The DBT divergence
+/// sentinel (docs/execution.md, "Process isolation & failure
+/// taxonomy") sets it inside its re-check workers so the reference run
+/// cannot consult the tier under suspicion; runs forced this way count
+/// in dbt_stats().sentinel_degraded.
+void force_interpreter(bool on);
+bool interpreter_forced();
 
 } // namespace hwst::sim

@@ -140,6 +140,9 @@ struct DbtStats {
     u64 chained = 0;       ///< block→block transfers that skipped the dispatcher
     u64 flushes = 0;       ///< block-cache invalidations (map_region)
     u64 fallback_runs = 0; ///< runs forced onto the interpreter by hooks
+    /// Runs forced onto the interpreter by sim::force_interpreter() —
+    /// the DBT divergence sentinel's graceful-degradation path.
+    u64 sentinel_degraded = 0;
 };
 
 /// Everything translation needs from the Machine, flattened so the

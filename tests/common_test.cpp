@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/bitops.hpp"
+#include "common/env.hpp"
 #include "common/prng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -173,6 +174,19 @@ TEST(Table, Fmt)
 {
     EXPECT_EQ(fmt(3.14159, 2), "3.14");
     EXPECT_EQ(fmt(100.0, 0), "100");
+}
+
+TEST(Env, ParseBoolFlag)
+{
+    // The shared boolean vocabulary of HWST_DBT / HWST_ISOLATE /
+    // HWST_SENTINEL: explicit truthy and falsy spellings,
+    // case-insensitive; anything else is "not a boolean".
+    for (const char* v : {"1", "true", "on", "yes", "TRUE", "On", "YES"})
+        EXPECT_EQ(parse_bool_flag(v), std::optional<bool>{true}) << v;
+    for (const char* v : {"0", "false", "off", "no", "FALSE", "Off", "NO"})
+        EXPECT_EQ(parse_bool_flag(v), std::optional<bool>{false}) << v;
+    for (const char* v : {"", "2", "enabled", "y", "offf", " 1"})
+        EXPECT_EQ(parse_bool_flag(v), std::nullopt) << v;
 }
 
 } // namespace

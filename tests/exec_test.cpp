@@ -162,7 +162,8 @@ TEST(ExecEngine, JobStatusNamesRoundTrip)
     using exec::JobStatus;
     for (const JobStatus s :
          {JobStatus::Ok, JobStatus::Timeout, JobStatus::Error,
-          JobStatus::Quarantined, JobStatus::Skipped}) {
+          JobStatus::Crashed, JobStatus::Quarantined,
+          JobStatus::Skipped}) {
         const auto back =
             exec::job_status_from_name(exec::job_status_name(s));
         ASSERT_TRUE(back.has_value());

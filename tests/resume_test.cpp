@@ -5,17 +5,32 @@
 // in-process — a job body requests the process-wide shutdown after
 // finishing, exactly what a SIGINT mid-grid does — so the test exercises
 // the same drain-and-skip path without fork/exec.
+//
+// The Isolate/Sentinel suites exercise the process-isolation layer with
+// real worker deaths: seeded SIGSEGV, allocation past RLIMIT_AS, a
+// worker that ignores its deadline, one that blocks every signal the
+// supervisor relies on, and a seeded DBT/interpreter divergence. The
+// crash assertions are deliberately loose about *how* the worker died
+// (a sanitizer turns SIGSEGV into exit(1), allocation failure into an
+// abort); the contract under test is containment + forensics +
+// bit-identical resume, not the exact signal number.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "common/env.hpp"
+#include "compiler/driver.hpp"
 #include "exec/engine.hpp"
 #include "exec/journal.hpp"
+#include "exec/process.hpp"
 #include "exec/report.hpp"
 #include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
+#include "exec/supervisor.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hwst;
@@ -87,6 +102,35 @@ std::string envelope_bytes(const std::vector<Job>& jobs,
     payload["total_cycles"] = total_cycles;
     payload["summary"] = exec::summary_json(jobs, outcomes);
     return exec::bench_envelope("resume_test", 1, 0.0, payload).dump();
+}
+
+/// RAII environment variable, restored (to unset) on scope exit.
+struct EnvGuard {
+    std::string name;
+    EnvGuard(const char* n, const char* v) : name{n}
+    {
+#if defined(__unix__) || defined(__APPLE__)
+        ::setenv(n, v, 1);
+#endif
+    }
+    ~EnvGuard()
+    {
+#if defined(__unix__) || defined(__APPLE__)
+        ::unsetenv(name.c_str());
+#endif
+    }
+};
+
+/// Spin without ever polling the cancel token — the "worker ignores
+/// everything" body. Bounded so a supervision bug fails the test
+/// instead of hanging the suite.
+sim::RunResult spin_ignoring_cancellation()
+{
+    const auto failsafe =
+        std::chrono::steady_clock::now() + std::chrono::seconds{30};
+    volatile u64 sink = 0;
+    while (std::chrono::steady_clock::now() < failsafe) sink = sink + 1;
+    return sim::RunResult{};
 }
 
 sim::RunResult synthetic_result()
@@ -165,6 +209,23 @@ TEST(Journal, OutcomeRecordRoundTripsFullFidelity)
         exec::outcome_to_record("k2", bad));
     EXPECT_EQ(back2.status, JobStatus::Quarantined);
     EXPECT_EQ(back2.error, "still timing out");
+
+    // Crash forensics are part of the journaled record: a resume must
+    // be able to explain a quarantined worker death after the fact.
+    JobOutcome dead;
+    dead.status = JobStatus::Crashed;
+    dead.error = "worker died without reporting: killed by signal 11";
+    dead.attempts = 1;
+    dead.forensics = exec::json::Value::object();
+    dead.forensics["cause"] = "crash";
+    dead.forensics["signal"] = 11;
+    const auto [k3, back3] = exec::outcome_from_record(
+        exec::json::Value::parse(
+            exec::outcome_to_record("k3", dead).dump(0)));
+    EXPECT_EQ(back3.status, JobStatus::Crashed);
+    ASSERT_FALSE(back3.forensics.is_null());
+    EXPECT_EQ(back3.forensics.at("cause").as_string(), "crash");
+    EXPECT_EQ(back3.forensics.at("signal").as_int(), 11);
 }
 
 TEST(Journal, KillAndResumeEnvelopeIsBitIdentical)
@@ -399,4 +460,290 @@ TEST(Retry, QuarantinedJobsReplayFromTheJournal)
     EXPECT_TRUE(replayed[0].from_journal);
     EXPECT_EQ(invocations, 2u); // body never ran again
     std::remove(path.c_str());
+}
+
+TEST(Isolate, MatchesInProcessBitIdentically)
+{
+    if (!exec::isolation_supported())
+        GTEST_SKIP() << "no fork on this host";
+    const ShutdownGuard guard;
+    const auto jobs = small_grid();
+
+    const auto in_process = Engine{EngineOptions{.jobs = 1}}.run(jobs);
+    const auto isolated =
+        Engine{EngineOptions{.jobs = 2, .isolate = true}}.run(jobs);
+    for (const auto& o : isolated) {
+        EXPECT_EQ(o.status, JobStatus::Ok) << o.error;
+        EXPECT_TRUE(o.isolated);
+    }
+    EXPECT_EQ(envelope_bytes(jobs, isolated),
+              envelope_bytes(jobs, in_process));
+}
+
+TEST(Isolate, WorkerCrashIsContainedAndForensic)
+{
+    if (!exec::isolation_supported())
+        GTEST_SKIP() << "no fork on this host";
+    const ShutdownGuard guard;
+    const std::string path = temp_journal("hwst_isolate_crash.journal");
+    std::remove(path.c_str());
+
+    // Job 0 dies mid-job on every attempt; job 1 is an ordinary
+    // simulation that must be untouched by its neighbour's death.
+    std::vector<Job> jobs;
+    jobs.push_back(Job{
+        .name = "crasher",
+        .key = "crasher",
+        .body = [](const exec::JobContext&) -> sim::RunResult {
+            std::raise(SIGSEGV);
+            return sim::RunResult{};
+        }});
+    const auto& crc = workloads::workload("crc32");
+    jobs.push_back(exec::make_sim_job("crc32/none", "crc32",
+                                      compiler::Scheme::None, crc.build));
+    const u64 fp = exec::grid_fingerprint(jobs);
+
+    // Reference: an uninterrupted --isolate run of the same grid.
+    const auto reference = Engine{EngineOptions{
+        .jobs = 1,
+        .retries = 1,
+        .backoff = std::chrono::milliseconds{1},
+        .isolate = true}}.run(jobs);
+    EXPECT_EQ(reference[0].status, JobStatus::Quarantined);
+    EXPECT_EQ(reference[1].status, JobStatus::Ok);
+    const std::string want = envelope_bytes(jobs, reference);
+
+    // Journaled run: the supervisor must survive both attempts of the
+    // crash and journal the quarantine verdict with forensics.
+    {
+        Journal journal{path, "resume_test", fp, /*resume=*/false};
+        const auto outcomes = Engine{EngineOptions{
+            .jobs = 1,
+            .retries = 1,
+            .backoff = std::chrono::milliseconds{1},
+            .journal = &journal,
+            .isolate = true}}.run(jobs);
+        EXPECT_EQ(outcomes[0].status, JobStatus::Quarantined);
+        EXPECT_EQ(outcomes[0].attempts, 2u);
+        EXPECT_FALSE(outcomes[0].error.empty());
+        // Loose on purpose: plain builds record the signal, sanitizer
+        // builds intercept SIGSEGV and exit(1). Either is forensic.
+        ASSERT_FALSE(outcomes[0].forensics.is_null());
+        EXPECT_TRUE(outcomes[0].forensics.find("cause") != nullptr);
+        EXPECT_TRUE(outcomes[0].forensics.find("signal") != nullptr ||
+                    outcomes[0].forensics.find("exit_status") != nullptr);
+        EXPECT_EQ(outcomes[1].status, JobStatus::Ok);
+    }
+
+    // Resume: the quarantined crash replays (with its forensics) and
+    // the envelope is byte-identical to the uninterrupted run.
+    Journal journal{path, "resume_test", fp, /*resume=*/true};
+    EXPECT_EQ(journal.loaded(), 2u);
+    const JobOutcome* rec = journal.find("crasher");
+    ASSERT_NE(rec, nullptr);
+    EXPECT_FALSE(rec->forensics.is_null());
+    const auto resumed = Engine{EngineOptions{
+        .jobs = 1,
+        .retries = 1,
+        .journal = &journal,
+        .isolate = true}}.run(jobs);
+    EXPECT_TRUE(resumed[0].from_journal);
+    EXPECT_TRUE(resumed[1].from_journal);
+    EXPECT_EQ(envelope_bytes(jobs, resumed), want);
+    std::remove(path.c_str());
+}
+
+TEST(Isolate, RlimitCagedAllocationQuarantines)
+{
+    if (!exec::isolation_supported())
+        GTEST_SKIP() << "no fork on this host";
+    const ShutdownGuard guard;
+    std::vector<Job> jobs;
+    jobs.push_back(Job{
+        .name = "hog",
+        .body = [](const exec::JobContext&) -> sim::RunResult {
+            // ~1 GiB, touched so it cannot stay virtual — far past the
+            // 256 MiB cage below. Depending on the allocator this is a
+            // clean bad_alloc (an Error record from the worker) or a
+            // death by signal; both must end in quarantine.
+            std::vector<char> hog(1u << 30, 1);
+            sim::RunResult r;
+            r.exit_code = hog[hog.size() - 1];
+            return r;
+        }});
+    const auto outcomes = Engine{EngineOptions{
+        .jobs = 1,
+        .retries = 1,
+        .backoff = std::chrono::milliseconds{1},
+        .isolate = true,
+        .rlimit_mb = 256}}.run(jobs);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Quarantined);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_FALSE(outcomes[0].error.empty());
+}
+
+TEST(Isolate, HardTimeoutKillsHungWorker)
+{
+    if (!exec::isolation_supported())
+        GTEST_SKIP() << "no fork on this host";
+    const ShutdownGuard guard;
+    std::vector<Job> jobs;
+    jobs.push_back(Job{
+        .name = "deadline-ignorer",
+        .body = [](const exec::JobContext&) {
+            return spin_ignoring_cancellation();
+        }});
+    const auto outcomes = Engine{EngineOptions{
+        .jobs = 1,
+        .timeout = std::chrono::milliseconds{200},
+        .isolate = true,
+        .grace = std::chrono::milliseconds{150},
+        .heartbeat = std::chrono::milliseconds{50}}}.run(jobs);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Timeout);
+    EXPECT_NE(outcomes[0].error.find("hard timeout"), std::string::npos)
+        << outcomes[0].error;
+    ASSERT_FALSE(outcomes[0].forensics.is_null());
+    EXPECT_EQ(outcomes[0].forensics.at("cause").as_string(),
+              "hard-timeout");
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(Isolate, HeartbeatWatchdogCatchesWedgedWorker)
+{
+    const ShutdownGuard guard;
+    std::vector<Job> jobs;
+    jobs.push_back(Job{
+        .name = "wedged",
+        .body = [](const exec::JobContext&) {
+            // Block every signal the supervisor relies on — the worst
+            // case short of a kernel-side hang. Only the heartbeat
+            // watchdog (silence on the pipe) can catch this.
+            sigset_t set;
+            sigemptyset(&set);
+            sigaddset(&set, SIGALRM);
+            sigaddset(&set, SIGTERM);
+            sigprocmask(SIG_BLOCK, &set, nullptr);
+            return spin_ignoring_cancellation();
+        }});
+    const auto outcomes = Engine{EngineOptions{
+        .jobs = 1,
+        .isolate = true,
+        .grace = std::chrono::milliseconds{150},
+        .heartbeat = std::chrono::milliseconds{50}}}.run(jobs);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Crashed);
+    ASSERT_FALSE(outcomes[0].forensics.is_null());
+    EXPECT_EQ(outcomes[0].forensics.at("cause").as_string(), "watchdog");
+}
+#endif
+
+TEST(Sentinel, SamplingIsDeterministic)
+{
+    Job job;
+    job.name = "a/b";
+    job.key = "a/b";
+    job.seed = 7;
+    EXPECT_FALSE(exec::sentinel_sampled(job, 0));
+    EXPECT_TRUE(exec::sentinel_sampled(job, 1));
+    const bool first = exec::sentinel_sampled(job, 4);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(exec::sentinel_sampled(job, 4), first);
+    // Sampling keys off job identity, not address or call order.
+    Job other = job;
+    other.key = "c/d";
+    other.seed = 8;
+    bool any_diff = exec::sentinel_sampled(other, 4) != first;
+    for (u64 s = 0; s < 64 && !any_diff; ++s) {
+        other.seed = s;
+        any_diff = exec::sentinel_sampled(other, 4) != first;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Sentinel, CleanRunMatches)
+{
+    if (!exec::isolation_supported())
+        GTEST_SKIP() << "no fork on this host";
+    const ShutdownGuard guard;
+    const auto& crc = workloads::workload("crc32");
+    std::vector<Job> jobs;
+    jobs.push_back(exec::make_sim_job("crc32/none", "crc32",
+                                      compiler::Scheme::None, crc.build));
+
+    const auto plain = Engine{EngineOptions{.jobs = 1}}.run(jobs);
+    const auto checked = Engine{EngineOptions{
+        .jobs = 1, .isolate = true, .sentinel = 1}}.run(jobs);
+    ASSERT_EQ(checked[0].status, JobStatus::Ok);
+    EXPECT_EQ(checked[0].result.cycles, plain[0].result.cycles);
+    EXPECT_EQ(checked[0].result.exit_code, plain[0].result.exit_code);
+    ASSERT_FALSE(checked[0].forensics.is_null());
+    EXPECT_EQ(
+        checked[0].forensics.at("sentinel").at("verdict").as_string(),
+        "match");
+}
+
+TEST(Sentinel, SeededDivergenceDegradesToInterpreter)
+{
+    if (!exec::isolation_supported())
+        GTEST_SKIP() << "no fork on this host";
+    const ShutdownGuard guard;
+    const std::string path = temp_journal("hwst_sentinel_div.journal");
+    std::remove(path.c_str());
+
+    const auto& crc = workloads::workload("crc32");
+    std::vector<Job> jobs;
+    jobs.push_back(exec::make_sim_job("crc32/none", "crc32",
+                                      compiler::Scheme::None, crc.build));
+    const u64 fp = exec::grid_fingerprint(jobs);
+
+    // Interpreter ground truth, captured before the fault hook is set.
+    const auto reference = Engine{EngineOptions{.jobs = 1}}.run(jobs);
+    ASSERT_EQ(reference[0].status, JobStatus::Ok);
+
+    // HWST_DBT_FAULT nudges the DBT tier's cycle count (test-only); the
+    // interpreter sibling is unaffected, so the sentinel must catch the
+    // divergence and degrade the job to the interpreter result.
+    const EnvGuard fault{"HWST_DBT_FAULT", "1"};
+    Journal journal{path, "resume_test", fp, /*resume=*/false};
+    const auto outcomes = Engine{EngineOptions{
+        .jobs = 1,
+        .journal = &journal,
+        .isolate = true,
+        .sentinel = 1}}.run(jobs);
+    ASSERT_EQ(outcomes[0].status, JobStatus::Ok);
+    EXPECT_EQ(outcomes[0].result.cycles, reference[0].result.cycles);
+    EXPECT_EQ(outcomes[0].result.instret, reference[0].result.instret);
+    ASSERT_FALSE(outcomes[0].forensics.is_null());
+    const auto& note = outcomes[0].forensics.at("sentinel");
+    EXPECT_EQ(note.at("verdict").as_string(), "divergence");
+    EXPECT_TRUE(note.find("dbt_result") != nullptr);
+    EXPECT_TRUE(note.find("interpreter_result") != nullptr);
+
+    // The divergence report is durable: it replays from the journal.
+    Journal replay{path, "resume_test", fp, /*resume=*/true};
+    const JobOutcome* rec = replay.find(jobs[0].key);
+    ASSERT_NE(rec, nullptr);
+    ASSERT_FALSE(rec->forensics.is_null());
+    EXPECT_EQ(
+        rec->forensics.at("sentinel").at("verdict").as_string(),
+        "divergence");
+    std::remove(path.c_str());
+}
+
+TEST(Sentinel, ForcedInterpreterIsCountedInDbtStats)
+{
+    const auto& crc = workloads::workload("crc32");
+    const mir::Module module = crc.build();
+    const auto cp = compiler::compile(module, compiler::Scheme::None);
+    sim::force_interpreter(true);
+    sim::Machine machine{cp.program, cp.machine_config};
+    const sim::RunResult r = machine.run();
+    sim::force_interpreter(false);
+    EXPECT_EQ(r.exit_code, crc.expected);
+    // Unless the environment disabled the tier outright, the forced
+    // interpreter run counts as a sentinel degradation, and the block
+    // cache must never have been consulted.
+    if (common::env_flag("HWST_DBT").value_or(true)) {
+        EXPECT_EQ(machine.dbt_stats().sentinel_degraded, 1u);
+        EXPECT_EQ(machine.dbt_stats().blocks, 0u);
+    }
 }
