@@ -9,6 +9,7 @@
 // table is identical at any thread count. All five land in
 // BENCH_ablations.json.
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -17,10 +18,10 @@
 #include "compiler/driver.hpp"
 #include "compiler/emitters.hpp"
 #include "exec/cli.hpp"
-#include "exec/journal.hpp"
-#include "exec/report.hpp"
+#include "exec/envelope.hpp"
 #include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
+#include "serve/cache.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hwst;
@@ -70,10 +71,10 @@ void rekey(std::vector<exec::Job>& jobs, const char* prefix)
 
 /// Run one ablation's grid and unwrap the results; any failed job aborts
 /// the ablation (these grids have no expected-failure rows).
-std::vector<sim::RunResult> run_grid(const exec::Engine& engine,
+std::vector<sim::RunResult> run_grid(const exec::Campaign& campaign,
                                      const std::vector<exec::Job>& jobs)
 {
-    const auto outcomes = engine.run(jobs);
+    const auto outcomes = campaign.run(jobs);
     std::vector<sim::RunResult> rs;
     rs.reserve(outcomes.size());
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -88,7 +89,7 @@ std::vector<sim::RunResult> run_grid(const exec::Engine& engine,
     return rs;
 }
 
-exec::json::Value keybuffer_sweep(const exec::Engine& engine, bool smoke)
+exec::json::Value keybuffer_sweep(const exec::Campaign& campaign, bool smoke)
 {
     std::cout << "== Ablation 1: keybuffer size (HWST128_tchk overhead %, "
                  "Eq. 7) ==\n";
@@ -120,7 +121,7 @@ exec::json::Value keybuffer_sweep(const exec::Engine& engine, bool smoke)
                                           Scheme::Hwst128, w.build));
     }
     rekey(jobs, "kb");
-    const auto rs = run_grid(engine, jobs);
+    const auto rs = run_grid(campaign, jobs);
 
     common::TextTable t{{"workload", "disabled", "1", "2", "4", "8 (paper)",
                          "16", "sw key load (HWST128)"}};
@@ -150,7 +151,7 @@ exec::json::Value keybuffer_sweep(const exec::Engine& engine, bool smoke)
     return rows;
 }
 
-exec::json::Value compression_ablation(const exec::Engine& engine,
+exec::json::Value compression_ablation(const exec::Campaign& campaign,
                                        bool smoke)
 {
     std::cout << "== Ablation 2: metadata compression (overhead %, "
@@ -173,7 +174,7 @@ exec::json::Value compression_ablation(const exec::Engine& engine,
         }));
     }
     rekey(jobs, "cmp");
-    const auto rs = run_grid(engine, jobs);
+    const auto rs = run_grid(campaign, jobs);
 
     common::TextTable t{{"workload", "compressed (paper)", "uncompressed",
                          "extra meta ops"}};
@@ -197,7 +198,7 @@ exec::json::Value compression_ablation(const exec::Engine& engine,
     return rows;
 }
 
-exec::json::Value trie_ablation(const exec::Engine& engine, bool smoke)
+exec::json::Value trie_ablation(const exec::Campaign& campaign, bool smoke)
 {
     std::cout << "== Ablation 3: SBCETS shadow organisation (overhead %) "
                  "==\n";
@@ -218,7 +219,7 @@ exec::json::Value trie_ablation(const exec::Engine& engine, bool smoke)
         }));
     }
     rekey(jobs, "trie");
-    const auto rs = run_grid(engine, jobs);
+    const auto rs = run_grid(campaign, jobs);
 
     common::TextTable t{{"workload", "trie (SoftBound)", "linear map"}};
     exec::json::Value rows = exec::json::Value::array();
@@ -240,7 +241,7 @@ exec::json::Value trie_ablation(const exec::Engine& engine, bool smoke)
     return rows;
 }
 
-exec::json::Value cache_sweep(const exec::Engine& engine, bool smoke)
+exec::json::Value cache_sweep(const exec::Campaign& campaign, bool smoke)
 {
     std::cout << "== Ablation 4: D-cache capacity (overhead %, em3d) ==\n";
     std::vector<unsigned> set_counts = {16u, 64u, 256u};
@@ -267,7 +268,7 @@ exec::json::Value cache_sweep(const exec::Engine& engine, bool smoke)
         }
     }
     rekey(jobs, "dcache");
-    const auto rs = run_grid(engine, jobs);
+    const auto rs = run_grid(campaign, jobs);
 
     common::TextTable t{{"dcache", "sbcets", "hwst128_tchk"}};
     exec::json::Value rows = exec::json::Value::array();
@@ -293,7 +294,7 @@ exec::json::Value cache_sweep(const exec::Engine& engine, bool smoke)
     return rows;
 }
 
-exec::json::Value status_decomposition(const exec::Engine& engine,
+exec::json::Value status_decomposition(const exec::Campaign& campaign,
                                        bool smoke)
 {
     std::cout << "== Ablation 5: overhead decomposition via csr.status "
@@ -315,7 +316,7 @@ exec::json::Value status_decomposition(const exec::Engine& engine,
         }
     }
     rekey(jobs, "status");
-    const auto rs = run_grid(engine, jobs);
+    const auto rs = run_grid(campaign, jobs);
 
     common::TextTable t{{"workload", "checks off", "spatial only",
                          "spatial+temporal (paper)"}};
@@ -363,36 +364,30 @@ int main(int argc, char** argv)
     }
 
     std::cout << "HWST128 design-choice ablations (DESIGN.md 5)\n\n";
-    exec::install_signal_handlers();
-    std::unique_ptr<exec::Journal> journal;
+    std::optional<exec::Campaign> campaign;
     try {
-        // One journal covers all five sub-grids; the rekey() prefixes
-        // keep their records from aliasing.
-        journal = exec::open_journal(
-            grid, "ablations",
+        // One journal (and cache grid_hash) covers all five sub-grids;
+        // the rekey() prefixes keep their records from aliasing.
+        campaign.emplace(
+            "ablations", grid,
             exec::grid_fingerprint(std::string{"ablations smoke="} +
                                    (grid.smoke ? "1" : "0")));
+        serve::attach_cache(*campaign, grid);
     } catch (const std::exception& e) {
         std::cerr << "ablations: " << e.what() << '\n';
         return 2;
     }
     try {
-        exec::EngineOptions eopts = grid.engine();
-        eopts.journal = journal.get();
-        const exec::Engine engine{eopts};
-        const exec::Stopwatch stopwatch;
         exec::json::Value payload = exec::json::Value::object();
-        payload["keybuffer"] = keybuffer_sweep(engine, grid.smoke);
-        payload["compression"] = compression_ablation(engine, grid.smoke);
-        payload["sbcets_shadow"] = trie_ablation(engine, grid.smoke);
-        payload["dcache"] = cache_sweep(engine, grid.smoke);
+        payload["keybuffer"] = keybuffer_sweep(*campaign, grid.smoke);
+        payload["compression"] = compression_ablation(*campaign, grid.smoke);
+        payload["sbcets_shadow"] = trie_ablation(*campaign, grid.smoke);
+        payload["dcache"] = cache_sweep(*campaign, grid.smoke);
         payload["status_decomposition"] =
-            status_decomposition(engine, grid.smoke);
+            status_decomposition(*campaign, grid.smoke);
         if (grid.json) {
-            const std::string path = exec::write_bench_json(
-                "ablations", exec::resolve_jobs(grid.jobs),
-                stopwatch.elapsed_ms(), payload, grid.json_path);
-            std::cout << "\nwrote " << path << '\n';
+            std::cout << '\n';
+            campaign->write(payload);
         }
     } catch (const std::exception& e) {
         std::cerr << "ablations: " << e.what() << '\n';

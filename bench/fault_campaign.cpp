@@ -12,6 +12,7 @@
 //   fault_campaign --jobs 8 --json                # parallel + JSON
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -20,6 +21,7 @@
 #include "exec/report.hpp"
 #include "exec/shutdown.hpp"
 #include "fault/campaign.hpp"
+#include "serve/cache.hpp"
 
 using namespace hwst;
 using fault::CampaignConfig;
@@ -116,16 +118,24 @@ int main(int argc, char** argv)
 {
     try {
         exec::GridOptions grid;
-        const CampaignConfig cfg = parse(argc, argv, grid);
+        CampaignConfig cfg = parse(argc, argv, grid);
         exec::install_signal_handlers();
+        // Cache binding for the classified faulted runs (--cache /
+        // HWST_CACHE); cells are keyed by the campaign fingerprint, so
+        // a config change can never serve a stale record.
+        const std::unique_ptr<exec::CellStore> cache = serve::open_cache(
+            grid, "fault_campaign", fault::campaign_fingerprint(cfg));
+        cfg.cache = cache.get();
         const exec::Stopwatch stopwatch;
         const auto report = fault::run_campaign(cfg);
         const double wall_ms = stopwatch.elapsed_ms();
         report.print(std::cout);
         if (grid.json) {
+            exec::json::Value payload = report.to_json();
+            if (cache) payload["cache"] = cache->stats_json();
             const std::string path = exec::write_bench_json(
                 "fault_campaign", exec::resolve_jobs(grid.jobs), wall_ms,
-                report.to_json(), grid.json_path);
+                payload, grid.json_path);
             std::cout << "wrote " << path << '\n';
         }
         // Exit status checks the completeness invariant first: no

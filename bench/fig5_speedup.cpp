@@ -11,15 +11,15 @@
 // (insufficient memory); our simulated heap is larger, so the row is
 // measured — the paper's DNF is recorded in EXPERIMENTS.md.
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exec/cli.hpp"
-#include "exec/journal.hpp"
-#include "exec/report.hpp"
-#include "exec/shutdown.hpp"
+#include "exec/envelope.hpp"
 #include "exec/simrun.hpp"
+#include "serve/cache.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hwst;
@@ -59,22 +59,15 @@ int main(int argc, char** argv)
         }
     }
 
-    exec::install_signal_handlers();
-    std::unique_ptr<exec::Journal> journal;
+    std::optional<exec::Campaign> campaign;
     try {
-        journal = exec::open_journal(grid, "fig5",
-                                     exec::grid_fingerprint(jobs));
+        campaign.emplace("fig5", grid, exec::grid_fingerprint(jobs));
+        serve::attach_cache(*campaign, grid);
     } catch (const std::exception& e) {
         std::cerr << "fig5_speedup: " << e.what() << '\n';
         return 2;
     }
-    exec::EngineOptions eopts = grid.engine();
-    eopts.journal = journal.get();
-
-    const exec::Engine engine{eopts};
-    const exec::Stopwatch stopwatch;
-    const auto outcomes = engine.run(jobs);
-    const double wall_ms = stopwatch.elapsed_ms();
+    const auto outcomes = campaign->run(jobs);
 
     std::cout << "Figure 5: speedup factor over SBCETS (Eq. 8)\n\n";
     common::TextTable table{{"workload", "sbcets cycles", "bogo",
@@ -144,21 +137,12 @@ int main(int argc, char** argv)
     std::cout << "\npaper (Fig. 5 geo. means): BOGO 1.31x, WDL narrow "
                  "1.58x, WDL wide 1.64x, HWST128 3.74x\n";
 
-    if (grid.json) {
-        exec::json::Value payload = exec::json::Value::object();
-        exec::json::Value wl = exec::json::Value::array();
-        for (const auto* w : ws) wl.push_back(w->name);
-        payload["workloads"] = wl;
-        payload["rows"] = rows;
-        payload["geo_means"] = geo;
-        payload["incomplete"] = incomplete;
-        payload["summary"] = exec::summary_json(jobs, outcomes);
-        const std::string path = exec::write_bench_json(
-            "fig5", exec::resolve_jobs(grid.jobs), wall_ms, payload,
-            grid.json_path);
-        std::cout << "wrote " << path << '\n';
-    }
-    const int rc = exec::grid_exit_code(outcomes, grid.keep_going);
-    if (rc == 0 && bad_result && !grid.keep_going) return 1;
-    return rc;
+    exec::json::Value payload = exec::json::Value::object();
+    exec::json::Value wl = exec::json::Value::array();
+    for (const auto* w : ws) wl.push_back(w->name);
+    payload["workloads"] = wl;
+    payload["rows"] = rows;
+    payload["geo_means"] = geo;
+    payload["incomplete"] = incomplete;
+    return campaign->finish(std::move(payload), jobs, outcomes, bad_result);
 }

@@ -11,13 +11,13 @@
 // identical at every thread count. Results land in BENCH_fig6.json.
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 
 #include "common/table.hpp"
 #include "exec/cli.hpp"
-#include "exec/journal.hpp"
-#include "exec/report.hpp"
-#include "exec/shutdown.hpp"
+#include "exec/envelope.hpp"
 #include "juliet/runner.hpp"
+#include "serve/cache.hpp"
 
 using namespace hwst;
 using compiler::Scheme;
@@ -120,25 +120,22 @@ int main(int argc, char** argv)
                 Chunk{s, lo, std::min(lo + kChunk, cases.size())});
     }
 
-    exec::install_signal_handlers();
     // The grid is chunk-indexed, so the fingerprint hashes the campaign
     // shape: any change to stride, case count, scheme set or chunk size
-    // invalidates an old journal.
+    // invalidates an old journal (and can never alias a cache cell).
     const std::string grid_desc =
         "fig6 stride=" + std::to_string(stride) +
         " cases=" + std::to_string(cases.size()) +
         " schemes=" + std::to_string(schemes.size()) +
         " chunk=" + std::to_string(kChunk);
-    std::unique_ptr<exec::Journal> journal;
+    std::optional<exec::Campaign> campaign;
     try {
-        journal = exec::open_journal(grid, "fig6",
-                                     exec::grid_fingerprint(grid_desc));
+        campaign.emplace("fig6", grid, exec::grid_fingerprint(grid_desc));
+        serve::attach_cache(*campaign, grid);
     } catch (const std::exception& e) {
         std::cerr << "fig6_coverage: " << e.what() << '\n';
         return 2;
     }
-    exec::EngineOptions eopts = grid.engine();
-    eopts.journal = journal.get();
 
     const exec::MapCodec<juliet::Coverage> codec{
         .label = "chunk",
@@ -146,10 +143,8 @@ int main(int argc, char** argv)
         .decode = coverage_from_json,
     };
 
-    const exec::Engine engine{eopts};
-    const exec::Stopwatch stopwatch;
     std::vector<juliet::Coverage> partial;
-    const auto outcomes = engine.map<juliet::Coverage>(
+    const auto outcomes = campaign->map<juliet::Coverage>(
         chunks.size(),
         [&](std::size_t i, const exec::JobContext& ctx) {
             const Chunk& c = chunks[i];
@@ -170,7 +165,6 @@ int main(int argc, char** argv)
             return cov;
         },
         partial, codec);
-    const double wall_ms = stopwatch.elapsed_ms();
 
     bool complete = true;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -252,17 +246,10 @@ int main(int argc, char** argv)
     std::cout << "\npaper (Fig. 6): GCC 11.20% (937), ASAN 58.08% (4859), "
                  "SBCETS 64.49% (5395), HWST128 63.63% (5323)\n";
 
-    if (grid.json) {
-        exec::json::Value payload = exec::json::Value::object();
-        payload["stride"] = stride;
-        payload["cases"] = cases.size();
-        payload["schemes"] = jschemes;
-        payload["complete"] = complete;
-        payload["summary"] = exec::summary_json({}, outcomes);
-        const std::string path = exec::write_bench_json(
-            "fig6", exec::resolve_jobs(grid.jobs), wall_ms, payload,
-            grid.json_path);
-        std::cout << "wrote " << path << '\n';
-    }
-    return exec::grid_exit_code(outcomes, grid.keep_going);
+    exec::json::Value payload = exec::json::Value::object();
+    payload["stride"] = stride;
+    payload["cases"] = cases.size();
+    payload["schemes"] = jschemes;
+    payload["complete"] = complete;
+    return campaign->finish(std::move(payload), {}, outcomes);
 }

@@ -1,0 +1,182 @@
+// hwst_serve — the campaign-serving daemon (docs/serving.md): bind a
+// Unix-domain socket, accept grid submissions from many concurrent
+// hwst_run --submit clients, run their cells on one shared worker pool
+// (retries, isolation and the DBT sentinel included), and serve
+// repeated cells from the content-addressed result cache.
+//
+//   hwst_serve --socket /tmp/hwst.sock --cache /var/cache/hwst
+//   hwst_serve --socket s.sock --jobs 8 --isolate --cache-mb 512
+//   hwst_serve --run -- sh -c 'hwst_run --submit ...'   # scripted mode
+//
+// Flags: the shared grid vocabulary governs per-cell execution
+// (--jobs/--timeout-ms/--retries/--isolate/--sentinel/--cache/...),
+// plus:
+//   --socket PATH   socket to bind (default: HWST_SERVE_SOCKET, or a
+//                   pid-scoped hwst_serve.<pid>.sock under --run)
+//   --run -- CMD..  serve only while CMD runs: export HWST_SERVE_SOCKET
+//                   to CMD's environment, wait for it, drain, and exit
+//                   with CMD's status. This is how serve-smoke scripts a
+//                   server + clients from CMake's sequential COMMANDs.
+//
+// SIGTERM/SIGINT drain gracefully: in-flight cells finish their
+// cooperative cancel, queued cells keep their Skipped slots, and every
+// waiting client still receives its finished event.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "exec/cli.hpp"
+#include "exec/shutdown.hpp"
+#include "serve/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#define HWST_SERVE_MAIN_POSIX 1
+#endif
+
+using namespace hwst;
+
+namespace {
+
+struct Options {
+    std::string socket;
+    std::vector<std::string> run_cmd; ///< --run: child command line
+    exec::GridOptions grid;
+};
+
+Options parse(int argc, char** argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        if (exec::parse_grid_flag(o.grid, argc, argv, i)) continue;
+        const std::string a = argv[i];
+        if (a == "--socket") {
+            if (i + 1 >= argc)
+                throw common::ToolchainError{"--socket needs a path"};
+            o.socket = argv[++i];
+        } else if (a == "--run") {
+            // Everything after --run (minus an optional "--") is the
+            // child command.
+            ++i;
+            if (i < argc && std::string{argv[i]} == "--") ++i;
+            for (; i < argc; ++i) o.run_cmd.emplace_back(argv[i]);
+            if (o.run_cmd.empty())
+                throw common::ToolchainError{"--run needs a command"};
+        } else {
+            throw common::ToolchainError{"unknown flag: " + a +
+                                         "\nshared grid flags:\n" +
+                                         exec::kGridFlagsHelp};
+        }
+    }
+    if (o.grid.journal || o.grid.resume)
+        throw common::ToolchainError{
+            "the server's durability is its cache; --journal/--resume "
+            "belong to local campaigns"};
+    if (o.socket.empty()) {
+        if (const char* env = std::getenv("HWST_SERVE_SOCKET"))
+            o.socket = env;
+    }
+    return o;
+}
+
+#ifdef HWST_SERVE_MAIN_POSIX
+/// Run the --run child with HWST_SERVE_SOCKET exported; returns its
+/// exit status (128+signal on a signalled child).
+int run_child(const std::vector<std::string>& cmd,
+              const std::string& socket)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0) throw common::ToolchainError{"fork failed"};
+    if (pid == 0) {
+        ::setenv("HWST_SERVE_SOCKET", socket.c_str(), 1);
+        std::vector<char*> argv;
+        argv.reserve(cmd.size() + 1);
+        for (const auto& a : cmd) argv.push_back(const_cast<char*>(a.c_str()));
+        argv.push_back(nullptr);
+        ::execvp(argv[0], argv.data());
+        std::cerr << "hwst_serve: cannot exec " << cmd[0] << '\n';
+        ::_exit(127);
+    }
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) throw common::ToolchainError{"waitpid failed"};
+        // A shutdown signal mid-wait: forward the drain to the child so
+        // both sides wind down (the child decides what partial means).
+        if (exec::shutdown_requested()) ::kill(pid, SIGTERM);
+    }
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return WEXITSTATUS(status);
+}
+#endif
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        Options o = parse(argc, argv);
+        if (o.socket.empty()) {
+            if (o.run_cmd.empty())
+                throw common::ToolchainError{
+                    "hwst_serve needs --socket PATH (or "
+                    "HWST_SERVE_SOCKET)"};
+#ifdef HWST_SERVE_MAIN_POSIX
+            o.socket =
+                "hwst_serve." + std::to_string(::getpid()) + ".sock";
+#endif
+        }
+
+        serve::ServerOptions sopts;
+        sopts.socket_path = o.socket;
+        sopts.cache_root = o.grid.cache_dir;
+        if (sopts.cache_root.empty()) {
+            if (const char* env = std::getenv("HWST_CACHE"))
+                sopts.cache_root = env;
+        }
+        sopts.cache_max_bytes = o.grid.cache_mb << 20;
+        if (sopts.cache_max_bytes == 0) {
+            if (const char* env = std::getenv("HWST_CACHE_MB"))
+                sopts.cache_max_bytes = std::strtoull(env, nullptr, 10)
+                                        << 20;
+        }
+        sopts.engine = o.grid.engine();
+
+        exec::install_signal_handlers();
+        serve::Server server{sopts};
+        server.start();
+        std::cerr << "[serve] listening on " << o.socket
+                  << (sopts.cache_root.empty()
+                          ? std::string{" (no cache)"}
+                          : " (cache " + sopts.cache_root + ")")
+                  << ", " << exec::resolve_jobs(sopts.engine.jobs)
+                  << " workers\n";
+
+#ifdef HWST_SERVE_MAIN_POSIX
+        if (!o.run_cmd.empty()) {
+            const int rc = run_child(o.run_cmd, o.socket);
+            server.stop();
+            const serve::ServerStats stats = server.stats();
+            std::cerr << "[serve] drained: " << stats.campaigns
+                      << " campaigns, " << stats.cells << " cells ("
+                      << stats.cached << " cache-served)\n";
+            return rc;
+        }
+#endif
+        // Daemon mode: park until SIGTERM/SIGINT asks for the drain.
+        while (!exec::shutdown_requested())
+            std::this_thread::sleep_for(std::chrono::milliseconds{100});
+        std::cerr << "[serve] shutdown requested, draining\n";
+        server.stop();
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "hwst_serve: " << e.what() << '\n';
+        return 2;
+    }
+}

@@ -14,11 +14,17 @@
 //
 // `json_check --equiv A B` compares two BENCH envelopes after stripping
 // host-side fields (wall_ms, run_ms, mips, geo_mean_mips, git_rev,
-// jobs): the determinism contract of docs/performance.md says host
-// speed may change between runs and revisions, simulated numbers may
-// not — this is the check that enforces it. The strip itself is
-// exec::strip_host_fields, shared with the engine's DBT divergence
-// sentinel so the two comparators cannot drift apart.
+// jobs, cache stats): the determinism contract of docs/performance.md
+// says host speed may change between runs and revisions, simulated
+// numbers may not — this is the check that enforces it. The strip
+// itself is exec::strip_host_fields, shared with the engine's DBT
+// divergence sentinel so the two comparators cannot drift apart.
+//
+// `json_check --cache DIR [GIT_REV]` audits a content-addressed result
+// cache (docs/serving.md): counts cells/bytes/dangling temps, validates
+// every cell (parse, version, address re-hash, record round trip), and
+// with GIT_REV flags cells another build published. Invalid or stale
+// cells exit 1.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -26,6 +32,7 @@
 
 #include "exec/journal.hpp"
 #include "exec/report.hpp"
+#include "serve/cache.hpp"
 
 using namespace hwst;
 
@@ -187,6 +194,26 @@ int main(int argc, char** argv)
             return 1;
         }
     }
+    if (argc > 1 && std::string{argv[1]} == "--cache") {
+        if (argc != 3 && argc != 4) {
+            std::cerr << "usage: json_check --cache DIR [GIT_REV]\n";
+            return 2;
+        }
+        try {
+            const serve::CacheAudit audit =
+                serve::audit_cache(argv[2], argc == 4 ? argv[3] : "");
+            for (const auto& p : audit.problems)
+                std::cerr << "  " << p << '\n';
+            std::cout << argv[2] << ": " << audit.cells << " cells, "
+                      << audit.bytes << " bytes, " << audit.dangling_tmp
+                      << " dangling temps, " << audit.invalid
+                      << " invalid, " << audit.stale << " stale\n";
+            return audit.ok() ? 0 : 1;
+        } catch (const std::exception& e) {
+            std::cerr << "json_check: " << e.what() << '\n';
+            return 1;
+        }
+    }
     if (first >= argc) {
         std::cerr
             << "usage: json_check BENCH_<name>.json...\n"
@@ -194,9 +221,12 @@ int main(int argc, char** argv)
                "       json_check --strict-journal "
                "BENCH_<name>.journal...\n"
                "       json_check --equiv A.json B.json\n"
+               "       json_check --cache DIR [GIT_REV]\n"
                "--journal skips-and-counts malformed record lines (like "
                "--resume);\n"
-               "--strict-journal fails on any skipped line.\n";
+               "--strict-journal fails on any skipped line.\n"
+               "--cache audits a result cache; GIT_REV flags stale "
+               "cells.\n";
         return 2;
     }
     bool any_skipped = false;

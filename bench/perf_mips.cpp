@@ -24,17 +24,13 @@
 #include "common/table.hpp"
 #include "compiler/driver.hpp"
 #include "exec/cli.hpp"
-#include "exec/report.hpp"
+#include "exec/envelope.hpp"
 #include "exec/shutdown.hpp"
 #include "exec/simrun.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hwst;
 using compiler::Scheme;
-
-#ifndef HWST_GIT_REV
-#define HWST_GIT_REV "unknown"
-#endif
 
 namespace {
 
@@ -69,7 +65,7 @@ int main(int argc, char** argv)
 {
     exec::GridOptions grid;
     std::vector<Scheme> schemes = {Scheme::None, Scheme::Hwst128Tchk};
-    std::string git_rev = HWST_GIT_REV;
+    std::string git_rev = exec::build_git_rev();
     bool use_dbt = true;
     try {
         for (int i = 1; i < argc; ++i) {
@@ -100,6 +96,12 @@ int main(int argc, char** argv)
             throw common::ToolchainError{
                 "perf_mips measures host timing in-process; --isolate / "
                 "--sentinel are not supported here"};
+        // Host-timing rows are meaningless to replay: a cache-served
+        // cell would report another run's MIPS as this one's.
+        if (!grid.cache_dir.empty() || grid.cache_mb != 0)
+            throw common::ToolchainError{
+                "perf_mips rows are host timings; --cache / --cache-mb "
+                "are not supported here"};
     } catch (const std::exception& e) {
         std::cerr << "perf_mips: " << e.what() << "\nflags:\n"
                   << exec::kGridFlagsHelp

@@ -13,21 +13,31 @@
 //   hwst_run --juliet CWE122:40 --scheme hwst128_tchk
 //   hwst_run --workload crc32 --scheme hwst128_tchk --emit-hex out.hex
 //   hwst_run --workload crc32 --listing
+//
+// Client modes (docs/serving.md) run the same grid on a campaign server
+// instead of in-process; the envelope stays bit-identical modulo
+// host-side fields:
+//   hwst_run --submit --workload crc32,treeadd --scheme none,hwst128_tchk
+//            --socket /tmp/hwst.sock --json run.json
+//   hwst_run --poll c1 --socket /tmp/hwst.sock
+//   hwst_run --wait c1 --socket /tmp/hwst.sock
+//   hwst_run --submit ... --expect-cached 90   (exit 3 under 90% hits)
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
 #include "compiler/driver.hpp"
 #include "exec/cli.hpp"
-#include "exec/journal.hpp"
-#include "exec/report.hpp"
-#include "exec/shutdown.hpp"
-#include "exec/simrun.hpp"
+#include "exec/envelope.hpp"
 #include "juliet/cases.hpp"
 #include "riscv/image.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "workloads/workload.hpp"
 
 using namespace hwst;
@@ -46,6 +56,12 @@ struct Options {
     std::string emit_image;
     bool listing = false;
     bool list = false;
+    // Client modes (docs/serving.md).
+    std::string socket;        ///< --socket (or HWST_SERVE_SOCKET)
+    bool submit = false;       ///< run the grid on a campaign server
+    std::string poll_id;       ///< --poll ID: one progress snapshot
+    std::string wait_id;       ///< --wait ID: stream until finished
+    double expect_cached = -1; ///< --expect-cached PCT (exit 3 below it)
     exec::GridOptions grid;
 };
 
@@ -119,6 +135,12 @@ Options parse(int argc, char** argv)
         else if (a == "--emit-image") o.emit_image = need("--emit-image");
         else if (a == "--listing") o.listing = true;
         else if (a == "--list") o.list = true;
+        else if (a == "--socket") o.socket = need("--socket");
+        else if (a == "--submit") o.submit = true;
+        else if (a == "--poll") o.poll_id = need("--poll");
+        else if (a == "--wait") o.wait_id = need("--wait");
+        else if (a == "--expect-cached")
+            o.expect_cached = std::stod(need("--expect-cached"));
         else
             throw common::ToolchainError{"unknown flag: " + a +
                                          "\nshared grid flags:\n" +
@@ -190,32 +212,28 @@ int run_single(const Options& o, const mir::Module& module, Scheme scheme)
     return r.ok() ? 0 : 2;
 }
 
-/// The workload × scheme grid: one summary row per cell, fanned out over
-/// the engine. Used whenever a comma list (or --json) asks for it.
-int run_grid(const Options& o)
+/// The serve::GridSpec this command line names. One vocabulary builds
+/// the jobs, keys and fingerprint for both the in-process grid and a
+/// --submit'ted one, so the two can never drift (docs/serving.md).
+serve::GridSpec grid_spec(const Options& o)
 {
-    std::vector<exec::Job> jobs;
-    for (const auto& name : o.workloads) {
-        const auto& w = workloads::workload(name); // validates the name
-        for (const Scheme s : o.schemes) {
-            jobs.push_back(exec::make_sim_job(
-                name + "/" + std::string{compiler::scheme_name(s)}, name, s,
-                w.build,
-                [&o](sim::MachineConfig& cfg) { apply_tweaks(o, cfg); }));
-        }
-    }
+    serve::GridSpec spec;
+    spec.workloads = o.workloads;
+    for (const Scheme s : o.schemes)
+        spec.schemes.emplace_back(compiler::scheme_name(s));
+    spec.keybuffer = o.keybuffer_set ? o.keybuffer : 0;
+    spec.dcache_kib = o.dcache_kib;
+    return spec;
+}
 
-    exec::install_signal_handlers();
-    std::unique_ptr<exec::Journal> journal = exec::open_journal(
-        o.grid, "hwst_run", exec::grid_fingerprint(jobs));
-    exec::EngineOptions eopts = o.grid.engine();
-    eopts.journal = journal.get();
-
-    const exec::Engine engine{eopts};
-    const exec::Stopwatch stopwatch;
-    const auto outcomes = engine.run(jobs);
-    const double wall_ms = stopwatch.elapsed_ms();
-
+/// The shared grid epilogue: print the summary table, write the
+/// envelope via the campaign, fold the exit-code policy. `payload` may
+/// arrive pre-seeded with client-mode extras (host-side fields only).
+int finish_grid(const Options& o, const exec::Campaign& campaign,
+                const std::vector<exec::Job>& jobs,
+                const std::vector<exec::JobOutcome>& outcomes,
+                exec::json::Value payload = exec::json::Value::object())
+{
     common::TextTable table{{"workload", "scheme", "status", "result",
                              "exit", "instret", "cycles", "CPI"}};
     exec::json::Value rows = exec::json::Value::array();
@@ -253,21 +271,180 @@ int run_grid(const Options& o)
     }
     table.print(std::cout);
 
-    if (o.grid.json) {
-        exec::json::Value payload = exec::json::Value::object();
-        payload["rows"] = rows;
-        payload["summary"] = exec::summary_json(jobs, outcomes);
-        const std::string path = exec::write_bench_json(
-            "hwst_run", exec::resolve_jobs(o.grid.jobs), wall_ms, payload,
-            o.grid.json_path);
-        std::cout << "wrote " << path << '\n';
-    }
+    payload["rows"] = rows;
     // Failed/skipped jobs drive the shared exit-code policy; a cell
     // that ran but trapped keeps the classic exit 2 (gated by
     // --keep-going like every other failure).
-    const int rc = exec::grid_exit_code(outcomes, o.grid.keep_going);
+    const int rc = campaign.finish(std::move(payload), jobs, outcomes);
     if (rc != 0) return rc;
     return all_ok || o.grid.keep_going ? 0 : 2;
+}
+
+/// The workload × scheme grid: one summary row per cell, fanned out over
+/// the engine. Used whenever a comma list (or --json) asks for it.
+int run_grid(const Options& o)
+{
+    const serve::GridSpec spec = grid_spec(o);
+    const std::vector<exec::Job> jobs = spec.jobs();
+    exec::Campaign campaign{"hwst_run", o.grid, spec.fingerprint()};
+    serve::attach_cache(campaign, o.grid);
+    const auto outcomes = campaign.run(jobs);
+    return finish_grid(o, campaign, jobs, outcomes);
+}
+
+// ---- client modes (docs/serving.md) ----------------------------------
+
+std::string socket_or_throw(const std::string& flag)
+{
+    const std::string s = serve::resolve_socket(flag);
+    if (s.empty())
+        throw common::ToolchainError{
+            "client mode needs --socket PATH (or HWST_SERVE_SOCKET)"};
+    return s;
+}
+
+/// Drain wait-stream events, echoing progress to stderr; returns the
+/// finished event.
+exec::json::Value stream_events(serve::Client& client,
+                                const std::string& id)
+{
+    for (;;) {
+        auto ev = client.recv();
+        if (!ev)
+            throw common::ToolchainError{
+                "server connection lost waiting for " + id};
+        if (const auto* err = ev->find("error"))
+            throw common::ToolchainError{"server: " + err->as_string()};
+        const std::string event = ev->at("event").as_string();
+        if (event == "progress") {
+            std::cerr << '[' << id << "] "
+                      << ev->at("finished").as_int() << '/'
+                      << ev->at("submitted").as_int() << " finished ("
+                      << ev->at("running").as_int() << " running, "
+                      << ev->at("cached").as_int() << " cached, "
+                      << ev->at("quarantined").as_int()
+                      << " quarantined)\n";
+            continue;
+        }
+        if (event == "finished") return std::move(*ev);
+        throw common::ToolchainError{"unexpected event: " + event};
+    }
+}
+
+/// --submit: run the grid on a campaign server and rebuild the exact
+/// in-process report from the grid-ordered records it returns.
+int client_submit(const Options& o)
+{
+    const std::string socket = socket_or_throw(o.socket);
+    const serve::GridSpec spec = grid_spec(o);
+    const std::vector<exec::Job> jobs = spec.jobs();
+
+    // The client-side campaign opens no journal and runs no engine —
+    // durability lives on the server (its cache). It provides the wall
+    // clock, the envelope writer and the exit policy, so a submitted
+    // grid writes the same BENCH_hwst_run.json a local run would.
+    exec::GridOptions copts = o.grid;
+    copts.journal = false;
+    copts.resume = false;
+    const exec::Campaign campaign{"hwst_run", copts, spec.fingerprint()};
+
+    serve::Client client{socket};
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "submit";
+    req["grid"] = spec.to_json();
+    const exec::json::Value reply = client.rpc(req);
+    const std::string id = reply.at("id").as_string();
+    if (reply.at("grid_hash").as_string() !=
+        exec::hash_hex(campaign.fingerprint()))
+        throw common::ToolchainError{
+            "server computed a different grid_hash (version skew?)"};
+    std::cerr << "submitted " << id << ": " << jobs.size() << " cells\n";
+
+    exec::json::Value wait = exec::json::Value::object();
+    wait["op"] = "wait";
+    wait["id"] = id;
+    if (!client.send(wait))
+        throw common::ToolchainError{"server connection lost"};
+    const exec::json::Value finished = stream_events(client, id);
+
+    // Rebuild the outcome vector from the grid-ordered journal-format
+    // records — index-aligned and key-checked against our own jobs, so
+    // the table below is the one an in-process run would print.
+    const auto& records = finished.at("records").items();
+    if (records.size() != jobs.size())
+        throw common::ToolchainError{
+            "server returned " + std::to_string(records.size()) +
+            " records for " + std::to_string(jobs.size()) + " cells"};
+    std::vector<exec::JobOutcome> outcomes;
+    outcomes.reserve(jobs.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        auto [key, outcome] = exec::outcome_from_record(records[i]);
+        if (key != jobs[i].key)
+            throw common::ToolchainError{"record " + std::to_string(i) +
+                                         " names key '" + key +
+                                         "', expected '" + jobs[i].key +
+                                         "'"};
+        outcomes.push_back(std::move(outcome));
+    }
+
+    const auto cached = finished.at("cached").as_int();
+    const double pct =
+        jobs.empty() ? 100.0
+                     : 100.0 * static_cast<double>(cached) /
+                           static_cast<double>(jobs.size());
+    std::cerr << id << ": " << cached << '/' << jobs.size()
+              << " cells cache-served (" << common::fmt(pct, 1) << "%)\n";
+
+    exec::json::Value payload = exec::json::Value::object();
+    payload["cached"] = cached; // host-side; stripped by --equiv
+    const int rc = finish_grid(o, campaign, jobs, outcomes,
+                               std::move(payload));
+    if (rc != 0) return rc;
+    if (o.expect_cached >= 0 && pct + 1e-9 < o.expect_cached) {
+        std::cerr << "hwst_run: expected >= " << o.expect_cached
+                  << "% cache-served cells, got " << common::fmt(pct, 1)
+                  << "%\n";
+        return 3;
+    }
+    return 0;
+}
+
+/// --poll ID: one progress snapshot. Exit 0 when done, 10 while the
+/// campaign is still running (pollable from shell loops).
+int client_poll(const Options& o)
+{
+    serve::Client client{socket_or_throw(o.socket)};
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "poll";
+    req["id"] = o.poll_id;
+    const exec::json::Value r = client.rpc(req);
+    std::cout << r.at("id").as_string() << ": "
+              << r.at("state").as_string() << ", "
+              << r.at("finished").as_int() << '/'
+              << r.at("submitted").as_int() << " finished, "
+              << r.at("cached").as_int() << " cached, "
+              << r.at("failed").as_int() << " failed, "
+              << r.at("quarantined").as_int() << " quarantined"
+              << (r.at("drained").as_bool() ? " (drained)" : "") << '\n';
+    return r.at("state").as_string() == "done" ? 0 : 10;
+}
+
+/// --wait ID: stream progress until the campaign finishes, then print
+/// its summary and fold the shared exit policy over the records.
+int client_wait(const Options& o)
+{
+    serve::Client client{socket_or_throw(o.socket)};
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "wait";
+    req["id"] = o.wait_id;
+    if (!client.send(req))
+        throw common::ToolchainError{"server connection lost"};
+    const exec::json::Value finished = stream_events(client, o.wait_id);
+    std::cout << finished.at("summary").dump(2) << '\n';
+    std::vector<exec::JobOutcome> outcomes;
+    for (const auto& rec : finished.at("records").items())
+        outcomes.push_back(exec::outcome_from_record(rec).second);
+    return exec::grid_exit_code(outcomes, o.grid.keep_going);
 }
 
 } // namespace
@@ -276,6 +453,18 @@ int main(int argc, char** argv)
 {
     try {
         const Options o = parse(argc, argv);
+
+        if (!o.poll_id.empty()) return client_poll(o);
+        if (!o.wait_id.empty()) return client_wait(o);
+        if (o.submit) {
+            if (!o.juliet.empty())
+                throw common::ToolchainError{
+                    "--submit grids are workload × scheme; --juliet runs "
+                    "locally"};
+            if (o.workloads.empty())
+                throw common::ToolchainError{"--submit needs --workload"};
+            return client_submit(o);
+        }
 
         if (o.list || (o.workloads.empty() && o.juliet.empty())) {
             std::cout << "workloads:\n";

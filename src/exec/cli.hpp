@@ -30,6 +30,8 @@ struct GridOptions {
     u64 rlimit_mb = 0;        ///< worker RLIMIT_AS cap in MiB (0 = off)
     u64 rlimit_cpu_s = 0;     ///< worker RLIMIT_CPU cap in s (0 = off)
     unsigned sentinel = 0;    ///< 1-in-N DBT divergence sentinel (0 = off)
+    std::string cache_dir;    ///< --cache DIR: content-addressed cache root
+    u64 cache_mb = 0;         ///< --cache-mb N: eviction bound (0 = none)
 
     EngineOptions engine() const
     {
@@ -129,6 +131,14 @@ inline bool parse_grid_flag(GridOptions& o, int argc, char** argv, int& i)
         o.isolate = true;
         return true;
     }
+    if (a == "--cache") {
+        o.cache_dir = need("--cache");
+        return true;
+    }
+    if (a == "--cache-mb") {
+        o.cache_mb = std::stoull(need("--cache-mb"));
+        return true;
+    }
     if (a == "--sentinel") {
         // Optional rate: bare --sentinel samples 1-in-4 by default.
         o.sentinel = kDefaultSentinelRate;
@@ -170,6 +180,11 @@ inline constexpr const char* kGridFlagsHelp =
     "  --rlimit-cpu-s N cap each worker's CPU time at N seconds "
     "(implies\n"
     "                   --isolate)\n"
+    "  --cache DIR      serve finished cells from the content-addressed\n"
+    "                   result cache at DIR and publish fresh ones "
+    "back\n"
+    "  --cache-mb N     evict least-recently-used cache cells beyond N "
+    "MiB\n"
     "  --sentinel [N]   re-run 1-in-N successful jobs (default 4) under "
     "the\n"
     "                   pure interpreter and compare; divergence "

@@ -1,0 +1,63 @@
+#include "exec/envelope.hpp"
+
+#include <iostream>
+
+#include "exec/shutdown.hpp"
+
+#ifndef HWST_GIT_REV
+#define HWST_GIT_REV "unknown"
+#endif
+
+namespace hwst::exec {
+
+std::string build_git_rev()
+{
+    return HWST_GIT_REV;
+}
+
+Campaign::Campaign(std::string bench, const GridOptions& grid,
+                   u64 fingerprint)
+    : bench_{std::move(bench)}, grid_{grid}, fingerprint_{fingerprint}
+{
+    install_signal_handlers();
+    journal_ = open_journal(grid_, bench_, fingerprint_);
+}
+
+void Campaign::attach_cache(std::unique_ptr<CellStore> cache)
+{
+    cache_ = std::move(cache);
+}
+
+EngineOptions Campaign::engine_options() const
+{
+    EngineOptions opts = grid_.engine();
+    opts.journal = journal_.get();
+    opts.cache = cache_.get();
+    return opts;
+}
+
+std::string Campaign::write(const json::Value& payload) const
+{
+    json::Value body = payload;
+    // Cache hit/miss counters are a fact about this host run, so they
+    // ride in a host-side field json_check --equiv strips: warm and
+    // cold envelopes stay bit-identical (docs/serving.md).
+    if (cache_) body["cache"] = cache_->stats_json();
+    const std::string path = write_bench_json(
+        bench_, resolve_jobs(grid_.jobs), wall_ms(), body, grid_.json_path);
+    std::cout << "wrote " << path << '\n';
+    return path;
+}
+
+int Campaign::finish(json::Value payload, std::span<const Job> jobs,
+                     std::span<const JobOutcome> outcomes,
+                     bool bad_result) const
+{
+    payload["summary"] = summary_json(jobs, outcomes);
+    if (grid_.json) write(payload);
+    const int rc = grid_exit_code(outcomes, grid_.keep_going);
+    if (rc == 0 && bad_result && !grid_.keep_going) return 1;
+    return rc;
+}
+
+} // namespace hwst::exec

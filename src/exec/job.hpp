@@ -143,6 +143,7 @@ struct JobOutcome {
     double wall_ms = 0.0;    ///< host wall-clock time spent in the body
     unsigned attempts = 1;   ///< body invocations (0 when skipped)
     bool from_journal = false; ///< replayed from the checkpoint journal
+    bool from_cache = false; ///< served from the content-addressed cache
     bool isolated = false;   ///< ran in a worker subprocess (--isolate)
     json::Value aux;         ///< body side-channel (journal-persisted)
     /// Failure-taxonomy record (journal-persisted when non-null): exit

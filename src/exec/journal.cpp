@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "compiler/scheme.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -20,10 +21,6 @@ std::string journal_path(const std::string& bench)
     return "BENCH_" + bench + ".journal";
 }
 
-namespace {
-
-/// FNV-1a over a byte string, folded into the running fingerprint via
-/// derive_seed so field boundaries matter ("ab","c" != "a","bc").
 u64 fnv1a(std::string_view s)
 {
     u64 h = 0xCBF29CE484222325ULL;
@@ -42,11 +39,30 @@ std::string hash_hex(u64 h)
     return buf;
 }
 
-} // namespace
-
-u64 grid_fingerprint(std::span<const Job> jobs, u64 root_seed)
+u64 config_revision_hash()
 {
-    u64 h = derive_seed(root_seed, jobs.size());
+    u64 h = derive_seed(static_cast<u64>(kConfigRevision),
+                        static_cast<u64>(kJournalVersion));
+    for (const compiler::Scheme s : compiler::kAllSchemes)
+        h = derive_seed(h, fnv1a(compiler::scheme_name(s)));
+    // Defaults a grid's coordinates never name but its simulated
+    // numbers depend on: a change here must invalidate stale journals
+    // and cache cells even when the grid shape is unchanged.
+    const sim::MachineConfig def{};
+    h = derive_seed(h, def.dcache.sets, def.dcache.ways,
+                    def.dcache.line_bytes, def.icache.sets,
+                    def.icache.ways, def.icache.line_bytes,
+                    static_cast<u64>(def.icache_enabled),
+                    def.keybuffer_entries,
+                    static_cast<u64>(def.keybuffer_enabled), def.fuel);
+    return h;
+}
+
+u64 grid_fingerprint(std::span<const Job> jobs, u64 root_seed,
+                     std::string_view config_desc)
+{
+    u64 h = derive_seed(root_seed, jobs.size(), config_revision_hash(),
+                        fnv1a(config_desc));
     for (const Job& j : jobs) {
         h = derive_seed(h, fnv1a(j.key.empty() ? j.name : j.key),
                         fnv1a(j.workload), fnv1a(j.scheme), j.seed);
@@ -56,7 +72,8 @@ u64 grid_fingerprint(std::span<const Job> jobs, u64 root_seed)
 
 u64 grid_fingerprint(std::string_view grid_desc, u64 root_seed)
 {
-    return derive_seed(root_seed, fnv1a(grid_desc));
+    return derive_seed(root_seed, fnv1a(grid_desc),
+                       config_revision_hash());
 }
 
 // ---- serialization -----------------------------------------------------

@@ -27,17 +27,47 @@
 
 namespace hwst::exec {
 
-inline constexpr int kJournalVersion = 1;
+/// v2: grid_hash folds in the scheme/machine-config revision
+/// (config_revision_hash), so a journal — or a content-addressed cache
+/// cell — written before an instrumentation-default change can never
+/// alias a grid that merely kept the same shape (docs/execution.md,
+/// "Journal format").
+inline constexpr int kJournalVersion = 2;
+
+/// Bump when a scheme's instrumentation defaults or the machine-config
+/// defaults change in a way that alters simulated numbers without
+/// changing any grid coordinate. Folded into every grid fingerprint.
+inline constexpr int kConfigRevision = 1;
 
 /// Default journal path for a bench: BENCH_<name>.journal in the cwd,
 /// next to the BENCH_<name>.json envelope it checkpoints.
 std::string journal_path(const std::string& bench);
 
+/// FNV-1a over a byte string — the leaf hash every fingerprint and the
+/// cache's content address build on (fold results via derive_seed so
+/// field boundaries matter: "ab","c" != "a","bc").
+u64 fnv1a(std::string_view s);
+
+/// Canonical "0x%016x" rendering of a fingerprint, shared by the
+/// journal header, the cache cell records and json_check.
+std::string hash_hex(u64 h);
+
+/// Hash of everything a grid's coordinates do NOT name but its results
+/// depend on: the scheme registry (names, in order), the default
+/// MachineConfig (cache geometry, keybuffer, fuel) and kConfigRevision.
+/// Folded into every grid fingerprint so two grids that differ only in
+/// instrumentation defaults can never alias in a journal or cache.
+u64 config_revision_hash();
+
 /// Fingerprint of a campaign grid: mixes the root seed with every job's
-/// key, workload, scheme and seed. Any change to the grid (different
-/// workload list, scheme set, seeds, order) changes the fingerprint, so
-/// --resume can refuse a journal written by a different campaign.
-u64 grid_fingerprint(std::span<const Job> jobs, u64 root_seed = 0);
+/// key, workload, scheme and seed — plus config_revision_hash() and an
+/// optional harness-supplied `config_desc` naming grid-level knobs that
+/// the job coordinates don't (hwst_run's --keybuffer/--dcache-kib
+/// tweaks). Any change to any of these changes the fingerprint, so
+/// --resume can refuse a journal written by a different campaign and
+/// the cache can never serve a cell across configs.
+u64 grid_fingerprint(std::span<const Job> jobs, u64 root_seed = 0,
+                     std::string_view config_desc = {});
 
 /// Fingerprint for harnesses whose grid is built lazily (Engine::map
 /// chunks, multi-grid ablations): hash a descriptor string that names

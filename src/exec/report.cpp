@@ -86,10 +86,12 @@ bool is_host_field(std::string_view key)
     // provenance. dbt/dbt_enabled: the superblock tier's host-side
     // counters — DBT-on and DBT-off envelopes must compare equal once
     // stripped (the tier may change host speed, never simulated
-    // numbers).
+    // numbers). cache/cached: result-cache hit statistics — a warm
+    // campaign must compare equal to a cold one (docs/serving.md).
     return key == "wall_ms" || key == "run_ms" || key == "mips" ||
            key == "geo_mean_mips" || key == "git_rev" || key == "jobs" ||
-           key == "dbt" || key == "dbt_enabled";
+           key == "dbt" || key == "dbt_enabled" || key == "cache" ||
+           key == "cached";
 }
 
 json::Value strip_host_fields(const json::Value& v)

@@ -41,18 +41,6 @@ JobOutcome attempt_in_process(const Job& job, const CancelToken& token,
 
 namespace {
 
-/// FNV-1a over a byte string — the sentinel's sampling hash input (the
-/// journal keeps its own copy; both are implementation details).
-u64 fnv1a(std::string_view s)
-{
-    u64 h = 0xCBF29CE484222325ULL;
-    for (const unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001B3ULL;
-    }
-    return h;
-}
-
 std::string signal_description(int sig)
 {
 #if defined(__unix__) || defined(__APPLE__)

@@ -149,6 +149,11 @@ std::string campaign_desc(const CampaignConfig& cfg)
 
 } // namespace
 
+u64 campaign_fingerprint(const CampaignConfig& cfg)
+{
+    return exec::grid_fingerprint(campaign_desc(cfg));
+}
+
 CampaignReport run_campaign(const CampaignConfig& cfg)
 {
     CampaignReport report;
@@ -166,8 +171,8 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
                                      ? exec::journal_path("fault_campaign")
                                      : cfg.journal_path;
         journal = std::make_unique<exec::Journal>(
-            path, "fault_campaign",
-            exec::grid_fingerprint(campaign_desc(cfg)), cfg.resume);
+            path, "fault_campaign", campaign_fingerprint(cfg),
+            cfg.resume);
     }
 
     const exec::Engine engine{exec::EngineOptions{
@@ -176,6 +181,7 @@ CampaignReport run_campaign(const CampaignConfig& cfg)
         .retries = cfg.retries,
         .backoff = std::chrono::milliseconds{cfg.backoff_ms},
         .journal = journal.get(),
+        .cache = cfg.cache,
         .isolate = cfg.isolate,
         .rlimit_mb = cfg.rlimit_mb,
         .rlimit_cpu_s = cfg.rlimit_cpu_s,

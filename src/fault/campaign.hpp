@@ -11,7 +11,7 @@
 
 #include "common/stats.hpp"
 #include "compiler/scheme.hpp"
-#include "exec/json.hpp"
+#include "exec/engine.hpp"
 #include "fault/oracle.hpp"
 
 namespace hwst::fault {
@@ -63,7 +63,16 @@ struct CampaignConfig {
     /// 1-in-N DBT divergence sentinel on faulted runs (0 = off;
     /// implies isolate).
     unsigned sentinel = 0;
+    /// Optional content-addressed result cache binding (--cache,
+    /// docs/serving.md): classified faulted runs are served from and
+    /// published to it like any other campaign cell. Not owned.
+    exec::CellStore* cache = nullptr;
 };
+
+/// The campaign's grid fingerprint: everything that shapes the run grid
+/// or its outcomes, hashed so --resume refuses a journal from a
+/// different campaign and the result cache can never alias configs.
+u64 campaign_fingerprint(const CampaignConfig& cfg);
 
 struct PointStats {
     Probe point = Probe::SrfSpatialWrite;

@@ -1,0 +1,75 @@
+#include "serve/client.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define HWST_SERVE_POSIX 1
+#endif
+
+namespace hwst::serve {
+
+namespace {
+
+int connect_or_throw(const std::string& path)
+{
+    if (path.empty())
+        throw common::ToolchainError{
+            "no server socket (--socket PATH or HWST_SERVE_SOCKET)"};
+    const int fd = connect_unix(path);
+    if (fd < 0)
+        throw common::ToolchainError{"cannot connect to server socket " +
+                                     path};
+    return fd;
+}
+
+} // namespace
+
+Client::Client(const std::string& socket_path)
+    : fd_{connect_or_throw(socket_path)}, reader_{fd_}
+{
+}
+
+Client::~Client()
+{
+#ifdef HWST_SERVE_POSIX
+    if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+bool Client::send(const exec::json::Value& req)
+{
+    return send_line(fd_, req);
+}
+
+std::optional<exec::json::Value> Client::recv()
+{
+    return reader_.read_json();
+}
+
+exec::json::Value Client::rpc(const exec::json::Value& req)
+{
+    if (!send(req))
+        throw common::ToolchainError{"server connection lost on send"};
+    auto reply = recv();
+    if (!reply)
+        throw common::ToolchainError{"server closed the connection"};
+    if (const auto* ok = reply->find("ok"); ok && !ok->as_bool()) {
+        const auto* err = reply->find("error");
+        throw common::ToolchainError{
+            "server refused request: " +
+            (err ? err->as_string() : std::string{"unknown error"})};
+    }
+    return *reply;
+}
+
+std::string resolve_socket(const std::string& flag_value)
+{
+    if (!flag_value.empty()) return flag_value;
+    if (const char* env = std::getenv("HWST_SERVE_SOCKET")) return env;
+    return {};
+}
+
+} // namespace hwst::serve

@@ -1,0 +1,44 @@
+// Client side of the campaign-server protocol: a connected Unix-socket
+// session speaking newline-delimited JSON (serve/wire.hpp). Thin by
+// design — hwst_run's --submit/--poll/--wait modes and the tests drive
+// the protocol through this one seam.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace hwst::serve {
+
+class Client {
+public:
+    /// Connect to the server socket; throws common::ToolchainError when
+    /// nothing is listening there.
+    explicit Client(const std::string& socket_path);
+    ~Client();
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Send one request line. False when the server is gone.
+    bool send(const exec::json::Value& req);
+
+    /// The next response/event object, or nullopt when the server
+    /// closed the connection.
+    std::optional<exec::json::Value> recv();
+
+    /// send + one recv; throws common::ToolchainError on a dropped
+    /// connection or an {"ok":false} reply.
+    exec::json::Value rpc(const exec::json::Value& req);
+
+private:
+    int fd_ = -1;
+    LineReader reader_;
+};
+
+/// The socket path hwst_run's client modes resolve: --socket wins, then
+/// the HWST_SERVE_SOCKET environment variable (hwst_serve --run exports
+/// it to its child command).
+std::string resolve_socket(const std::string& flag_value);
+
+} // namespace hwst::serve

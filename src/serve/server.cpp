@@ -1,0 +1,565 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "compiler/scheme.hpp"
+#include "exec/envelope.hpp"
+#include "exec/journal.hpp"
+#include "exec/report.hpp"
+#include "exec/simrun.hpp"
+#include "serve/wire.hpp"
+#include "workloads/workload.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define HWST_SERVE_POSIX 1
+#endif
+
+namespace hwst::serve {
+
+using namespace std::chrono_literals;
+
+// ---- GridSpec --------------------------------------------------------
+
+std::string GridSpec::config_desc() const
+{
+    // Empty when no tweak is set, so an untweaked grid keeps the same
+    // fingerprint as the plain grid_fingerprint(jobs) call sites.
+    std::string d;
+    if (keybuffer) d += " keybuffer=" + std::to_string(keybuffer);
+    if (dcache_kib) d += " dcache_kib=" + std::to_string(dcache_kib);
+    return d.empty() ? std::string{} : "tweaks:" + d;
+}
+
+std::vector<exec::Job> GridSpec::jobs() const
+{
+    if (workloads.empty() || schemes.empty())
+        throw common::ToolchainError{
+            "grid needs at least one workload and one scheme"};
+    const unsigned kb = keybuffer;
+    const unsigned dk = dcache_kib;
+    const auto tweak = [kb, dk](sim::MachineConfig& cfg) {
+        if (kb) cfg.keybuffer_entries = kb;
+        if (dk) cfg.dcache.sets = dk * 1024 / 64 / 4;
+    };
+    std::vector<exec::Job> out;
+    out.reserve(workloads.size() * schemes.size());
+    for (const auto& name : workloads) {
+        const auto& w = workloads::workload(name); // validates the name
+        for (const auto& sname : schemes) {
+            compiler::Scheme scheme = compiler::Scheme::None;
+            bool found = false;
+            for (const compiler::Scheme s : compiler::kAllSchemes) {
+                if (compiler::scheme_name(s) == sname) {
+                    scheme = s;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                throw common::ToolchainError{"unknown scheme: " + sname};
+            out.push_back(exec::make_sim_job(name + "/" + sname, name,
+                                             scheme, w.build, tweak));
+        }
+    }
+    return out;
+}
+
+u64 GridSpec::fingerprint() const
+{
+    return exec::grid_fingerprint(jobs(), 0, config_desc());
+}
+
+exec::json::Value GridSpec::to_json() const
+{
+    exec::json::Value v = exec::json::Value::object();
+    v["bench"] = bench;
+    exec::json::Value wl = exec::json::Value::array();
+    for (const auto& w : workloads) wl.push_back(w);
+    v["workloads"] = wl;
+    exec::json::Value sc = exec::json::Value::array();
+    for (const auto& s : schemes) sc.push_back(s);
+    v["schemes"] = sc;
+    if (keybuffer) v["keybuffer"] = keybuffer;
+    if (dcache_kib) v["dcache_kib"] = dcache_kib;
+    return v;
+}
+
+GridSpec GridSpec::from_json(const exec::json::Value& v)
+{
+    GridSpec spec;
+    spec.bench = v.at("bench").as_string();
+    if (spec.bench.empty())
+        throw common::ToolchainError{"grid bench must be non-empty"};
+    for (const auto& w : v.at("workloads").items())
+        spec.workloads.push_back(w.as_string());
+    for (const auto& s : v.at("schemes").items())
+        spec.schemes.push_back(s.as_string());
+    if (const auto* kb = v.find("keybuffer"))
+        spec.keybuffer = static_cast<unsigned>(kb->as_int());
+    if (const auto* dk = v.find("dcache_kib"))
+        spec.dcache_kib = static_cast<unsigned>(dk->as_int());
+    return spec;
+}
+
+// ---- Server::Campaign ------------------------------------------------
+
+struct Server::Campaign {
+    std::string id;
+    GridSpec spec;
+    u64 fingerprint = 0;
+    std::vector<exec::Job> jobs;
+    std::vector<exec::JobOutcome> outcomes;
+    std::unique_ptr<CampaignCache> binding; ///< null without a cache
+
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t finished = 0; ///< resolved slots (cached + run + skipped)
+    std::size_t running = 0;
+    std::size_t cached = 0;
+    std::size_t quarantined = 0;
+    std::size_t failed = 0;
+    bool done = false;
+    bool drained = false; ///< finalized partial by a graceful stop
+};
+
+namespace {
+
+struct Snapshot {
+    std::size_t cells = 0;
+    std::size_t finished = 0;
+    std::size_t running = 0;
+    std::size_t cached = 0;
+    std::size_t quarantined = 0;
+    std::size_t failed = 0;
+    bool done = false;
+    bool drained = false;
+
+    bool operator==(const Snapshot&) const = default;
+};
+
+exec::json::Value error_reply(const std::string& what)
+{
+    exec::json::Value v = exec::json::Value::object();
+    v["ok"] = false;
+    v["error"] = what;
+    return v;
+}
+
+/// Caller holds c.mutex.
+Snapshot snapshot_locked(const Server::Campaign& c)
+{
+    Snapshot s;
+    s.cells = c.jobs.size();
+    s.finished = c.finished;
+    s.running = c.running;
+    s.cached = c.cached;
+    s.quarantined = c.quarantined;
+    s.failed = c.failed;
+    s.done = c.done;
+    s.drained = c.drained;
+    return s;
+}
+
+exec::json::Value progress_json(const std::string& id, const Snapshot& s)
+{
+    exec::json::Value v = exec::json::Value::object();
+    v["event"] = "progress";
+    v["id"] = id;
+    v["submitted"] = s.cells;
+    v["running"] = s.running;
+    v["finished"] = s.finished;
+    v["cached"] = s.cached;
+    v["quarantined"] = s.quarantined;
+    v["failed"] = s.failed;
+    return v;
+}
+
+} // namespace
+
+// ---- Server ----------------------------------------------------------
+
+Server::Server(ServerOptions opts) : opts_{std::move(opts)}
+{
+    if (!serving_supported())
+        throw common::ToolchainError{
+            "the campaign server requires a POSIX host"};
+    if (opts_.socket_path.empty())
+        throw common::ToolchainError{"server needs a socket path"};
+    if (opts_.engine.journal)
+        throw common::ToolchainError{
+            "server-side durability is the cache, not a journal"};
+    engine_ = exec::resolve_engine_options(opts_.engine);
+    engine_.stop = &stop_flag_;
+    engine_.progress = false; // progress goes to clients, not stderr
+    if (!opts_.cache_root.empty())
+        cache_ = std::make_shared<ResultCache>(CacheOptions{
+            .root = opts_.cache_root,
+            .max_bytes = opts_.cache_max_bytes,
+            .git_rev = exec::build_git_rev(),
+        });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void Server::start()
+{
+#ifdef HWST_SERVE_POSIX
+    if (started_) return;
+    listen_fd_ = listen_unix(opts_.socket_path);
+    if (listen_fd_ < 0)
+        throw common::ToolchainError{"cannot listen on " +
+                                     opts_.socket_path};
+    started_ = true;
+    const unsigned pool = exec::resolve_jobs(engine_.jobs);
+    workers_.reserve(pool);
+    for (unsigned t = 0; t < pool; ++t)
+        workers_.emplace_back(&Server::worker_loop, this);
+    accept_thread_ = std::thread{&Server::accept_loop, this};
+#else
+    throw common::ToolchainError{"the campaign server requires a POSIX "
+                                 "host"};
+#endif
+}
+
+void Server::stop()
+{
+#ifdef HWST_SERVE_POSIX
+    if (!started_ || stopped_.exchange(true)) return;
+    stop_flag_.store(true);
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    // In-flight cells observe the stop flag and drain cooperatively;
+    // join before finalizing so no worker writes after a finished
+    // event goes out.
+    for (auto& t : workers_)
+        if (t.joinable()) t.join();
+    {
+        const std::lock_guard lock{queue_mutex_};
+        queue_.clear(); // queued cells keep their default Skipped slots
+    }
+    {
+        const std::lock_guard lock{campaigns_mutex_};
+        for (auto& [id, c] : campaigns_) {
+            const std::lock_guard clock{c->mutex};
+            if (!c->done) {
+                c->drained = true;
+                c->done = true;
+            }
+            c->cv.notify_all();
+        }
+    }
+    // Unblock handler threads parked in read(); their pending writes
+    // (the finished events above) still go through.
+    {
+        const std::lock_guard lock{clients_mutex_};
+        for (const int fd : client_fds_) ::shutdown(fd, SHUT_RD);
+    }
+    for (;;) {
+        std::thread t;
+        {
+            const std::lock_guard lock{clients_mutex_};
+            if (client_threads_.empty()) break;
+            t = std::move(client_threads_.back());
+            client_threads_.pop_back();
+        }
+        if (t.joinable()) t.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(opts_.socket_path.c_str());
+#endif
+}
+
+void Server::accept_loop()
+{
+#ifdef HWST_SERVE_POSIX
+    while (!stop_flag_.load(std::memory_order_relaxed)) {
+        ::pollfd p{listen_fd_, POLLIN, 0};
+        const int r = ::poll(&p, 1, 100);
+        if (r <= 0 || !(p.revents & POLLIN)) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        const std::lock_guard lock{clients_mutex_};
+        if (stop_flag_.load(std::memory_order_relaxed)) {
+            ::close(fd);
+            return;
+        }
+        client_fds_.insert(fd);
+        client_threads_.emplace_back(&Server::handle_client, this, fd);
+    }
+#endif
+}
+
+void Server::worker_loop()
+{
+    for (;;) {
+        std::shared_ptr<Campaign> c;
+        std::size_t index = 0;
+        {
+            std::unique_lock lock{queue_mutex_};
+            queue_cv_.wait(lock, [&] {
+                return stop_flag_.load(std::memory_order_relaxed) ||
+                       !queue_.empty();
+            });
+            if (stop_flag_.load(std::memory_order_relaxed)) return;
+            c = std::move(queue_.front().first);
+            index = queue_.front().second;
+            queue_.pop_front();
+        }
+        {
+            const std::lock_guard lock{c->mutex};
+            ++c->running;
+        }
+        exec::EngineOptions opts = engine_;
+        opts.cache = c->binding.get();
+        exec::JobOutcome out = exec::run_one_job(c->jobs[index], opts);
+        cells_run_.fetch_add(1, std::memory_order_relaxed);
+        {
+            const std::lock_guard lock{c->mutex};
+            c->outcomes[index] = std::move(out);
+            --c->running;
+            ++c->finished;
+            switch (c->outcomes[index].status) {
+            case exec::JobStatus::Quarantined: ++c->quarantined; break;
+            case exec::JobStatus::Timeout:
+            case exec::JobStatus::Error:
+            case exec::JobStatus::Crashed: ++c->failed; break;
+            default: break;
+            }
+            if (c->finished == c->jobs.size()) c->done = true;
+        }
+        c->cv.notify_all();
+    }
+}
+
+std::shared_ptr<Server::Campaign> Server::find_campaign(
+    const std::string& id) const
+{
+    const std::lock_guard lock{campaigns_mutex_};
+    const auto it = campaigns_.find(id);
+    return it == campaigns_.end() ? nullptr : it->second;
+}
+
+exec::json::Value Server::handle_submit(const exec::json::Value& req)
+{
+    auto c = std::make_shared<Campaign>();
+    try {
+        c->spec = GridSpec::from_json(req.at("grid"));
+        c->jobs = c->spec.jobs();
+    } catch (const std::exception& e) {
+        return error_reply(e.what());
+    }
+    c->fingerprint =
+        exec::grid_fingerprint(c->jobs, 0, c->spec.config_desc());
+    c->outcomes.assign(c->jobs.size(), exec::JobOutcome{});
+    for (auto& o : c->outcomes) {
+        o.status = exec::JobStatus::Skipped;
+        o.error = "not started: shutdown requested";
+        o.attempts = 0;
+    }
+    if (cache_)
+        c->binding = std::make_unique<CampaignCache>(cache_, c->spec.bench,
+                                                     c->fingerprint);
+    {
+        const std::lock_guard lock{campaigns_mutex_};
+        c->id = "c" + std::to_string(++next_id_);
+        campaigns_[c->id] = c;
+    }
+    cells_total_.fetch_add(c->jobs.size(), std::memory_order_relaxed);
+
+    // Submission-time cache sweep: cells the store already holds never
+    // touch the pool (the prepass role Engine::run's replay loop plays
+    // for journals). The rest queue up FIFO.
+    std::vector<std::size_t> pending;
+    const bool draining = stop_flag_.load(std::memory_order_relaxed);
+    {
+        const std::lock_guard lock{c->mutex};
+        for (std::size_t i = 0; i < c->jobs.size(); ++i) {
+            if (draining) continue;
+            std::optional<exec::JobOutcome> hit =
+                c->binding ? c->binding->load(c->jobs[i]) : std::nullopt;
+            if (hit) {
+                c->outcomes[i] = std::move(*hit);
+                c->outcomes[i].from_cache = true;
+                ++c->finished;
+                ++c->cached;
+                cells_cached_.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            pending.push_back(i);
+        }
+        if (draining) c->drained = true;
+        if (c->finished == c->jobs.size() || draining) c->done = true;
+    }
+    if (!pending.empty()) {
+        const std::lock_guard lock{queue_mutex_};
+        for (const std::size_t i : pending) queue_.emplace_back(c, i);
+    }
+    queue_cv_.notify_all();
+
+    exec::json::Value v = exec::json::Value::object();
+    v["ok"] = true;
+    v["id"] = c->id;
+    v["bench"] = c->spec.bench;
+    v["grid_hash"] = exec::hash_hex(c->fingerprint);
+    v["cells"] = c->jobs.size();
+    {
+        const std::lock_guard lock{c->mutex};
+        v["cached"] = c->cached;
+    }
+    return v;
+}
+
+exec::json::Value Server::handle_poll(const exec::json::Value& req) const
+{
+    const auto c = find_campaign(req.at("id").as_string());
+    if (!c) return error_reply("unknown campaign id");
+    Snapshot s;
+    {
+        const std::lock_guard lock{c->mutex};
+        s = snapshot_locked(*c);
+    }
+    exec::json::Value v = exec::json::Value::object();
+    v["ok"] = true;
+    v["id"] = c->id;
+    v["state"] = s.done ? "done" : "running";
+    v["submitted"] = s.cells;
+    v["running"] = s.running;
+    v["finished"] = s.finished;
+    v["cached"] = s.cached;
+    v["quarantined"] = s.quarantined;
+    v["failed"] = s.failed;
+    v["drained"] = s.drained;
+    return v;
+}
+
+bool Server::handle_wait(int fd, const exec::json::Value& req)
+{
+    const auto c = find_campaign(req.at("id").as_string());
+    if (!c) return send_line(fd, error_reply("unknown campaign id"));
+
+    Snapshot prev;
+    bool first = true;
+    std::unique_lock lock{c->mutex};
+    for (;;) {
+        const Snapshot s = snapshot_locked(*c);
+        lock.unlock();
+        // Never hold the campaign mutex across a socket write: a slow
+        // client must not stall the workers resolving its cells.
+        if (first || !(s == prev)) {
+            if (!send_line(fd, progress_json(c->id, s))) return false;
+            prev = s;
+            first = false;
+        }
+        if (s.done) break;
+        lock.lock();
+        c->cv.wait_for(lock, 200ms);
+    }
+
+    exec::json::Value v = exec::json::Value::object();
+    v["event"] = "finished";
+    v["id"] = c->id;
+    v["bench"] = c->spec.bench;
+    v["grid_hash"] = exec::hash_hex(c->fingerprint);
+    v["cells"] = c->jobs.size();
+    {
+        std::lock_guard relock{c->mutex};
+        v["cached"] = c->cached;
+        v["drained"] = c->drained;
+    }
+    // The campaign is done: outcomes are frozen. One journal-format
+    // record per cell, in grid order — the client rebuilds the outcome
+    // vector exactly as Engine::run would have returned it.
+    v["summary"] = exec::summary_json(c->jobs, c->outcomes);
+    exec::json::Value records = exec::json::Value::array();
+    for (std::size_t i = 0; i < c->jobs.size(); ++i)
+        records.push_back(
+            exec::outcome_to_record(c->jobs[i].key, c->outcomes[i]));
+    v["records"] = records;
+    return send_line(fd, v);
+}
+
+void Server::handle_client(int fd)
+{
+#ifdef HWST_SERVE_POSIX
+    LineReader reader{fd};
+    for (;;) {
+        const auto req = reader.read_json();
+        if (!req) break;
+        try {
+            if (!req->is_object() || !req->find("op")) {
+                if (!send_line(fd, error_reply("request needs an op")))
+                    break;
+                continue;
+            }
+            const std::string op = req->at("op").as_string();
+            if (op == "ping") {
+                exec::json::Value v = exec::json::Value::object();
+                v["ok"] = true;
+                v["op"] = "ping";
+                v["git_rev"] = exec::build_git_rev();
+                if (!send_line(fd, v)) break;
+            } else if (op == "stats") {
+                if (!send_line(fd, stats_json())) break;
+            } else if (op == "submit") {
+                if (!send_line(fd, handle_submit(*req))) break;
+            } else if (op == "poll") {
+                if (!send_line(fd, handle_poll(*req))) break;
+            } else if (op == "wait") {
+                if (!handle_wait(fd, *req)) break;
+            } else {
+                if (!send_line(fd, error_reply("unknown op: " + op)))
+                    break;
+            }
+        } catch (const std::exception& e) {
+            // A malformed request poisons its reply, never the server.
+            if (!send_line(fd, error_reply(e.what()))) break;
+        }
+    }
+    {
+        const std::lock_guard lock{clients_mutex_};
+        client_fds_.erase(fd);
+    }
+    ::close(fd);
+#else
+    (void)fd;
+#endif
+}
+
+ServerStats Server::stats() const
+{
+    ServerStats s;
+    {
+        const std::lock_guard lock{campaigns_mutex_};
+        s.campaigns = campaigns_.size();
+    }
+    s.cells = cells_total_.load(std::memory_order_relaxed);
+    s.cached = cells_cached_.load(std::memory_order_relaxed);
+    s.run = cells_run_.load(std::memory_order_relaxed);
+    return s;
+}
+
+exec::json::Value Server::stats_json() const
+{
+    const ServerStats s = stats();
+    exec::json::Value v = exec::json::Value::object();
+    v["ok"] = true;
+    v["op"] = "stats";
+    v["campaigns"] = s.campaigns;
+    v["cells"] = s.cells;
+    v["cached"] = s.cached;
+    v["run"] = s.run;
+    v["jobs"] = exec::resolve_jobs(engine_.jobs);
+    v["cache"] = cache_ ? cache_->stats_json() : exec::json::Value{};
+    return v;
+}
+
+} // namespace hwst::serve

@@ -1,0 +1,152 @@
+// The campaign server (docs/serving.md): a long-running daemon that
+// accepts grid submissions over a Unix-domain socket, runs their cells
+// on one shared worker pool through exec::run_one_job — the exact
+// pipeline Engine::run schedules, retries/isolation/sentinel included —
+// serves repeated cells from the shared content-addressed ResultCache,
+// and streams per-campaign progress events back to each client.
+//
+// Protocol (newline-delimited JSON, serve/wire.hpp): a client sends one
+// request object per line and reads response/event objects back.
+//
+//   {"op":"ping"}                      -> {"ok":true,...}
+//   {"op":"stats"}                     -> {"ok":true,"campaigns":..,...}
+//   {"op":"submit","grid":{...}}       -> {"ok":true,"id":"c1",...}
+//   {"op":"poll","id":"c1"}            -> {"ok":true,"state":..,...}
+//   {"op":"wait","id":"c1"}            -> {"event":"progress",...}*
+//                                         {"event":"finished",
+//                                          "records":[...],...}
+//
+// The finished event carries one journal-format record per cell in grid
+// order, so a client rebuilds the outcome vector bit-identically to an
+// in-process run (the serve-smoke guard closes that loop with
+// json_check --equiv). A SIGTERM drains gracefully: in-flight cells
+// drain cooperatively, queued cells keep their Skipped slots, and every
+// waiting client still gets its finished event — partial, exactly like
+// a --resume'able local campaign (docs/execution.md "Durability").
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "serve/cache.hpp"
+
+namespace hwst::serve {
+
+/// The workload x scheme grid vocabulary a submission names — the same
+/// grid hwst_run runs in-process. One definition builds the jobs and
+/// the fingerprint on both sides of the socket, so a submitted
+/// campaign's cells, keys and grid_hash can never drift from the local
+/// equivalent (the bit-identical-envelope contract depends on it).
+struct GridSpec {
+    std::string bench = "hwst_run";
+    std::vector<std::string> workloads;
+    std::vector<std::string> schemes;
+    unsigned keybuffer = 0;  ///< keybuffer_entries tweak (0 = default)
+    unsigned dcache_kib = 0; ///< d-cache capacity tweak (0 = default)
+
+    /// The grid-level knobs the job coordinates don't name, folded into
+    /// grid_fingerprint's config_desc.
+    std::string config_desc() const;
+
+    /// One sim job per (workload, scheme), in enumeration order.
+    /// Throws common::ToolchainError on an unknown name.
+    std::vector<exec::Job> jobs() const;
+
+    u64 fingerprint() const;
+
+    exec::json::Value to_json() const;
+    static GridSpec from_json(const exec::json::Value& v);
+};
+
+struct ServerOptions {
+    std::string socket_path;
+    std::string cache_root; ///< "" disables the result cache
+    u64 cache_max_bytes = 0;
+    /// Per-cell execution options (jobs = pool width; journal must stay
+    /// null — durability on the server side is the cache).
+    exec::EngineOptions engine;
+};
+
+/// Rolling server counters (returned by the stats op).
+struct ServerStats {
+    u64 campaigns = 0;
+    u64 cells = 0;
+    u64 cached = 0;
+    u64 run = 0;
+};
+
+class Server {
+public:
+    /// One submitted grid's server-side state (defined in server.cpp).
+    struct Campaign;
+
+    /// Validates options and resolves the engine environment; call
+    /// start() to bind and serve. Throws common::ToolchainError when
+    /// serving is unsupported on this host.
+    explicit Server(ServerOptions opts);
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind the socket, spawn the worker pool and the accept loop.
+    void start();
+
+    /// Graceful drain (idempotent, callable from any thread): stop
+    /// accepting, let in-flight cells finish, mark queued cells
+    /// Skipped, deliver finished events, join everything, unlink the
+    /// socket.
+    void stop();
+
+    bool running() const { return started_ && !stopped_; }
+    const std::string& socket_path() const { return opts_.socket_path; }
+
+    ServerStats stats() const;
+    exec::json::Value stats_json() const;
+
+private:
+    void accept_loop();
+    void worker_loop();
+    void handle_client(int fd);
+    exec::json::Value handle_submit(const exec::json::Value& req);
+    exec::json::Value handle_poll(const exec::json::Value& req) const;
+    bool handle_wait(int fd, const exec::json::Value& req);
+    std::shared_ptr<Campaign> find_campaign(const std::string& id) const;
+
+    ServerOptions opts_;
+    exec::EngineOptions engine_; ///< resolved at construction
+    std::shared_ptr<ResultCache> cache_; ///< null when disabled
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<bool> stop_flag_{false}; ///< wired into engine_.stop
+
+    int listen_fd_ = -1;
+    std::thread accept_thread_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex clients_mutex_;
+    std::vector<std::thread> client_threads_;
+    std::set<int> client_fds_;
+
+    // Work queue: (campaign, cell index) pairs, FIFO across campaigns
+    // so concurrent clients share the pool fairly.
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<std::pair<std::shared_ptr<Campaign>, std::size_t>> queue_;
+
+    mutable std::mutex campaigns_mutex_;
+    std::map<std::string, std::shared_ptr<Campaign>> campaigns_;
+    u64 next_id_ = 0;
+
+    std::atomic<u64> cells_total_{0};
+    std::atomic<u64> cells_cached_{0};
+    std::atomic<u64> cells_run_{0};
+};
+
+} // namespace hwst::serve

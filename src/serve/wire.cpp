@@ -1,0 +1,130 @@
+#include "serve/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define HWST_SERVE_POSIX 1
+#endif
+
+#include <cstring>
+
+namespace hwst::serve {
+
+bool serving_supported()
+{
+#ifdef HWST_SERVE_POSIX
+    return true;
+#else
+    return false;
+#endif
+}
+
+#ifdef HWST_SERVE_POSIX
+
+bool send_line(int fd, const exec::json::Value& v)
+{
+    std::string line = v.dump(0);
+    line.push_back('\n');
+    std::size_t off = 0;
+    while (off < line.size()) {
+#ifdef MSG_NOSIGNAL
+        const ::ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                                   MSG_NOSIGNAL);
+#else
+        const ::ssize_t n =
+            ::write(fd, line.data() + off, line.size() - off);
+#endif
+        if (n <= 0) return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<std::string> LineReader::read_line()
+{
+    for (;;) {
+        const auto nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        const ::ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n <= 0) return std::nullopt;
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+std::optional<exec::json::Value> LineReader::read_json()
+{
+    const auto line = read_line();
+    if (!line) return std::nullopt;
+    try {
+        return exec::json::Value::parse(*line);
+    } catch (const exec::json::JsonError& e) {
+        exec::json::Value err = exec::json::Value::object();
+        err["error"] = std::string{"malformed request: "} + e.what();
+        return err;
+    }
+}
+
+namespace {
+
+bool fill_addr(const std::string& path, ::sockaddr_un& addr)
+{
+    if (path.size() + 1 > sizeof addr.sun_path) return false;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int connect_unix(const std::string& path)
+{
+    ::sockaddr_un addr;
+    if (!fill_addr(path, addr)) return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int listen_unix(const std::string& path, int backlog)
+{
+    ::sockaddr_un addr;
+    if (!fill_addr(path, addr)) return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    // A stale socket file from a dead server would fail the bind; a
+    // live server holds the listen, so an unlink here is safe.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, backlog) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+#else // !HWST_SERVE_POSIX
+
+bool send_line(int, const exec::json::Value&) { return false; }
+std::optional<std::string> LineReader::read_line() { return std::nullopt; }
+std::optional<exec::json::Value> LineReader::read_json()
+{
+    return std::nullopt;
+}
+int connect_unix(const std::string&) { return -1; }
+int listen_unix(const std::string&, int) { return -1; }
+
+#endif
+
+} // namespace hwst::serve

@@ -1,0 +1,50 @@
+// Newline-delimited JSON framing over a Unix-domain stream socket — the
+// whole wire format of the campaign server (docs/serving.md,
+// "Protocol"). One request or event per line, serialized with
+// exec::json (insertion-ordered, so captured transcripts diff cleanly).
+// Mechanism only: what the messages mean lives in server.cpp/client.cpp.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "exec/json.hpp"
+
+namespace hwst::serve {
+
+/// True when the host supports AF_UNIX sockets (POSIX). Server/Client
+/// constructors throw common::ToolchainError otherwise.
+bool serving_supported();
+
+/// Serialize `v` compactly and write it + '\n' to `fd`, retrying short
+/// writes. Returns false on a closed or failed peer (SIGPIPE is
+/// suppressed; a dropped client must never kill the server).
+bool send_line(int fd, const exec::json::Value& v);
+
+/// Incremental line reader over a blocking fd.
+class LineReader {
+public:
+    explicit LineReader(int fd) : fd_{fd} {}
+
+    /// The next complete line (without the '\n'), or nullopt on EOF /
+    /// error. Blocks until one arrives.
+    std::optional<std::string> read_line();
+
+    /// read_line + parse. nullopt on EOF; a line that is not valid
+    /// JSON returns a {"error": ...} object instead of throwing, so a
+    /// malformed client cannot take a handler down.
+    std::optional<exec::json::Value> read_json();
+
+private:
+    int fd_;
+    std::string buf_;
+};
+
+/// Connect to the Unix socket at `path`. Returns -1 on failure.
+int connect_unix(const std::string& path);
+
+/// Bind + listen on `path` (unlinking a stale socket first).
+/// Returns -1 on failure.
+int listen_unix(const std::string& path, int backlog = 64);
+
+} // namespace hwst::serve

@@ -1,0 +1,531 @@
+// Serving-layer tests (docs/serving.md): the content-addressed result
+// cache's hit/miss/bit-equality contract (cold vs warm vs --jobs 1),
+// git_rev pinning, LRU eviction under a byte budget, the json_check
+// audit, the grid-fingerprint config folding that keys it all — and
+// the campaign server end to end: concurrent clients submitting the
+// same grid get bit-identical records modulo host timing, a graceful
+// stop mid-campaign still delivers a valid (partial) finished event,
+// and malformed requests poison their reply, never the server.
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hpp"
+#include "exec/engine.hpp"
+#include "exec/envelope.hpp"
+#include "exec/journal.hpp"
+#include "exec/report.hpp"
+#include "exec/simrun.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "workloads/workload.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HWST_SERVE_TEST_POSIX 1
+#include <unistd.h>
+#endif
+
+using namespace hwst;
+using common::u64;
+using exec::Engine;
+using exec::EngineOptions;
+using exec::Job;
+using exec::JobOutcome;
+using exec::JobStatus;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A fresh, empty directory under the system temp root.
+std::string fresh_dir(const std::string& name)
+{
+    const fs::path p = fs::temp_directory_path() / name;
+    fs::remove_all(p);
+    return p.string();
+}
+
+/// The small real-simulation grid the cache tests run.
+std::vector<Job> small_grid()
+{
+    std::vector<Job> jobs;
+    for (const char* name : {"crc32", "treeadd"}) {
+        const auto& w = workloads::workload(name);
+        for (const auto scheme :
+             {compiler::Scheme::None, compiler::Scheme::Hwst128Tchk}) {
+            jobs.push_back(exec::make_sim_job(
+                std::string{name} + "/" +
+                    std::string{compiler::scheme_name(scheme)},
+                name, scheme, w.build));
+        }
+    }
+    return jobs;
+}
+
+/// The grid-ordered record array both sides of every bit-equality claim
+/// reduce to — the exact payload the server's finished event carries.
+exec::json::Value records_json(const std::vector<Job>& jobs,
+                               const std::vector<JobOutcome>& outcomes)
+{
+    exec::json::Value records = exec::json::Value::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        records.push_back(
+            exec::outcome_to_record(jobs[i].key, outcomes[i]));
+    return records;
+}
+
+/// Records with host-side fields (wall_ms, ...) stripped — the --equiv
+/// projection, for comparing runs that executed on different schedules.
+std::string stripped(const exec::json::Value& records)
+{
+    return exec::strip_host_fields(records).dump();
+}
+
+/// Total bytes published under a cache root.
+u64 cells_bytes(const std::string& root)
+{
+    u64 total = 0;
+    for (const auto& e :
+         fs::directory_iterator{fs::path{root} / "cells"})
+        total += static_cast<u64>(fs::file_size(e.path()));
+    return total;
+}
+
+serve::CacheOptions cache_opts(const std::string& root,
+                               const char* rev = "rev1", u64 max = 0)
+{
+    return serve::CacheOptions{
+        .root = root, .max_bytes = max, .git_rev = rev};
+}
+
+} // namespace
+
+// ---- ResultCache -----------------------------------------------------
+
+TEST(ServeCache, ColdRunPublishesWarmRunServesBitIdentical)
+{
+    const std::string root = fresh_dir("serve_cache_roundtrip");
+    const std::vector<Job> jobs = small_grid();
+
+    auto cache = std::make_shared<serve::ResultCache>(cache_opts(root));
+    serve::CampaignCache cold_binding{cache, "serve_test", 42};
+    EngineOptions cold_opts;
+    cold_opts.jobs = 4;
+    cold_opts.cache = &cold_binding;
+    const auto cold = Engine{cold_opts}.run(jobs);
+    for (const auto& o : cold) {
+        ASSERT_EQ(o.status, JobStatus::Ok);
+        EXPECT_FALSE(o.from_cache);
+    }
+    EXPECT_EQ(cache->stores(), jobs.size());
+
+    // A second campaign over the same grid — serial this time, through
+    // a fresh binding — must resolve every cell from the store and
+    // reproduce the records bit-identically, host timing included: a
+    // served cell round-trips the cold run's record verbatim.
+    serve::CampaignCache warm_binding{cache, "serve_test", 42};
+    EngineOptions warm_opts;
+    warm_opts.jobs = 1;
+    warm_opts.cache = &warm_binding;
+    const auto warm = Engine{warm_opts}.run(jobs);
+    for (const auto& o : warm) {
+        ASSERT_EQ(o.status, JobStatus::Ok);
+        EXPECT_TRUE(o.from_cache);
+    }
+    EXPECT_EQ(cache->hits(), jobs.size());
+    EXPECT_EQ(records_json(jobs, cold).dump(),
+              records_json(jobs, warm).dump());
+}
+
+TEST(ServeCache, DifferentGridHashOrRevisionMisses)
+{
+    const std::string root = fresh_dir("serve_cache_keys");
+    const std::vector<Job> jobs = small_grid();
+
+    auto cache = std::make_shared<serve::ResultCache>(cache_opts(root));
+    serve::CampaignCache binding{cache, "serve_test", 42};
+    EngineOptions opts;
+    opts.jobs = 2;
+    opts.cache = &binding;
+    (void)Engine{opts}.run(jobs);
+    ASSERT_EQ(cache->stores(), jobs.size());
+
+    // Another fingerprint addresses different cells entirely.
+    serve::CampaignCache other_grid{cache, "serve_test", 43};
+    EXPECT_FALSE(other_grid.load(jobs[0]).has_value());
+
+    // Same address fields, rebuilt binary: the stored git_rev no longer
+    // matches, so the cell reads as a miss (never a stale serve).
+    auto rebuilt = std::make_shared<serve::ResultCache>(
+        cache_opts(root, "rev2"));
+    serve::CampaignCache stale{rebuilt, "serve_test", 42};
+    EXPECT_FALSE(stale.load(jobs[0]).has_value());
+
+    // The original binding still hits.
+    EXPECT_TRUE(binding.load(jobs[0]).has_value());
+}
+
+TEST(ServeCache, NonOkOutcomesAreNeverPublished)
+{
+    const std::string root = fresh_dir("serve_cache_nonok");
+    auto cache = std::make_shared<serve::ResultCache>(cache_opts(root));
+    const serve::CellKey key{"b", "0x1", "k", 7, "rev1"};
+    JobOutcome failed;
+    failed.status = JobStatus::Error;
+    failed.error = "boom";
+    cache->store(key, failed);
+    EXPECT_EQ(cache->stores(), 0u);
+    EXPECT_FALSE(cache->load(key).has_value());
+}
+
+TEST(ServeCache, EvictionUnderPressureKeepsTheBudget)
+{
+    const std::vector<Job> jobs = small_grid();
+
+    // Probe pass: measure what the whole grid occupies unbounded.
+    const std::string probe_root = fresh_dir("serve_cache_evict_probe");
+    auto probe =
+        std::make_shared<serve::ResultCache>(cache_opts(probe_root));
+    serve::CampaignCache probe_binding{probe, "serve_test", 42};
+    EngineOptions probe_opts;
+    probe_opts.jobs = 1;
+    probe_opts.cache = &probe_binding;
+    (void)Engine{probe_opts}.run(jobs);
+    const u64 total = cells_bytes(probe_root);
+    ASSERT_GT(total, 0u);
+
+    // Budgeted pass: half the footprint forces LRU eviction, and the
+    // store must land under the budget when the campaign ends.
+    const u64 budget = total / 2;
+    const std::string root = fresh_dir("serve_cache_evict");
+    auto cache = std::make_shared<serve::ResultCache>(
+        cache_opts(root, "rev1", budget));
+    serve::CampaignCache binding{cache, "serve_test", 42};
+    EngineOptions opts;
+    opts.jobs = 1;
+    opts.cache = &binding;
+    (void)Engine{opts}.run(jobs);
+    EXPECT_GT(cache->evictions(), 0u);
+    EXPECT_LE(cells_bytes(root), budget);
+    // What survived still audits clean.
+    EXPECT_TRUE(serve::audit_cache(root, "rev1").ok());
+}
+
+TEST(ServeCache, AuditFlagsCorruptionDanglingTempsAndStaleCells)
+{
+    const std::string root = fresh_dir("serve_cache_audit");
+    const std::vector<Job> jobs = small_grid();
+    auto cache = std::make_shared<serve::ResultCache>(cache_opts(root));
+    serve::CampaignCache binding{cache, "serve_test", 42};
+    EngineOptions opts;
+    opts.jobs = 1;
+    opts.cache = &binding;
+    (void)Engine{opts}.run(jobs);
+
+    serve::CacheAudit audit = serve::audit_cache(root, "rev1");
+    EXPECT_EQ(audit.cells, jobs.size());
+    EXPECT_TRUE(audit.ok());
+    EXPECT_EQ(audit.dangling_tmp, 0u);
+
+    // Another build's expectation flags every cell stale.
+    audit = serve::audit_cache(root, "rev2");
+    EXPECT_EQ(audit.stale, jobs.size());
+    EXPECT_FALSE(audit.ok());
+
+    // A crashed publisher's leftover temp is counted, not fatal.
+    std::ofstream{fs::path{root} / "tmp" / "deadbeef.1.0"} << "partial";
+    // A truncated cell is invalid.
+    const auto first =
+        fs::directory_iterator{fs::path{root} / "cells"}->path();
+    std::ofstream{first, std::ios::trunc} << "{\"torn\":";
+    audit = serve::audit_cache(root);
+    EXPECT_EQ(audit.dangling_tmp, 1u);
+    EXPECT_EQ(audit.invalid, 1u);
+    EXPECT_FALSE(audit.ok());
+
+    // And the torn cell reads as a miss, never a parse error: of the
+    // four published cells, exactly one is gone.
+    EXPECT_EQ(cache->hits(), 0u);
+    for (const auto& j : jobs) (void)binding.load(j);
+    EXPECT_EQ(cache->hits(), jobs.size() - 1);
+}
+
+// ---- grid fingerprint config folding ---------------------------------
+
+TEST(ServeFingerprint, ConfigTweaksChangeTheGridHash)
+{
+    serve::GridSpec plain;
+    plain.workloads = {"crc32"};
+    plain.schemes = {"hwst128_tchk"};
+    serve::GridSpec tweaked = plain;
+    tweaked.keybuffer = 16;
+    serve::GridSpec shrunk = plain;
+    shrunk.dcache_kib = 16;
+
+    const u64 a = plain.fingerprint();
+    const u64 b = tweaked.fingerprint();
+    const u64 c = shrunk.fingerprint();
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+
+    // An untweaked spec folds no config_desc, so it matches the plain
+    // grid_fingerprint(jobs) the local harnesses compute.
+    EXPECT_EQ(plain.config_desc(), "");
+    EXPECT_EQ(a, exec::grid_fingerprint(plain.jobs()));
+    EXPECT_EQ(b, exec::grid_fingerprint(tweaked.jobs(), 0,
+                                        tweaked.config_desc()));
+}
+
+TEST(ServeFingerprint, SpecRoundTripsThroughJson)
+{
+    serve::GridSpec spec;
+    spec.workloads = {"crc32", "treeadd"};
+    spec.schemes = {"none", "hwst128_tchk"};
+    spec.keybuffer = 4;
+    const serve::GridSpec back =
+        serve::GridSpec::from_json(spec.to_json());
+    EXPECT_EQ(back.fingerprint(), spec.fingerprint());
+    EXPECT_EQ(back.jobs().size(), spec.jobs().size());
+}
+
+// ---- the campaign server ---------------------------------------------
+
+namespace {
+
+struct ServerFixture {
+    std::string root;
+    std::string socket;
+    std::unique_ptr<serve::Server> server;
+
+    explicit ServerFixture(const std::string& name, unsigned jobs = 2,
+                           bool cache = true)
+    {
+        root = fresh_dir(name + "_cache");
+        socket =
+            (fs::temp_directory_path() / (name + ".sock")).string();
+        serve::ServerOptions opts;
+        opts.socket_path = socket;
+        if (cache) opts.cache_root = root;
+        opts.engine.jobs = jobs;
+        server = std::make_unique<serve::Server>(std::move(opts));
+        server->start();
+    }
+    ~ServerFixture()
+    {
+        if (server) server->stop();
+    }
+};
+
+exec::json::Value submit_req(const serve::GridSpec& spec)
+{
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "submit";
+    req["grid"] = spec.to_json();
+    return req;
+}
+
+exec::json::Value wait_req(const exec::json::Value& id)
+{
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "wait";
+    req["id"] = id;
+    return req;
+}
+
+/// Drain the wait stream until the finished event (asserting the
+/// connection stays up).
+exec::json::Value read_finished(serve::Client& client)
+{
+    for (;;) {
+        auto ev = client.recv();
+        if (!ev) {
+            ADD_FAILURE() << "connection lost before finished event";
+            return exec::json::Value::object();
+        }
+        if (ev->find("event") &&
+            ev->at("event").as_string() == "finished")
+            return std::move(*ev);
+    }
+}
+
+/// submit + wait on one connection; returns the finished event.
+exec::json::Value submit_and_wait(const std::string& socket,
+                                  const serve::GridSpec& spec)
+{
+    serve::Client client{socket};
+    const auto reply = client.rpc(submit_req(spec));
+    EXPECT_TRUE(client.send(wait_req(reply.at("id"))));
+    return read_finished(client);
+}
+
+serve::GridSpec test_spec()
+{
+    serve::GridSpec spec;
+    spec.workloads = {"crc32", "treeadd"};
+    spec.schemes = {"none", "hwst128_tchk"};
+    return spec;
+}
+
+} // namespace
+
+TEST(ServeServer, SubmittedGridMatchesLocalRunAndWarmsTheCache)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_submit"};
+    const serve::GridSpec spec = test_spec();
+    const std::vector<Job> jobs = spec.jobs();
+
+    const auto cold = submit_and_wait(f.socket, spec);
+    ASSERT_TRUE(cold.find("records"));
+    EXPECT_EQ(cold.at("cells").as_int(),
+              static_cast<common::i64>(jobs.size()));
+    EXPECT_EQ(cold.at("cached").as_int(), 0);
+
+    // Same grid again: every cell must come from the cache, records
+    // bit-identical — host timing included, because a served cell
+    // round-trips the cold run's record verbatim.
+    const auto warm = submit_and_wait(f.socket, spec);
+    EXPECT_EQ(warm.at("cached").as_int(),
+              static_cast<common::i64>(jobs.size()));
+    EXPECT_EQ(cold.at("records").dump(), warm.at("records").dump());
+
+    // Both match a local serial run of the same GridSpec modulo
+    // host-side fields (wall_ms differs across schedules; simulated
+    // numbers may not) — the --equiv contract, client side.
+    EngineOptions opts;
+    opts.jobs = 1;
+    const auto local = Engine{opts}.run(jobs);
+    EXPECT_EQ(stripped(cold.at("records")),
+              stripped(records_json(jobs, local)));
+
+    // The cache the server warmed audits clean under the server's rev.
+    const auto audit =
+        serve::audit_cache(f.root, exec::build_git_rev());
+    EXPECT_EQ(audit.cells, jobs.size());
+    EXPECT_TRUE(audit.ok());
+}
+
+TEST(ServeServer, ConcurrentClientsGetEquivalentRecords)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_concurrent", 4};
+    const serve::GridSpec spec = test_spec();
+
+    constexpr int kClients = 3;
+    std::vector<std::string> records(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            records[static_cast<std::size_t>(i)] =
+                stripped(submit_and_wait(f.socket, spec).at("records"));
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_FALSE(records[0].empty());
+    for (int i = 1; i < kClients; ++i)
+        EXPECT_EQ(records[0], records[static_cast<std::size_t>(i)]);
+
+    const serve::ServerStats stats = f.server->stats();
+    EXPECT_EQ(stats.campaigns, static_cast<u64>(kClients));
+    EXPECT_EQ(stats.cells, spec.jobs().size() * kClients);
+    EXPECT_EQ(stats.cached + stats.run, stats.cells);
+}
+
+TEST(ServeServer, GracefulStopDeliversValidPartialResults)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    ServerFixture f{"serve_drain", 1};
+    serve::GridSpec spec;
+    spec.workloads = {"milc", "lbm", "sphinx3", "sjeng"};
+    spec.schemes = {"sbcets", "hwst128_tchk"};
+    const std::vector<Job> jobs = spec.jobs();
+
+    serve::Client client{f.socket};
+    const auto reply = client.rpc(submit_req(spec));
+    ASSERT_TRUE(client.send(wait_req(reply.at("id"))));
+    // The wait handler sends a progress event immediately; reading it
+    // proves the request landed before we pull the plug.
+    const auto first = client.recv();
+    ASSERT_TRUE(first.has_value());
+
+    // Drain mid-campaign (the SIGTERM path): the waiting client must
+    // still get its finished event, every slot filled — resolved cells
+    // with real outcomes, unstarted cells Skipped.
+    f.server->stop();
+    const auto finished =
+        first->find("event") &&
+                first->at("event").as_string() == "finished"
+            ? *first
+            : read_finished(client);
+
+    const auto& records = finished.at("records").items();
+    ASSERT_EQ(records.size(), jobs.size());
+    std::size_t ok = 0;
+    std::size_t skipped = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        auto [key, outcome] = exec::outcome_from_record(records[i]);
+        EXPECT_EQ(key, jobs[i].key);
+        if (outcome.status == JobStatus::Ok) ++ok;
+        if (outcome.status == JobStatus::Skipped) ++skipped;
+    }
+    EXPECT_EQ(ok + skipped, jobs.size());
+    // The summary agrees with the records — the partial envelope a
+    // client writes from this event is internally consistent.
+    EXPECT_EQ(static_cast<std::size_t>(
+                  finished.at("summary").at("ok").as_int()),
+              ok);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  finished.at("summary").at("skipped").as_int()),
+              skipped);
+}
+
+TEST(ServeServer, MalformedRequestsPoisonTheReplyNotTheServer)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_errors", 1, /*cache=*/false};
+
+    {
+        serve::Client client{f.socket};
+        exec::json::Value bad = exec::json::Value::object();
+        bad["op"] = "frobnicate";
+        EXPECT_THROW((void)client.rpc(bad), common::ToolchainError);
+    }
+    {
+        serve::Client client{f.socket};
+        exec::json::Value poll = exec::json::Value::object();
+        poll["op"] = "poll";
+        poll["id"] = "c999";
+        EXPECT_THROW((void)client.rpc(poll), common::ToolchainError);
+    }
+#ifdef HWST_SERVE_TEST_POSIX
+    {
+        // A raw non-JSON line gets an error reply, not a dropped
+        // connection or a dead server.
+        const int fd = serve::connect_unix(f.socket);
+        ASSERT_GE(fd, 0);
+        const std::string garbage = "this is not json\n";
+        ASSERT_EQ(::write(fd, garbage.data(), garbage.size()),
+                  static_cast<ssize_t>(garbage.size()));
+        serve::LineReader reader{fd};
+        const auto reply = reader.read_json();
+        ASSERT_TRUE(reply.has_value());
+        EXPECT_FALSE(reply->at("ok").as_bool());
+        ::close(fd);
+    }
+#endif
+    // The server survived all of it: a well-formed submit still works.
+    serve::GridSpec spec;
+    spec.workloads = {"crc32"};
+    spec.schemes = {"none"};
+    const auto finished = submit_and_wait(f.socket, spec);
+    EXPECT_EQ(finished.at("cells").as_int(), 1);
+}
