@@ -1,0 +1,52 @@
+#!/bin/sh
+# chaos-smoke (docs/serving.md, "Surviving failure"): SIGKILL the
+# serving daemon mid-campaign, restart it with --recover, re-wait the
+# campaign by id, and require the recovered envelope to be equivalent
+# to an uninterrupted local run of the same grid modulo host-side
+# fields (json_check --equiv). A wire-fuzz pass then hammers the live
+# server with malformed frames and proves it still answers. Driven by
+# the chaos-smoke CMake target:
+#   chaos_smoke.sh <hwst_serve> <hwst_run> <json_check>
+set -eu
+
+SERVE=$1
+RUN=$2
+CHECK=$3
+
+GRID="--workload milc,lbm --scheme sbcets,hwst128_tchk"
+SOCK=chaos.sock
+rm -rf chaos_state chaos_cache "$SOCK"
+
+"$SERVE" --socket "$SOCK" --state chaos_state --cache chaos_cache \
+         --jobs 1 &
+SPID=$!
+
+# --detach prints the campaign id and exits; the resilient client
+# inside hwst_run rides out the daemon's startup window.
+ID=$("$RUN" --submit --detach --socket "$SOCK" $GRID)
+echo "chaos-smoke: submitted $ID; SIGKILLing the server mid-campaign"
+sleep 2
+
+kill -9 "$SPID"
+wait "$SPID" 2>/dev/null || true
+
+"$SERVE" --socket "$SOCK" --state chaos_state --cache chaos_cache \
+         --jobs 1 --recover &
+SPID=$!
+
+# Re-attach by id across the crash: journaled cells replay, the rest
+# re-run, and --wait writes the same envelope a local run would.
+"$RUN" --wait "$ID" --socket "$SOCK" --json BENCH_chaos_recovered.json
+
+# Protocol fuzz against the live server: torn frames, garbage, wrong
+# types — exits non-zero unless a clean ping still succeeds after.
+"$RUN" --fuzz-wire 25 --socket "$SOCK"
+
+kill -TERM "$SPID"
+wait "$SPID"
+
+"$RUN" $GRID --jobs 1 --json BENCH_chaos_local.json
+"$CHECK" BENCH_chaos_recovered.json BENCH_chaos_local.json
+"$CHECK" --equiv BENCH_chaos_local.json BENCH_chaos_recovered.json
+"$CHECK" --cache chaos_cache
+echo "chaos-smoke: recovered envelope equivalent; cache audit clean"

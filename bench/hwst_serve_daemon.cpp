@@ -13,6 +13,16 @@
 // plus:
 //   --socket PATH   socket to bind (default: HWST_SERVE_SOCKET, or a
 //                   pid-scoped hwst_serve.<pid>.sock under --run)
+//   --state DIR     persist every accepted campaign (grid spec + a
+//                   per-campaign checkpoint journal) for crash recovery
+//   --recover       reload campaigns from --state on start: journaled
+//                   cells replay bit-identically, the rest re-run
+//   --max-queue N   refuse submits past N queued cells with an
+//                   `overloaded` reply (default 4096, 0 = unbounded)
+//   --max-inflight N  live campaigns one connection may have (0 = any)
+//   --write-deadline-ms N  drop a client whose reads stall a streaming
+//                   send longer than this (default 5000, 0 = never)
+//   --sndbuf BYTES  shrink per-client send buffers (chaos testing)
 //   --run -- CMD..  serve only while CMD runs: export HWST_SERVE_SOCKET
 //                   to CMD's environment, wait for it, drain, and exit
 //                   with CMD's status. This is how serve-smoke scripts a
@@ -47,9 +57,22 @@ namespace {
 
 struct Options {
     std::string socket;
+    std::string state;         ///< --state: campaign state directory
+    bool recover = false;      ///< --recover: reload campaigns on start
+    std::size_t max_queue = 4096;   ///< --max-queue: admission bound
+    unsigned max_inflight = 0;      ///< --max-inflight: per-client cap
+    unsigned write_deadline_ms = 5000; ///< --write-deadline-ms
+    int sndbuf = 0;                 ///< --sndbuf: chaos-testing knob
     std::vector<std::string> run_cmd; ///< --run: child command line
     exec::GridOptions grid;
 };
+
+unsigned long parse_count(const char* flag, int argc, char** argv, int& i)
+{
+    if (i + 1 >= argc)
+        throw common::ToolchainError{std::string{flag} + " needs a value"};
+    return std::strtoul(argv[++i], nullptr, 10);
+}
 
 Options parse(int argc, char** argv)
 {
@@ -61,6 +84,23 @@ Options parse(int argc, char** argv)
             if (i + 1 >= argc)
                 throw common::ToolchainError{"--socket needs a path"};
             o.socket = argv[++i];
+        } else if (a == "--state") {
+            if (i + 1 >= argc)
+                throw common::ToolchainError{"--state needs a directory"};
+            o.state = argv[++i];
+        } else if (a == "--recover") {
+            o.recover = true;
+        } else if (a == "--max-queue") {
+            o.max_queue = parse_count("--max-queue", argc, argv, i);
+        } else if (a == "--max-inflight") {
+            o.max_inflight = static_cast<unsigned>(
+                parse_count("--max-inflight", argc, argv, i));
+        } else if (a == "--write-deadline-ms") {
+            o.write_deadline_ms = static_cast<unsigned>(
+                parse_count("--write-deadline-ms", argc, argv, i));
+        } else if (a == "--sndbuf") {
+            o.sndbuf = static_cast<int>(
+                parse_count("--sndbuf", argc, argv, i));
         } else if (a == "--run") {
             // Everything after --run (minus an optional "--") is the
             // child command.
@@ -77,8 +117,10 @@ Options parse(int argc, char** argv)
     }
     if (o.grid.journal || o.grid.resume)
         throw common::ToolchainError{
-            "the server's durability is its cache; --journal/--resume "
-            "belong to local campaigns"};
+            "the server's durability is --state/--recover; "
+            "--journal/--resume belong to local campaigns"};
+    if (o.recover && o.state.empty())
+        throw common::ToolchainError{"--recover needs --state DIR"};
     if (o.socket.empty()) {
         if (const char* env = std::getenv("HWST_SERVE_SOCKET"))
             o.socket = env;
@@ -146,6 +188,12 @@ int main(int argc, char** argv)
                 sopts.cache_max_bytes = std::strtoull(env, nullptr, 10)
                                         << 20;
         }
+        sopts.state_root = o.state;
+        sopts.recover = o.recover;
+        sopts.max_queued_cells = o.max_queue;
+        sopts.max_client_inflight = o.max_inflight;
+        sopts.write_deadline_ms = o.write_deadline_ms;
+        sopts.sndbuf_bytes = o.sndbuf;
         sopts.engine = o.grid.engine();
 
         exec::install_signal_handlers();

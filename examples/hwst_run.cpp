@@ -19,9 +19,16 @@
 // host-side fields:
 //   hwst_run --submit --workload crc32,treeadd --scheme none,hwst128_tchk
 //            --socket /tmp/hwst.sock --json run.json
+//   hwst_run --submit ... --detach        (print the id, don't wait)
 //   hwst_run --poll c1 --socket /tmp/hwst.sock
-//   hwst_run --wait c1 --socket /tmp/hwst.sock
+//   hwst_run --wait c1 --socket /tmp/hwst.sock --json run.json
 //   hwst_run --submit ... --expect-cached 90   (exit 3 under 90% hits)
+//   hwst_run --fuzz-wire 64 --socket ...  (protocol fuzz; exit 0 when
+//                                          the server survives it)
+// Client modes ride serve::ResilientClient: connect/IO deadlines,
+// reconnect with backoff + jitter, `overloaded` backpressure honored,
+// and idempotent resubmission after a lost submit reply.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -59,9 +66,12 @@ struct Options {
     // Client modes (docs/serving.md).
     std::string socket;        ///< --socket (or HWST_SERVE_SOCKET)
     bool submit = false;       ///< run the grid on a campaign server
+    bool detach = false;       ///< --submit only: print the id, exit
     std::string poll_id;       ///< --poll ID: one progress snapshot
     std::string wait_id;       ///< --wait ID: stream until finished
     double expect_cached = -1; ///< --expect-cached PCT (exit 3 below it)
+    unsigned attempts = 8;     ///< --attempts: reconnect budget
+    unsigned fuzz_wire = 0;    ///< --fuzz-wire N: protocol fuzz frames
     exec::GridOptions grid;
 };
 
@@ -137,10 +147,17 @@ Options parse(int argc, char** argv)
         else if (a == "--list") o.list = true;
         else if (a == "--socket") o.socket = need("--socket");
         else if (a == "--submit") o.submit = true;
+        else if (a == "--detach") o.detach = true;
         else if (a == "--poll") o.poll_id = need("--poll");
         else if (a == "--wait") o.wait_id = need("--wait");
         else if (a == "--expect-cached")
             o.expect_cached = std::stod(need("--expect-cached"));
+        else if (a == "--attempts")
+            o.attempts =
+                static_cast<unsigned>(std::stoul(need("--attempts")));
+        else if (a == "--fuzz-wire")
+            o.fuzz_wire =
+                static_cast<unsigned>(std::stoul(need("--fuzz-wire")));
         else
             throw common::ToolchainError{"unknown flag: " + a +
                                          "\nshared grid flags:\n" +
@@ -303,73 +320,31 @@ std::string socket_or_throw(const std::string& flag)
     return s;
 }
 
-/// Drain wait-stream events, echoing progress to stderr; returns the
-/// finished event.
-exec::json::Value stream_events(serve::Client& client,
-                                const std::string& id)
+serve::ClientOptions client_options(const Options& o)
 {
-    for (;;) {
-        auto ev = client.recv();
-        if (!ev)
-            throw common::ToolchainError{
-                "server connection lost waiting for " + id};
-        if (const auto* err = ev->find("error"))
-            throw common::ToolchainError{"server: " + err->as_string()};
-        const std::string event = ev->at("event").as_string();
-        if (event == "progress") {
-            std::cerr << '[' << id << "] "
-                      << ev->at("finished").as_int() << '/'
-                      << ev->at("submitted").as_int() << " finished ("
-                      << ev->at("running").as_int() << " running, "
-                      << ev->at("cached").as_int() << " cached, "
-                      << ev->at("quarantined").as_int()
-                      << " quarantined)\n";
-            continue;
-        }
-        if (event == "finished") return std::move(*ev);
-        throw common::ToolchainError{"unexpected event: " + event};
-    }
+    serve::ClientOptions copts;
+    copts.socket_path = socket_or_throw(o.socket);
+    copts.max_attempts = std::max(1u, o.attempts);
+    return copts;
 }
 
-/// --submit: run the grid on a campaign server and rebuild the exact
-/// in-process report from the grid-ordered records it returns.
-int client_submit(const Options& o)
+/// The stderr progress echo every streaming client mode shares.
+void echo_progress(const std::string& id, const exec::json::Value& ev)
 {
-    const std::string socket = socket_or_throw(o.socket);
-    const serve::GridSpec spec = grid_spec(o);
-    const std::vector<exec::Job> jobs = spec.jobs();
+    std::cerr << '[' << id << "] " << ev.at("finished").as_int() << '/'
+              << ev.at("submitted").as_int() << " finished ("
+              << ev.at("running").as_int() << " running, "
+              << ev.at("cached").as_int() << " cached, "
+              << ev.at("quarantined").as_int() << " quarantined)\n";
+}
 
-    // The client-side campaign opens no journal and runs no engine —
-    // durability lives on the server (its cache). It provides the wall
-    // clock, the envelope writer and the exit policy, so a submitted
-    // grid writes the same BENCH_hwst_run.json a local run would.
-    exec::GridOptions copts = o.grid;
-    copts.journal = false;
-    copts.resume = false;
-    const exec::Campaign campaign{"hwst_run", copts, spec.fingerprint()};
-
-    serve::Client client{socket};
-    exec::json::Value req = exec::json::Value::object();
-    req["op"] = "submit";
-    req["grid"] = spec.to_json();
-    const exec::json::Value reply = client.rpc(req);
-    const std::string id = reply.at("id").as_string();
-    if (reply.at("grid_hash").as_string() !=
-        exec::hash_hex(campaign.fingerprint()))
-        throw common::ToolchainError{
-            "server computed a different grid_hash (version skew?)"};
-    std::cerr << "submitted " << id << ": " << jobs.size() << " cells\n";
-
-    exec::json::Value wait = exec::json::Value::object();
-    wait["op"] = "wait";
-    wait["id"] = id;
-    if (!client.send(wait))
-        throw common::ToolchainError{"server connection lost"};
-    const exec::json::Value finished = stream_events(client, id);
-
-    // Rebuild the outcome vector from the grid-ordered journal-format
-    // records — index-aligned and key-checked against our own jobs, so
-    // the table below is the one an in-process run would print.
+/// Rebuild the outcome vector from a finished event's grid-ordered
+/// journal-format records — index-aligned and key-checked against our
+/// own jobs, so the resulting report is the one an in-process run
+/// would print.
+std::vector<exec::JobOutcome> outcomes_from_finished(
+    const exec::json::Value& finished, const std::vector<exec::Job>& jobs)
+{
     const auto& records = finished.at("records").items();
     if (records.size() != jobs.size())
         throw common::ToolchainError{
@@ -386,19 +361,34 @@ int client_submit(const Options& o)
                                          "'"};
         outcomes.push_back(std::move(outcome));
     }
+    return outcomes;
+}
 
+/// The shared tail of --submit and --wait: rebuild outcomes, report,
+/// write the envelope, fold exit policies.
+int finish_from_event(const Options& o, const exec::Campaign& campaign,
+                      const std::vector<exec::Job>& jobs,
+                      const exec::json::Value& finished)
+{
+    const auto outcomes = outcomes_from_finished(finished, jobs);
     const auto cached = finished.at("cached").as_int();
     const double pct =
         jobs.empty() ? 100.0
                      : 100.0 * static_cast<double>(cached) /
                            static_cast<double>(jobs.size());
-    std::cerr << id << ": " << cached << '/' << jobs.size()
-              << " cells cache-served (" << common::fmt(pct, 1) << "%)\n";
+    std::cerr << finished.at("id").as_string() << ": " << cached << '/'
+              << jobs.size() << " cells cache-served ("
+              << common::fmt(pct, 1) << "%)\n";
 
     exec::json::Value payload = exec::json::Value::object();
-    payload["cached"] = cached; // host-side; stripped by --equiv
-    const int rc = finish_grid(o, campaign, jobs, outcomes,
-                               std::move(payload));
+    // Host-side delivery provenance, stripped by --equiv: cache hits,
+    // and whether the campaign crossed a server restart.
+    payload["cached"] = cached;
+    if (const auto* rec = finished.find("recovered");
+        rec && rec->as_bool())
+        payload["recovered"] = true;
+    const int rc =
+        finish_grid(o, campaign, jobs, outcomes, std::move(payload));
     if (rc != 0) return rc;
     if (o.expect_cached >= 0 && pct + 1e-9 < o.expect_cached) {
         std::cerr << "hwst_run: expected >= " << o.expect_cached
@@ -409,11 +399,71 @@ int client_submit(const Options& o)
     return 0;
 }
 
+/// --submit: run the grid on a campaign server and rebuild the exact
+/// in-process report from the grid-ordered records it returns. The
+/// resilient client reconnects across server restarts; if the server
+/// lost its state entirely (restart without --recover), the campaign
+/// is resubmitted once.
+int client_submit(const Options& o)
+{
+    const serve::GridSpec spec = grid_spec(o);
+    const std::vector<exec::Job> jobs = spec.jobs();
+
+    // The client-side campaign opens no journal and runs no engine —
+    // durability lives on the server (its state directory and cache).
+    // It provides the wall clock, the envelope writer and the exit
+    // policy, so a submitted grid writes the same BENCH_hwst_run.json
+    // a local run would.
+    exec::GridOptions copts = o.grid;
+    copts.journal = false;
+    copts.resume = false;
+    const exec::Campaign campaign{"hwst_run", copts, spec.fingerprint()};
+
+    serve::ResilientClient client{client_options(o)};
+    const auto submit_once = [&] {
+        const exec::json::Value reply = client.submit(spec.to_json());
+        if (reply.at("grid_hash").as_string() !=
+            exec::hash_hex(campaign.fingerprint()))
+            throw common::ToolchainError{
+                "server computed a different grid_hash (version skew?)"};
+        const std::string id = reply.at("id").as_string();
+        if (const auto* d = reply.find("deduped"); d && d->as_bool())
+            std::cerr << "submit deduplicated onto live campaign " << id
+                      << '\n';
+        else
+            std::cerr << "submitted " << id << ": " << jobs.size()
+                      << " cells\n";
+        return id;
+    };
+
+    std::string id = submit_once();
+    if (o.detach) {
+        // Scripted mode: the caller re-attaches later with --wait ID —
+        // across a server crash and --recover if need be.
+        std::cout << id << '\n';
+        return 0;
+    }
+
+    exec::json::Value finished;
+    try {
+        finished = client.wait(
+            id, [&](const exec::json::Value& ev) { echo_progress(id, ev); });
+    } catch (const serve::UnknownCampaign&) {
+        // The server restarted without its state. The submit is
+        // idempotent: run it again and wait out the fresh campaign.
+        std::cerr << "server lost campaign " << id << "; resubmitting\n";
+        id = submit_once();
+        finished = client.wait(
+            id, [&](const exec::json::Value& ev) { echo_progress(id, ev); });
+    }
+    return finish_from_event(o, campaign, jobs, finished);
+}
+
 /// --poll ID: one progress snapshot. Exit 0 when done, 10 while the
 /// campaign is still running (pollable from shell loops).
 int client_poll(const Options& o)
 {
-    serve::Client client{socket_or_throw(o.socket)};
+    serve::ResilientClient client{client_options(o)};
     exec::json::Value req = exec::json::Value::object();
     req["op"] = "poll";
     req["id"] = o.poll_id;
@@ -430,21 +480,102 @@ int client_poll(const Options& o)
 }
 
 /// --wait ID: stream progress until the campaign finishes, then print
-/// its summary and fold the shared exit policy over the records.
+/// the full report. The finished event carries the grid spec, so a
+/// bare --wait (e.g. re-attaching after a server restart, or after
+/// --submit --detach) rebuilds jobs, verifies the grid_hash, and
+/// writes the same envelope a local run would — the seam chaos-smoke's
+/// kill/recover/equiv check closes.
 int client_wait(const Options& o)
 {
-    serve::Client client{socket_or_throw(o.socket)};
-    exec::json::Value req = exec::json::Value::object();
-    req["op"] = "wait";
-    req["id"] = o.wait_id;
-    if (!client.send(req))
-        throw common::ToolchainError{"server connection lost"};
-    const exec::json::Value finished = stream_events(client, o.wait_id);
-    std::cout << finished.at("summary").dump(2) << '\n';
-    std::vector<exec::JobOutcome> outcomes;
-    for (const auto& rec : finished.at("records").items())
-        outcomes.push_back(exec::outcome_from_record(rec).second);
-    return exec::grid_exit_code(outcomes, o.grid.keep_going);
+    serve::ResilientClient client{client_options(o)};
+    const exec::json::Value finished = client.wait(
+        o.wait_id,
+        [&](const exec::json::Value& ev) { echo_progress(o.wait_id, ev); });
+
+    const auto* grid = finished.find("grid");
+    if (!grid) {
+        // A server that doesn't echo the spec: report what we can.
+        std::cout << finished.at("summary").dump(2) << '\n';
+        std::vector<exec::JobOutcome> outcomes;
+        for (const auto& rec : finished.at("records").items())
+            outcomes.push_back(exec::outcome_from_record(rec).second);
+        return exec::grid_exit_code(outcomes, o.grid.keep_going);
+    }
+
+    const serve::GridSpec spec = serve::GridSpec::from_json(*grid);
+    const std::vector<exec::Job> jobs = spec.jobs();
+    exec::GridOptions copts = o.grid;
+    copts.journal = false;
+    copts.resume = false;
+    const exec::Campaign campaign{"hwst_run", copts, spec.fingerprint()};
+    if (finished.at("grid_hash").as_string() !=
+        exec::hash_hex(campaign.fingerprint()))
+        throw common::ToolchainError{
+            "server's grid_hash does not match its grid spec (version "
+            "skew?)"};
+    return finish_from_event(o, campaign, jobs, finished);
+}
+
+/// --fuzz-wire N: throw N deterministic malformed frames at the server
+/// — binary garbage, torn JSON, an over-long line, wrong-typed ops —
+/// then prove it still answers a clean ping. Exit 0 when it survives.
+int client_fuzz(const Options& o)
+{
+    const std::string socket = socket_or_throw(o.socket);
+    common::u64 state = 0x243f6a8885a308d3ull; // deterministic stream
+    const auto next = [&state] {
+        common::u64 z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+    for (unsigned i = 0; i < o.fuzz_wire; ++i) {
+        const int fd = serve::connect_unix(socket, 2000);
+        if (fd < 0)
+            throw common::ToolchainError{"fuzz: cannot connect to " +
+                                         socket};
+        std::string frame;
+        switch (i % 5) {
+        case 0: { // binary garbage, newline-terminated
+            const std::size_t len = 1 + next() % 512;
+            for (std::size_t b = 0; b < len; ++b) {
+                char c = static_cast<char>(next() & 0xff);
+                if (c == '\n') c = ' ';
+                frame.push_back(c);
+            }
+            frame.push_back('\n');
+            break;
+        }
+        case 1: // torn frame: a JSON prefix, connection dropped mid-line
+            frame = R"({"op":"submit","grid":{"bench":"hw)";
+            break;
+        case 2: // over-long line: must trip the frame cap, not the heap
+            frame.assign(4096 + next() % 4096, 'x');
+            frame.push_back('\n');
+            break;
+        case 3: // structurally valid, semantically wrong
+            frame = R"({"op":12345})"
+                    "\n"
+                    R"({"op":"submit"})"
+                    "\n"
+                    R"([1,2,3])"
+                    "\n";
+            break;
+        default: // unknown op + trailing garbage on one connection
+            frame = R"({"op":"self-destruct"})"
+                    "\n\x00\x01\x02\xff\n";
+            break;
+        }
+        serve::send_raw(fd, frame);
+        serve::close_fd(fd);
+    }
+    // The proof: a fresh, well-formed session still gets served.
+    serve::Client client{socket, 2000, 5000};
+    exec::json::Value ping = exec::json::Value::object();
+    ping["op"] = "ping";
+    client.rpc(ping);
+    std::cout << "fuzz: server survived " << o.fuzz_wire << " frames\n";
+    return 0;
 }
 
 } // namespace
@@ -454,6 +585,7 @@ int main(int argc, char** argv)
     try {
         const Options o = parse(argc, argv);
 
+        if (o.fuzz_wire) return client_fuzz(o);
         if (!o.poll_id.empty()) return client_poll(o);
         if (!o.wait_id.empty()) return client_wait(o);
         if (o.submit) {

@@ -88,10 +88,13 @@ bool is_host_field(std::string_view key)
     // stripped (the tier may change host speed, never simulated
     // numbers). cache/cached: result-cache hit statistics — a warm
     // campaign must compare equal to a cold one (docs/serving.md).
+    // recovered/deduped: serving-layer delivery provenance — a campaign
+    // resumed across a server crash (or answered by a deduplicated
+    // submit) must compare equal to an uninterrupted one.
     return key == "wall_ms" || key == "run_ms" || key == "mips" ||
            key == "geo_mean_mips" || key == "git_rev" || key == "jobs" ||
            key == "dbt" || key == "dbt_enabled" || key == "cache" ||
-           key == "cached";
+           key == "cached" || key == "recovered" || key == "deduped";
 }
 
 json::Value strip_host_fields(const json::Value& v)

@@ -1,5 +1,6 @@
 #include "serve/cache.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -71,9 +72,11 @@ u64 file_size_or_zero(const fs::path& p)
     return ec ? 0 : static_cast<u64>(n);
 }
 
-/// Write `text` to `path` and flush it to disk before returning, so the
-/// rename that follows publishes a complete cell even across a crash.
-bool write_file_synced(const fs::path& path, const std::string& text)
+} // namespace
+
+// Write `text` to `path` and flush it to disk before returning, so the
+// rename that follows publishes a complete file even across a crash.
+bool write_file_synced(const std::string& path, const std::string& text)
 {
 #ifdef HWST_CACHE_POSIX
     const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
@@ -81,6 +84,7 @@ bool write_file_synced(const fs::path& path, const std::string& text)
     std::size_t off = 0;
     while (off < text.size()) {
         const ::ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0 && errno == EINTR) continue;
         if (n <= 0) {
             ::close(fd);
             return false;
@@ -96,8 +100,6 @@ bool write_file_synced(const fs::path& path, const std::string& text)
     return static_cast<bool>(out);
 #endif
 }
-
-} // namespace
 
 ResultCache::ResultCache(CacheOptions opts) : opts_{std::move(opts)}
 {
@@ -166,7 +168,7 @@ void ResultCache::store(const CellKey& key, const exec::JobOutcome& outcome)
                         ) +
                 "." + std::to_string(temp_counter_++));
     }
-    if (!write_file_synced(temp, text)) {
+    if (!write_file_synced(temp.string(), text)) {
         std::cerr << "[cache] cannot write " << temp.string()
                   << "; cell not published\n";
         std::error_code ec;
@@ -225,6 +227,19 @@ void ResultCache::evict_over_budget()
         }
     }
     approx_bytes_ = total;
+}
+
+std::size_t ResultCache::sweep_dangling_temps()
+{
+    const std::lock_guard lock{mutex_};
+    std::size_t swept = 0;
+    std::error_code ec;
+    for (const auto& e :
+         fs::directory_iterator{fs::path{opts_.root} / "tmp", ec}) {
+        std::error_code rec;
+        if (fs::remove(e.path(), rec)) ++swept;
+    }
+    return swept;
 }
 
 exec::json::Value ResultCache::stats_json() const

@@ -84,6 +84,12 @@ public:
     /// Called by store(); exposed for tests.
     void evict_over_budget();
 
+    /// Remove leftover tmp/ files (the artifact of a publisher SIGKILLed
+    /// between write and rename). Safe against live publishers only when
+    /// no store() is concurrently in flight — the server calls it once
+    /// during --recover, before any worker starts. Returns the count.
+    std::size_t sweep_dangling_temps();
+
     u64 hits() const { return hits_.load(std::memory_order_relaxed); }
     u64 misses() const { return misses_.load(std::memory_order_relaxed); }
     u64 stores() const { return stores_.load(std::memory_order_relaxed); }
@@ -143,6 +149,12 @@ std::unique_ptr<exec::CellStore> open_cache(const exec::GridOptions& grid,
 
 /// attach_cache(open_cache(...)) for the Campaign scaffold.
 void attach_cache(exec::Campaign& campaign, const exec::GridOptions& grid);
+
+/// Write `text` to `path` and fsync before returning — the building
+/// block of every atomic publish in the serving tier (cache cells, the
+/// server's campaign state files): write a temp sibling with this, then
+/// rename(2) over the final name.
+bool write_file_synced(const std::string& path, const std::string& text);
 
 // ---- auditing (json_check --cache) -----------------------------------
 

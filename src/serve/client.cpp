@@ -1,8 +1,9 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
-
-#include "common/error.hpp"
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -13,12 +14,12 @@ namespace hwst::serve {
 
 namespace {
 
-int connect_or_throw(const std::string& path)
+int connect_or_throw(const std::string& path, int timeout_ms)
 {
     if (path.empty())
         throw common::ToolchainError{
             "no server socket (--socket PATH or HWST_SERVE_SOCKET)"};
-    const int fd = connect_unix(path);
+    const int fd = connect_unix(path, timeout_ms);
     if (fd < 0)
         throw common::ToolchainError{"cannot connect to server socket " +
                                      path};
@@ -27,9 +28,11 @@ int connect_or_throw(const std::string& path)
 
 } // namespace
 
-Client::Client(const std::string& socket_path)
-    : fd_{connect_or_throw(socket_path)}, reader_{fd_}
+Client::Client(const std::string& socket_path, int connect_timeout_ms,
+               unsigned io_timeout_ms)
+    : fd_{connect_or_throw(socket_path, connect_timeout_ms)}, reader_{fd_}
 {
+    if (io_timeout_ms) set_io_timeouts(fd_, io_timeout_ms, io_timeout_ms);
 }
 
 Client::~Client()
@@ -63,6 +66,181 @@ exec::json::Value Client::rpc(const exec::json::Value& req)
             (err ? err->as_string() : std::string{"unknown error"})};
     }
     return *reply;
+}
+
+// ---- ResilientClient -------------------------------------------------
+
+ResilientClient::ResilientClient(ClientOptions opts) : opts_{std::move(opts)}
+{
+    // splitmix64-style stream: deterministic for a pinned seed, so a
+    // chaos test can assert on the exact sleep schedule if it wants to.
+    prng_state_ = opts_.jitter_seed ? opts_.jitter_seed
+                                    : 0x9e3779b97f4a7c15ull;
+    prev_sleep_ms_ = opts_.backoff_base_ms;
+}
+
+ResilientClient::~ResilientClient() = default;
+
+u64 ResilientClient::next_jitter(u64 bound)
+{
+    u64 z = (prng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return bound ? z % bound : 0;
+}
+
+void ResilientClient::backoff_sleep()
+{
+    // Decorrelated jitter: sleep ~ uniform(base, prev*3), capped.
+    // Retrying clients spread out instead of thundering back in lock
+    // step after a server restart.
+    const u64 base = std::max<u64>(1, opts_.backoff_base_ms);
+    const u64 span = std::max<u64>(base, prev_sleep_ms_ * 3);
+    u64 ms = base + next_jitter(span - base + 1);
+    ms = std::min<u64>(ms, std::max<u64>(base, opts_.backoff_cap_ms));
+    prev_sleep_ms_ = ms;
+    std::this_thread::sleep_for(std::chrono::milliseconds{ms});
+}
+
+Client& ResilientClient::ensure_connected()
+{
+    if (!conn_) {
+        conn_ = std::make_unique<Client>(opts_.socket_path,
+                                         opts_.connect_timeout_ms,
+                                         opts_.io_timeout_ms);
+        ++reconnects_;
+    }
+    return *conn_;
+}
+
+void ResilientClient::drop()
+{
+    conn_.reset();
+}
+
+exec::json::Value ResilientClient::rpc(const exec::json::Value& req)
+{
+    std::string last_error = "server unreachable";
+    for (unsigned attempt = 0; attempt < opts_.max_attempts; ++attempt) {
+        if (attempt) backoff_sleep();
+        std::optional<exec::json::Value> reply;
+        try {
+            Client& c = ensure_connected();
+            if (c.send(req)) reply = c.recv();
+        } catch (const common::ToolchainError& e) {
+            last_error = e.what();
+            continue; // connect failed: back off and retry
+        }
+        if (!reply) {
+            // Lost mid-exchange (dead server, or our read deadline).
+            last_error = "server connection lost";
+            drop();
+            continue;
+        }
+        const auto* ok = reply->find("ok");
+        if (ok && !ok->as_bool()) {
+            const auto* err = reply->find("error");
+            const std::string what =
+                err ? err->as_string() : std::string{"unknown error"};
+            if (what == "overloaded") {
+                // Honor the server's backpressure hint instead of our
+                // own schedule; cap it so a bogus hint can't park us.
+                u64 ms = 100;
+                if (const auto* ra = reply->find("retry_after_ms"))
+                    ms = static_cast<u64>(ra->as_int());
+                ms = std::clamp<u64>(ms, 1, 10'000);
+                last_error = "server overloaded";
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds{ms});
+                continue;
+            }
+            if (what == "unknown_campaign")
+                throw UnknownCampaign{"unknown campaign id (server lost "
+                                      "its state; resubmit the grid)"};
+            // Any other refusal is deterministic: retrying can't help.
+            throw common::ToolchainError{"server refused request: " +
+                                         what};
+        }
+        return *reply;
+    }
+    throw common::ToolchainError{
+        "giving up after " + std::to_string(opts_.max_attempts) +
+        " attempts: " + last_error};
+}
+
+exec::json::Value ResilientClient::submit(const exec::json::Value& grid)
+{
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "submit";
+    req["grid"] = grid;
+    try {
+        return rpc(req);
+    } catch (const UnknownCampaign&) {
+        throw; // not possible for submit, but keep the type distinct
+    } catch (const common::ToolchainError&) {
+        // The first pass exhausted its attempts — but one of those
+        // sends may have been accepted with the reply lost. One more
+        // pass asking for dedup: the server answers with the live
+        // campaign instead of double-running the grid.
+        req["dedup"] = true;
+        return rpc(req);
+    }
+}
+
+exec::json::Value ResilientClient::wait(
+    const std::string& id,
+    const std::function<void(const exec::json::Value&)>& on_progress)
+{
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "wait";
+    req["id"] = id;
+    unsigned attempt = 0;
+    for (;;) {
+        if (attempt) backoff_sleep();
+        bool streamed = false;
+        try {
+            Client& c = ensure_connected();
+            if (c.send(req)) {
+                for (;;) {
+                    const auto ev = c.recv();
+                    if (!ev) break; // lost mid-stream: re-wait by id
+                    if (const auto* ok = ev->find("ok");
+                        ok && !ok->as_bool()) {
+                        const auto* err = ev->find("error");
+                        const std::string what =
+                            err ? err->as_string()
+                                : std::string{"unknown error"};
+                        if (what == "unknown_campaign")
+                            throw UnknownCampaign{
+                                "unknown campaign " + id +
+                                " (server lost its state; resubmit)"};
+                        throw common::ToolchainError{
+                            "server refused wait: " + what};
+                    }
+                    const auto* event = ev->find("event");
+                    const std::string kind =
+                        event ? event->as_string() : std::string{};
+                    if (kind == "finished") return *ev;
+                    // Progress proves the server is alive: restart the
+                    // attempt budget so a marathon campaign can outlive
+                    // any number of reconnects.
+                    streamed = true;
+                    if (on_progress) on_progress(*ev);
+                }
+            }
+        } catch (const UnknownCampaign&) {
+            throw;
+        } catch (const common::ToolchainError&) {
+            // connect failed; fall through to the retry accounting
+        }
+        drop();
+        attempt = streamed ? 1 : attempt + 1;
+        if (attempt >= opts_.max_attempts)
+            throw common::ToolchainError{
+                "giving up on campaign " + id + " after " +
+                std::to_string(opts_.max_attempts) + " attempts"};
+    }
 }
 
 std::string resolve_socket(const std::string& flag_value)

@@ -1,30 +1,46 @@
 // Client side of the campaign-server protocol: a connected Unix-socket
-// session speaking newline-delimited JSON (serve/wire.hpp). Thin by
-// design — hwst_run's --submit/--poll/--wait modes and the tests drive
-// the protocol through this one seam.
+// session speaking newline-delimited JSON (serve/wire.hpp). Two tiers:
+// Client is a thin single-connection seam (one fd, no policy);
+// ResilientClient wraps it with the failure policy hwst_run's client
+// modes need — connect/read/write deadlines, reconnect with
+// exponential backoff and decorrelated jitter, `overloaded`
+// backpressure honoring retry_after_ms, and idempotent resubmission
+// (retried submits carry {"dedup":true} so a lost reply can never
+// double-run a grid).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "common/error.hpp"
 #include "serve/wire.hpp"
 
 namespace hwst::serve {
 
+using common::u64;
+
 class Client {
 public:
     /// Connect to the server socket; throws common::ToolchainError when
-    /// nothing is listening there.
-    explicit Client(const std::string& socket_path);
+    /// nothing is listening there. connect_timeout_ms bounds the
+    /// connect itself (-1 = block); io_timeout_ms arms kernel
+    /// read+write deadlines on the session (0 = none) — an expired read
+    /// surfaces as a closed connection from recv().
+    explicit Client(const std::string& socket_path,
+                    int connect_timeout_ms = -1,
+                    unsigned io_timeout_ms = 0);
     ~Client();
     Client(const Client&) = delete;
     Client& operator=(const Client&) = delete;
 
-    /// Send one request line. False when the server is gone.
+    /// Send one request line. False when the server is gone (or the
+    /// write deadline expired).
     bool send(const exec::json::Value& req);
 
     /// The next response/event object, or nullopt when the server
-    /// closed the connection.
+    /// closed the connection or the read deadline expired.
     std::optional<exec::json::Value> recv();
 
     /// send + one recv; throws common::ToolchainError on a dropped
@@ -34,6 +50,79 @@ public:
 private:
     int fd_ = -1;
     LineReader reader_;
+};
+
+/// A poll/wait named a campaign id the server does not know — the
+/// normal aftermath of a server restart without --recover. Recoverable:
+/// the right client move is to resubmit the grid, not to give up.
+struct UnknownCampaign : common::ToolchainError {
+    using common::ToolchainError::ToolchainError;
+};
+
+struct ClientOptions {
+    std::string socket_path;
+    int connect_timeout_ms = 2000;
+    /// Kernel read/write deadline per session. Wait streams emit a
+    /// keepalive progress event about every second, so a read that
+    /// sits longer than this means a dead server, not a quiet
+    /// campaign.
+    unsigned io_timeout_ms = 15000;
+    /// Total connection attempts per operation before giving up.
+    unsigned max_attempts = 8;
+    unsigned backoff_base_ms = 50;
+    unsigned backoff_cap_ms = 2000;
+    /// Deterministic jitter stream (tests pin it; 0 = fixed default).
+    u64 jitter_seed = 0;
+};
+
+/// The failure-policy wrapper: every operation transparently
+/// reconnects (exponential backoff, decorrelated jitter) and honors
+/// `overloaded` replies by sleeping the server-advised retry_after_ms.
+/// Progress resets the attempt budget, so a long campaign survives any
+/// number of server restarts as long as each reconnect eventually
+/// lands.
+class ResilientClient {
+public:
+    explicit ResilientClient(ClientOptions opts);
+    ~ResilientClient();
+    ResilientClient(const ResilientClient&) = delete;
+    ResilientClient& operator=(const ResilientClient&) = delete;
+
+    const ClientOptions& options() const { return opts_; }
+
+    /// One request/reply with reconnect + backpressure policy. Throws
+    /// UnknownCampaign on an `unknown_campaign` refusal,
+    /// common::ToolchainError on any other refusal or once
+    /// max_attempts is exhausted.
+    exec::json::Value rpc(const exec::json::Value& req);
+
+    /// Submit a grid ({"bench","workloads","schemes",...} — the
+    /// GridSpec vocabulary). Retried sends carry {"dedup":true}: if
+    /// the first submit was accepted but its reply lost, the server
+    /// answers with the live campaign instead of running it twice.
+    exec::json::Value submit(const exec::json::Value& grid);
+
+    /// Stream a campaign to completion; returns the finished event.
+    /// on_progress (may be null) sees every progress event, including
+    /// replays after a reconnect. A dropped connection re-sends the
+    /// wait — the server streams idempotently by id.
+    exec::json::Value wait(
+        const std::string& id,
+        const std::function<void(const exec::json::Value&)>& on_progress);
+
+    u64 reconnects() const { return reconnects_; }
+
+private:
+    Client& ensure_connected();
+    void drop();
+    void backoff_sleep();
+    u64 next_jitter(u64 bound);
+
+    ClientOptions opts_;
+    std::unique_ptr<Client> conn_;
+    u64 prng_state_ = 0;
+    u64 prev_sleep_ms_ = 0;
+    u64 reconnects_ = 0;
 };
 
 /// The socket path hwst_run's client modes resolve: --socket wins, then

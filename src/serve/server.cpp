@@ -1,7 +1,13 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "compiler/scheme.hpp"
@@ -21,6 +27,7 @@
 
 namespace hwst::serve {
 
+namespace fs = std::filesystem;
 using namespace std::chrono_literals;
 
 // ---- GridSpec --------------------------------------------------------
@@ -115,6 +122,13 @@ struct Server::Campaign {
     std::vector<exec::Job> jobs;
     std::vector<exec::JobOutcome> outcomes;
     std::unique_ptr<CampaignCache> binding; ///< null without a cache
+    /// Per-campaign checkpoint journal under the server's state root
+    /// (null without --state): every finished cell is appended+fsync'd,
+    /// so a SIGKILLed server replays it on --recover exactly like a
+    /// local --resume.
+    std::unique_ptr<exec::Journal> journal;
+    int owner_fd = -1;     ///< submitting connection (per-client caps)
+    bool recovered = false; ///< reloaded from the state directory
 
     mutable std::mutex mutex;
     std::condition_variable cv;
@@ -150,6 +164,32 @@ exec::json::Value error_reply(const std::string& what)
     return v;
 }
 
+/// The structured backpressure reply: a shed submit names why and when
+/// to come back, so a resilient client can sleep instead of guessing.
+exec::json::Value overloaded_reply(const char* reason, u64 retry_after_ms,
+                                   std::size_t queued)
+{
+    exec::json::Value v = exec::json::Value::object();
+    v["ok"] = false;
+    v["error"] = "overloaded";
+    v["reason"] = reason;
+    v["retry_after_ms"] = retry_after_ms;
+    v["queued"] = queued;
+    return v;
+}
+
+/// Unknown campaign id: recoverable — after a server restart without
+/// state the right client move is to resubmit, not to give up.
+exec::json::Value unknown_campaign_reply(const std::string& id)
+{
+    exec::json::Value v = exec::json::Value::object();
+    v["ok"] = false;
+    v["error"] = "unknown_campaign";
+    v["recoverable"] = true;
+    v["id"] = id;
+    return v;
+}
+
 /// Caller holds c.mutex.
 Snapshot snapshot_locked(const Server::Campaign& c)
 {
@@ -179,6 +219,29 @@ exec::json::Value progress_json(const std::string& id, const Snapshot& s)
     return v;
 }
 
+/// Default Skipped slots — what an unstarted cell reports after a
+/// drain, and what a recovered journal overwrites.
+void reset_outcomes(std::vector<exec::JobOutcome>& outcomes,
+                    std::size_t cells)
+{
+    outcomes.assign(cells, exec::JobOutcome{});
+    for (auto& o : outcomes) {
+        o.status = exec::JobStatus::Skipped;
+        o.error = "not started: shutdown requested";
+        o.attempts = 0;
+    }
+}
+
+std::string state_file(const std::string& root, const std::string& id)
+{
+    return (fs::path{root} / (id + ".grid.json")).string();
+}
+
+std::string journal_file(const std::string& root, const std::string& id)
+{
+    return (fs::path{root} / (id + ".journal")).string();
+}
+
 } // namespace
 
 // ---- Server ----------------------------------------------------------
@@ -192,7 +255,10 @@ Server::Server(ServerOptions opts) : opts_{std::move(opts)}
         throw common::ToolchainError{"server needs a socket path"};
     if (opts_.engine.journal)
         throw common::ToolchainError{
-            "server-side durability is the cache, not a journal"};
+            "per-cell engine journals are owned by the server's state "
+            "directory, not the submitting client"};
+    if (opts_.recover && opts_.state_root.empty())
+        throw common::ToolchainError{"--recover needs a --state directory"};
     engine_ = exec::resolve_engine_options(opts_.engine);
     engine_.stop = &stop_flag_;
     engine_.progress = false; // progress goes to clients, not stderr
@@ -202,6 +268,14 @@ Server::Server(ServerOptions opts) : opts_{std::move(opts)}
             .max_bytes = opts_.cache_max_bytes,
             .git_rev = exec::build_git_rev(),
         });
+    if (!opts_.state_root.empty()) {
+        std::error_code ec;
+        fs::create_directories(opts_.state_root, ec);
+        if (ec)
+            throw common::ToolchainError{"cannot create state root " +
+                                         opts_.state_root + ": " +
+                                         ec.message()};
+    }
 }
 
 Server::~Server()
@@ -213,6 +287,9 @@ void Server::start()
 {
 #ifdef HWST_SERVE_POSIX
     if (started_) return;
+    // Recover before binding: a client that connects the instant the
+    // socket exists already sees every resumed campaign.
+    if (opts_.recover) recover_campaigns();
     listen_fd_ = listen_unix(opts_.socket_path);
     if (listen_fd_ < 0)
         throw common::ToolchainError{"cannot listen on " +
@@ -257,7 +334,8 @@ void Server::stop()
         }
     }
     // Unblock handler threads parked in read(); their pending writes
-    // (the finished events above) still go through.
+    // (the finished events above) still go through — bounded by the
+    // write deadline, so a stalled reader cannot wedge the drain.
     {
         const std::lock_guard lock{clients_mutex_};
         for (const int fd : client_fds_) ::shutdown(fd, SHUT_RD);
@@ -284,9 +362,15 @@ void Server::accept_loop()
     while (!stop_flag_.load(std::memory_order_relaxed)) {
         ::pollfd p{listen_fd_, POLLIN, 0};
         const int r = ::poll(&p, 1, 100);
+        if (r < 0 && errno != EINTR) continue; // transient; keep serving
         if (r <= 0 || !(p.revents & POLLIN)) continue;
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        int fd;
+        do {
+            fd = ::accept(listen_fd_, nullptr, nullptr);
+        } while (fd < 0 && errno == EINTR);
         if (fd < 0) continue;
+        set_sndbuf(fd, opts_.sndbuf_bytes);
+        set_io_timeouts(fd, 0, opts_.write_deadline_ms);
         const std::lock_guard lock{clients_mutex_};
         if (stop_flag_.load(std::memory_order_relaxed)) {
             ::close(fd);
@@ -320,6 +404,7 @@ void Server::worker_loop()
         }
         exec::EngineOptions opts = engine_;
         opts.cache = c->binding.get();
+        opts.journal = c->journal.get();
         exec::JobOutcome out = exec::run_one_job(c->jobs[index], opts);
         cells_run_.fetch_add(1, std::memory_order_relaxed);
         {
@@ -332,6 +417,11 @@ void Server::worker_loop()
             case exec::JobStatus::Timeout:
             case exec::JobStatus::Error:
             case exec::JobStatus::Crashed: ++c->failed; break;
+            case exec::JobStatus::Skipped:
+                // The stop flag cut this cell short: it never ran and
+                // was never journaled, so a --recover re-runs it. Keep
+                // the slot counted as finished for this (drained) run.
+                break;
             default: break;
             }
             if (c->finished == c->jobs.size()) c->done = true;
@@ -348,7 +438,162 @@ std::shared_ptr<Server::Campaign> Server::find_campaign(
     return it == campaigns_.end() ? nullptr : it->second;
 }
 
-exec::json::Value Server::handle_submit(const exec::json::Value& req)
+void Server::persist_campaign(const std::shared_ptr<Campaign>& c)
+{
+    if (opts_.state_root.empty()) return;
+    // Atomic publish (write-temp + fsync + rename), mirroring the
+    // cache's cell discipline: a crash mid-submit leaves either no
+    // state file or a complete one, never a torn spec.
+    exec::json::Value v = exec::json::Value::object();
+    v["state_version"] = kStateVersion;
+    v["id"] = c->id;
+    v["bench"] = c->spec.bench;
+    v["grid_hash"] = exec::hash_hex(c->fingerprint);
+    v["grid"] = c->spec.to_json();
+    const std::string final_path = state_file(opts_.state_root, c->id);
+    const std::string temp = final_path + ".tmp";
+    if (!write_file_synced(temp, v.dump(2) + "\n")) {
+        std::cerr << "[serve] cannot persist campaign " << c->id
+                  << " (durability degraded)\n";
+        return;
+    }
+    std::error_code ec;
+    fs::rename(temp, final_path, ec);
+    if (ec) {
+        std::cerr << "[serve] cannot publish state for " << c->id << ": "
+                  << ec.message() << '\n';
+        fs::remove(temp, ec);
+        return;
+    }
+    try {
+        c->journal = std::make_unique<exec::Journal>(
+            journal_file(opts_.state_root, c->id), c->spec.bench,
+            c->fingerprint, /*resume=*/false);
+    } catch (const std::exception& e) {
+        std::cerr << "[serve] cannot open journal for " << c->id << ": "
+                  << e.what() << " (durability degraded)\n";
+    }
+}
+
+void Server::enqueue_pending(const std::shared_ptr<Campaign>& c,
+                             const std::vector<std::size_t>& pending)
+{
+    if (!pending.empty()) {
+        const std::lock_guard lock{queue_mutex_};
+        for (const std::size_t i : pending) queue_.emplace_back(c, i);
+    }
+    queue_cv_.notify_all();
+}
+
+void Server::recover_campaigns()
+{
+    std::error_code ec;
+    std::vector<std::string> ids;
+    for (const auto& e : fs::directory_iterator{opts_.state_root, ec}) {
+        const std::string name = e.path().filename().string();
+        constexpr std::string_view kSuffix = ".grid.json";
+        if (name.size() > kSuffix.size() &&
+            name.ends_with(kSuffix))
+            ids.push_back(name.substr(0, name.size() - kSuffix.size()));
+    }
+    // Numeric id order keeps recovery (and the queue it refills)
+    // deterministic regardless of directory enumeration order.
+    std::sort(ids.begin(), ids.end(), [](const auto& a, const auto& b) {
+        return a.size() != b.size() ? a.size() < b.size() : a < b;
+    });
+    for (const std::string& id : ids) {
+        const std::string path = state_file(opts_.state_root, id);
+        try {
+            std::ifstream in{path, std::ios::binary};
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            const auto v = exec::json::Value::parse(buf.str());
+            if (v.at("state_version").as_int() != kStateVersion)
+                throw common::ToolchainError{
+                    "unsupported state_version " +
+                    std::to_string(v.at("state_version").as_int())};
+            auto c = std::make_shared<Campaign>();
+            c->id = v.at("id").as_string();
+            c->spec = GridSpec::from_json(v.at("grid"));
+            c->jobs = c->spec.jobs();
+            c->fingerprint =
+                exec::grid_fingerprint(c->jobs, 0, c->spec.config_desc());
+            if (exec::hash_hex(c->fingerprint) !=
+                v.at("grid_hash").as_string())
+                throw common::ToolchainError{
+                    "grid_hash mismatch (config revision changed since "
+                    "this campaign was accepted)"};
+            c->recovered = true;
+            reset_outcomes(c->outcomes, c->jobs.size());
+            if (cache_)
+                c->binding = std::make_unique<CampaignCache>(
+                    cache_, c->spec.bench, c->fingerprint);
+            try {
+                c->journal = std::make_unique<exec::Journal>(
+                    journal_file(opts_.state_root, c->id), c->spec.bench,
+                    c->fingerprint, /*resume=*/true);
+            } catch (const std::exception& je) {
+                std::cerr << "[serve] " << c->id
+                          << ": journal unusable (" << je.what()
+                          << "); re-running all cells\n";
+            }
+            // Replay finished cells through the same journal machinery
+            // --resume uses; the rest re-queue in grid order.
+            std::vector<std::size_t> pending;
+            {
+                const std::lock_guard lock{c->mutex};
+                for (std::size_t i = 0; i < c->jobs.size(); ++i) {
+                    const exec::JobOutcome* rec =
+                        c->journal ? c->journal->find(c->jobs[i].key)
+                                   : nullptr;
+                    if (rec) {
+                        c->outcomes[i] = *rec;
+                        c->outcomes[i].from_journal = true;
+                        ++c->finished;
+                        cells_replayed_.fetch_add(
+                            1, std::memory_order_relaxed);
+                        continue;
+                    }
+                    pending.push_back(i);
+                }
+                if (c->finished == c->jobs.size()) c->done = true;
+            }
+            {
+                const std::lock_guard lock{campaigns_mutex_};
+                campaigns_[c->id] = c;
+                // Ids are "c<N>": keep allocating above the recovered
+                // ones so a new submit can never collide.
+                if (c->id.size() > 1 && c->id[0] == 'c') {
+                    const u64 n =
+                        std::strtoull(c->id.c_str() + 1, nullptr, 10);
+                    next_id_ = std::max(next_id_, n);
+                }
+            }
+            cells_total_.fetch_add(c->jobs.size(),
+                                   std::memory_order_relaxed);
+            campaigns_recovered_.fetch_add(1, std::memory_order_relaxed);
+            enqueue_pending(c, pending);
+            std::cerr << "[serve] recovered " << c->id << ": "
+                      << (c->jobs.size() - pending.size()) << "/"
+                      << c->jobs.size() << " cells from journal\n";
+        } catch (const std::exception& e) {
+            // One unrecoverable campaign must not take recovery down.
+            std::cerr << "[serve] cannot recover " << path << ": "
+                      << e.what() << '\n';
+        }
+    }
+    // Publishers SIGKILLed mid-cell leave temps behind; recovery is the
+    // safe moment to sweep them (no worker is running yet).
+    if (cache_) {
+        const std::size_t swept = cache_->sweep_dangling_temps();
+        if (swept)
+            std::cerr << "[serve] swept " << swept
+                      << " dangling cache temp(s)\n";
+    }
+}
+
+exec::json::Value Server::handle_submit(const exec::json::Value& req,
+                                        int client_fd)
 {
     auto c = std::make_shared<Campaign>();
     try {
@@ -359,12 +604,68 @@ exec::json::Value Server::handle_submit(const exec::json::Value& req)
     }
     c->fingerprint =
         exec::grid_fingerprint(c->jobs, 0, c->spec.config_desc());
-    c->outcomes.assign(c->jobs.size(), exec::JobOutcome{});
-    for (auto& o : c->outcomes) {
-        o.status = exec::JobStatus::Skipped;
-        o.error = "not started: shutdown requested";
-        o.attempts = 0;
+    c->owner_fd = client_fd;
+
+    // Idempotent resubmission: a client that lost the connection after
+    // a submit retries with {"dedup":true}; an in-flight campaign for
+    // the same (bench, grid_hash) is answered instead of double-run.
+    const auto* dedup = req.find("dedup");
+    if (dedup && dedup->as_bool()) {
+        const std::lock_guard lock{campaigns_mutex_};
+        for (const auto& [id, existing] : campaigns_) {
+            if (existing->spec.bench != c->spec.bench ||
+                existing->fingerprint != c->fingerprint)
+                continue;
+            std::size_t cached;
+            {
+                const std::lock_guard clock{existing->mutex};
+                if (existing->done) continue; // finished: cache serves it
+                cached = existing->cached;
+            }
+            submits_deduped_.fetch_add(1, std::memory_order_relaxed);
+            exec::json::Value v = exec::json::Value::object();
+            v["ok"] = true;
+            v["id"] = existing->id;
+            v["bench"] = existing->spec.bench;
+            v["grid_hash"] = exec::hash_hex(existing->fingerprint);
+            v["cells"] = existing->jobs.size();
+            v["cached"] = cached;
+            v["deduped"] = true;
+            return v;
+        }
     }
+
+    // Admission control: shed before any state is created. The backlog
+    // bound is on cells already queued, so one client's grid is always
+    // admissible on an idle server no matter its size.
+    const unsigned pool = exec::resolve_jobs(engine_.jobs);
+    std::size_t backlog;
+    {
+        const std::lock_guard lock{queue_mutex_};
+        backlog = queue_.size();
+    }
+    const u64 retry_after = std::clamp<u64>(
+        100 * (1 + backlog / std::max(1u, pool)), 100, 10'000);
+    if (opts_.max_queued_cells != 0 && backlog >= opts_.max_queued_cells) {
+        submits_overloaded_.fetch_add(1, std::memory_order_relaxed);
+        return overloaded_reply("queue", retry_after, backlog);
+    }
+    if (opts_.max_client_inflight != 0) {
+        unsigned inflight = 0;
+        const std::lock_guard lock{campaigns_mutex_};
+        for (const auto& [id, existing] : campaigns_) {
+            if (existing->owner_fd != client_fd) continue;
+            const std::lock_guard clock{existing->mutex};
+            if (!existing->done) ++inflight;
+        }
+        if (inflight >= opts_.max_client_inflight) {
+            submits_overloaded_.fetch_add(1, std::memory_order_relaxed);
+            return overloaded_reply("client_inflight", retry_after,
+                                    backlog);
+        }
+    }
+
+    reset_outcomes(c->outcomes, c->jobs.size());
     if (cache_)
         c->binding = std::make_unique<CampaignCache>(cache_, c->spec.bench,
                                                      c->fingerprint);
@@ -374,10 +675,14 @@ exec::json::Value Server::handle_submit(const exec::json::Value& req)
         campaigns_[c->id] = c;
     }
     cells_total_.fetch_add(c->jobs.size(), std::memory_order_relaxed);
+    // Persist before the first cell can run: once the client holds an
+    // accepted id, no crash window can lose the campaign.
+    persist_campaign(c);
 
     // Submission-time cache sweep: cells the store already holds never
     // touch the pool (the prepass role Engine::run's replay loop plays
-    // for journals). The rest queue up FIFO.
+    // for journals). Hits are re-journaled so a --recover replays them
+    // even with the cache gone. The rest queue up FIFO.
     std::vector<std::size_t> pending;
     const bool draining = stop_flag_.load(std::memory_order_relaxed);
     {
@@ -392,6 +697,8 @@ exec::json::Value Server::handle_submit(const exec::json::Value& req)
                 ++c->finished;
                 ++c->cached;
                 cells_cached_.fetch_add(1, std::memory_order_relaxed);
+                if (c->journal)
+                    c->journal->record(c->jobs[i].key, c->outcomes[i]);
                 continue;
             }
             pending.push_back(i);
@@ -399,11 +706,7 @@ exec::json::Value Server::handle_submit(const exec::json::Value& req)
         if (draining) c->drained = true;
         if (c->finished == c->jobs.size() || draining) c->done = true;
     }
-    if (!pending.empty()) {
-        const std::lock_guard lock{queue_mutex_};
-        for (const std::size_t i : pending) queue_.emplace_back(c, i);
-    }
-    queue_cv_.notify_all();
+    enqueue_pending(c, pending);
 
     exec::json::Value v = exec::json::Value::object();
     v["ok"] = true;
@@ -415,13 +718,15 @@ exec::json::Value Server::handle_submit(const exec::json::Value& req)
         const std::lock_guard lock{c->mutex};
         v["cached"] = c->cached;
     }
+    v["deduped"] = false;
     return v;
 }
 
 exec::json::Value Server::handle_poll(const exec::json::Value& req) const
 {
-    const auto c = find_campaign(req.at("id").as_string());
-    if (!c) return error_reply("unknown campaign id");
+    const std::string id = req.at("id").as_string();
+    const auto c = find_campaign(id);
+    if (!c) return unknown_campaign_reply(id);
     Snapshot s;
     {
         const std::lock_guard lock{c->mutex};
@@ -438,26 +743,40 @@ exec::json::Value Server::handle_poll(const exec::json::Value& req) const
     v["quarantined"] = s.quarantined;
     v["failed"] = s.failed;
     v["drained"] = s.drained;
+    v["recovered"] = c->recovered;
     return v;
 }
 
 bool Server::handle_wait(int fd, const exec::json::Value& req)
 {
-    const auto c = find_campaign(req.at("id").as_string());
-    if (!c) return send_line(fd, error_reply("unknown campaign id"));
+    const std::string id = req.at("id").as_string();
+    const auto c = find_campaign(id);
+    if (!c) return send_line(fd, unknown_campaign_reply(id));
+
+    const auto send_or_account = [&](const exec::json::Value& v) {
+        if (send_line(fd, v)) return true;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            slow_client_drops_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
 
     Snapshot prev;
     bool first = true;
+    unsigned idle_ticks = 0;
     std::unique_lock lock{c->mutex};
     for (;;) {
         const Snapshot s = snapshot_locked(*c);
         lock.unlock();
         // Never hold the campaign mutex across a socket write: a slow
-        // client must not stall the workers resolving its cells.
-        if (first || !(s == prev)) {
-            if (!send_line(fd, progress_json(c->id, s))) return false;
+        // client must not stall the workers resolving its cells. A
+        // keepalive progress event goes out every ~1s even when nothing
+        // changed, so a client read deadline distinguishes a slow cell
+        // from a dead server.
+        if (first || !(s == prev) || ++idle_ticks >= 5) {
+            if (!send_or_account(progress_json(c->id, s))) return false;
             prev = s;
             first = false;
+            idle_ticks = 0;
         }
         if (s.done) break;
         lock.lock();
@@ -475,6 +794,11 @@ bool Server::handle_wait(int fd, const exec::json::Value& req)
         v["cached"] = c->cached;
         v["drained"] = c->drained;
     }
+    v["recovered"] = c->recovered;
+    // The grid spec rides along so a bare `--wait ID` client (e.g. one
+    // re-waiting after a server restart) can rebuild jobs, verify the
+    // grid_hash, and write the same envelope a local run would.
+    v["grid"] = c->spec.to_json();
     // The campaign is done: outcomes are frozen. One journal-format
     // record per cell, in grid order — the client rebuilds the outcome
     // vector exactly as Engine::run would have returned it.
@@ -484,7 +808,7 @@ bool Server::handle_wait(int fd, const exec::json::Value& req)
         records.push_back(
             exec::outcome_to_record(c->jobs[i].key, c->outcomes[i]));
     v["records"] = records;
-    return send_line(fd, v);
+    return send_or_account(v);
 }
 
 void Server::handle_client(int fd)
@@ -510,7 +834,7 @@ void Server::handle_client(int fd)
             } else if (op == "stats") {
                 if (!send_line(fd, stats_json())) break;
             } else if (op == "submit") {
-                if (!send_line(fd, handle_submit(*req))) break;
+                if (!send_line(fd, handle_submit(*req, fd))) break;
             } else if (op == "poll") {
                 if (!send_line(fd, handle_poll(*req))) break;
             } else if (op == "wait") {
@@ -541,9 +865,19 @@ ServerStats Server::stats() const
         const std::lock_guard lock{campaigns_mutex_};
         s.campaigns = campaigns_.size();
     }
+    {
+        const std::lock_guard lock{queue_mutex_};
+        s.queued = queue_.size();
+    }
     s.cells = cells_total_.load(std::memory_order_relaxed);
     s.cached = cells_cached_.load(std::memory_order_relaxed);
     s.run = cells_run_.load(std::memory_order_relaxed);
+    s.recovered = campaigns_recovered_.load(std::memory_order_relaxed);
+    s.replayed = cells_replayed_.load(std::memory_order_relaxed);
+    s.deduped = submits_deduped_.load(std::memory_order_relaxed);
+    s.overloaded = submits_overloaded_.load(std::memory_order_relaxed);
+    s.slow_client_drops =
+        slow_client_drops_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -557,7 +891,14 @@ exec::json::Value Server::stats_json() const
     v["cells"] = s.cells;
     v["cached"] = s.cached;
     v["run"] = s.run;
+    v["recovered"] = s.recovered;
+    v["replayed"] = s.replayed;
+    v["deduped"] = s.deduped;
+    v["overloaded"] = s.overloaded;
+    v["slow_client_drops"] = s.slow_client_drops;
+    v["queued"] = s.queued;
     v["jobs"] = exec::resolve_jobs(engine_.jobs);
+    v["state"] = opts_.state_root;
     v["cache"] = cache_ ? cache_->stats_json() : exec::json::Value{};
     return v;
 }

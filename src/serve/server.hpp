@@ -11,6 +11,8 @@
 //   {"op":"ping"}                      -> {"ok":true,...}
 //   {"op":"stats"}                     -> {"ok":true,"campaigns":..,...}
 //   {"op":"submit","grid":{...}}       -> {"ok":true,"id":"c1",...}
+//                                      -> {"ok":false,"error":"overloaded",
+//                                          "retry_after_ms":..} under load
 //   {"op":"poll","id":"c1"}            -> {"ok":true,"state":..,...}
 //   {"op":"wait","id":"c1"}            -> {"event":"progress",...}*
 //                                         {"event":"finished",
@@ -23,6 +25,15 @@
 // drain cooperatively, queued cells keep their Skipped slots, and every
 // waiting client still gets its finished event — partial, exactly like
 // a --resume'able local campaign (docs/execution.md "Durability").
+//
+// Hardening (docs/serving.md, "Surviving failure"): every accepted
+// campaign is persisted to a state directory (grid spec + a per-campaign
+// exec::Journal of finished cells), so a SIGKILLed server restarted with
+// --recover resumes every campaign bit-identically through the same
+// replay machinery --resume uses; admission control bounds the backlog
+// (explicit `overloaded` replies with retry_after_ms, per-client
+// in-flight caps) and a kernel write deadline drops a stalled reader
+// instead of wedging its handler.
 #pragma once
 
 #include <condition_variable>
@@ -37,6 +48,11 @@
 #include "serve/cache.hpp"
 
 namespace hwst::serve {
+
+/// Campaign state-file format under the server's --state directory
+/// (readers reject other versions and skip the campaign with a
+/// warning, never crash).
+inline constexpr int kStateVersion = 1;
 
 /// The workload x scheme grid vocabulary a submission names — the same
 /// grid hwst_run runs in-process. One definition builds the jobs and
@@ -68,8 +84,32 @@ struct ServerOptions {
     std::string socket_path;
     std::string cache_root; ///< "" disables the result cache
     u64 cache_max_bytes = 0;
+    /// Campaign state directory ("" disables crash recovery): every
+    /// accepted campaign persists its grid spec and a per-campaign
+    /// checkpoint journal here, atomically.
+    std::string state_root;
+    /// Reload campaigns from state_root on start(): finished cells
+    /// replay from their journals, the rest re-queue. Requires
+    /// state_root.
+    bool recover = false;
+    /// Admission bound: a submit that arrives while at least this many
+    /// cells are already queued is refused with an `overloaded` reply
+    /// (0 = unbounded). The backlog can exceed it by at most one grid.
+    std::size_t max_queued_cells = 4096;
+    /// Live (unfinished) campaigns one connection may have in flight
+    /// before its submits are refused `overloaded` (0 = unbounded).
+    unsigned max_client_inflight = 0;
+    /// Slow-client write deadline: a streaming send blocked longer than
+    /// this drops the connection (the campaign keeps running and stays
+    /// waitable). 0 disables — a stalled reader can then wedge its
+    /// handler thread until the socket buffer drains.
+    unsigned write_deadline_ms = 5000;
+    /// Chaos-testing knob: shrink each client socket's kernel send
+    /// buffer so the write deadline is reachable with small payloads
+    /// (0 = OS default).
+    int sndbuf_bytes = 0;
     /// Per-cell execution options (jobs = pool width; journal must stay
-    /// null — durability on the server side is the cache).
+    /// null — per-campaign journals live under state_root).
     exec::EngineOptions engine;
 };
 
@@ -79,6 +119,12 @@ struct ServerStats {
     u64 cells = 0;
     u64 cached = 0;
     u64 run = 0;
+    u64 recovered = 0;   ///< campaigns reloaded by --recover
+    u64 replayed = 0;    ///< cells replayed from recovery journals
+    u64 deduped = 0;     ///< submits answered with an existing campaign
+    u64 overloaded = 0;  ///< submits shed by admission control
+    u64 slow_client_drops = 0; ///< connections dropped at write deadline
+    u64 queued = 0;      ///< current queue depth (cells)
 };
 
 class Server {
@@ -94,13 +140,15 @@ public:
     Server(const Server&) = delete;
     Server& operator=(const Server&) = delete;
 
-    /// Bind the socket, spawn the worker pool and the accept loop.
+    /// Bind the socket, recover persisted campaigns when asked, spawn
+    /// the worker pool and the accept loop.
     void start();
 
     /// Graceful drain (idempotent, callable from any thread): stop
     /// accepting, let in-flight cells finish, mark queued cells
     /// Skipped, deliver finished events, join everything, unlink the
-    /// socket.
+    /// socket. Journals under state_root keep their finished cells, so
+    /// a later --recover resumes exactly where the drain cut off.
     void stop();
 
     bool running() const { return started_ && !stopped_; }
@@ -113,7 +161,12 @@ private:
     void accept_loop();
     void worker_loop();
     void handle_client(int fd);
-    exec::json::Value handle_submit(const exec::json::Value& req);
+    void recover_campaigns();
+    void persist_campaign(const std::shared_ptr<Campaign>& c);
+    void enqueue_pending(const std::shared_ptr<Campaign>& c,
+                         const std::vector<std::size_t>& pending);
+    exec::json::Value handle_submit(const exec::json::Value& req,
+                                    int client_fd);
     exec::json::Value handle_poll(const exec::json::Value& req) const;
     bool handle_wait(int fd, const exec::json::Value& req);
     std::shared_ptr<Campaign> find_campaign(const std::string& id) const;
@@ -147,6 +200,11 @@ private:
     std::atomic<u64> cells_total_{0};
     std::atomic<u64> cells_cached_{0};
     std::atomic<u64> cells_run_{0};
+    std::atomic<u64> campaigns_recovered_{0};
+    std::atomic<u64> cells_replayed_{0};
+    std::atomic<u64> submits_deduped_{0};
+    std::atomic<u64> submits_overloaded_{0};
+    std::atomic<u64> slow_client_drops_{0};
 };
 
 } // namespace hwst::serve

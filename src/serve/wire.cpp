@@ -1,12 +1,16 @@
 #include "serve/wire.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #define HWST_SERVE_POSIX 1
 #endif
 
+#include <cerrno>
 #include <cstring>
 
 namespace hwst::serve {
@@ -22,10 +26,8 @@ bool serving_supported()
 
 #ifdef HWST_SERVE_POSIX
 
-bool send_line(int fd, const exec::json::Value& v)
+bool send_raw(int fd, const std::string& line)
 {
-    std::string line = v.dump(0);
-    line.push_back('\n');
     std::size_t off = 0;
     while (off < line.size()) {
 #ifdef MSG_NOSIGNAL
@@ -35,10 +37,18 @@ bool send_line(int fd, const exec::json::Value& v)
         const ::ssize_t n =
             ::write(fd, line.data() + off, line.size() - off);
 #endif
-        if (n <= 0) return false;
+        if (n < 0 && errno == EINTR) continue; // a signal is not a peer
+        if (n <= 0) return false; // dead peer, or EAGAIN: send deadline
         off += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+bool send_line(int fd, const exec::json::Value& v)
+{
+    std::string line = v.dump(0);
+    line.push_back('\n');
+    return send_raw(fd, line);
 }
 
 std::optional<std::string> LineReader::read_line()
@@ -50,9 +60,18 @@ std::optional<std::string> LineReader::read_line()
             buf_.erase(0, nl + 1);
             return line;
         }
+        if (buf_.size() > max_line_) {
+            // A frame longer than any legitimate message: protocol
+            // violation. Give up on the connection rather than buffer
+            // without bound.
+            overflowed_ = true;
+            buf_.clear();
+            return std::nullopt;
+        }
         char chunk[4096];
         const ::ssize_t n = ::read(fd_, chunk, sizeof chunk);
-        if (n <= 0) return std::nullopt;
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return std::nullopt; // EOF, error, or recv deadline
         buf_.append(chunk, static_cast<std::size_t>(n));
     }
 }
@@ -81,16 +100,47 @@ bool fill_addr(const std::string& path, ::sockaddr_un& addr)
     return true;
 }
 
+bool set_nonblocking(int fd, bool on)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return false;
+    const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
 } // namespace
 
-int connect_unix(const std::string& path)
+int connect_unix(const std::string& path, int timeout_ms)
 {
     ::sockaddr_un addr;
     if (!fill_addr(path, addr)) return -1;
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) return -1;
-    if (::connect(fd, reinterpret_cast<::sockaddr*>(&addr), sizeof addr) !=
-        0) {
+    if (timeout_ms > 0 && !set_nonblocking(fd, true)) {
+        ::close(fd);
+        return -1;
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<::sockaddr*>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && timeout_ms > 0 &&
+        (errno == EINPROGRESS || errno == EAGAIN)) {
+        // Bounded connect: wait for writability, then read the verdict.
+        ::pollfd p{fd, POLLOUT, 0};
+        int pr;
+        do {
+            pr = ::poll(&p, 1, timeout_ms);
+        } while (pr < 0 && errno == EINTR);
+        int err = 0;
+        ::socklen_t len = sizeof err;
+        if (pr == 1 &&
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+            err == 0)
+            rc = 0;
+    }
+    if (rc != 0 || (timeout_ms > 0 && !set_nonblocking(fd, false))) {
         ::close(fd);
         return -1;
     }
@@ -114,16 +164,49 @@ int listen_unix(const std::string& path, int backlog)
     return fd;
 }
 
+void set_io_timeouts(int fd, unsigned recv_ms, unsigned send_ms)
+{
+    const auto to_tv = [](unsigned ms) {
+        ::timeval tv{};
+        tv.tv_sec = static_cast<long>(ms / 1000);
+        tv.tv_usec = static_cast<long>((ms % 1000) * 1000);
+        return tv;
+    };
+    if (recv_ms) {
+        const ::timeval tv = to_tv(recv_ms);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
+    if (send_ms) {
+        const ::timeval tv = to_tv(send_ms);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
+}
+
+void set_sndbuf(int fd, int bytes)
+{
+    if (bytes <= 0) return;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+}
+
+void close_fd(int fd)
+{
+    if (fd >= 0) ::close(fd);
+}
+
 #else // !HWST_SERVE_POSIX
 
+bool send_raw(int, const std::string&) { return false; }
 bool send_line(int, const exec::json::Value&) { return false; }
 std::optional<std::string> LineReader::read_line() { return std::nullopt; }
 std::optional<exec::json::Value> LineReader::read_json()
 {
     return std::nullopt;
 }
-int connect_unix(const std::string&) { return -1; }
+int connect_unix(const std::string&, int) { return -1; }
 int listen_unix(const std::string&, int) { return -1; }
+void set_io_timeouts(int, unsigned, unsigned) {}
+void set_sndbuf(int, int) {}
+void close_fd(int) {}
 
 #endif
 

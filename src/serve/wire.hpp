@@ -3,8 +3,16 @@
 // "Protocol"). One request or event per line, serialized with
 // exec::json (insertion-ordered, so captured transcripts diff cleanly).
 // Mechanism only: what the messages mean lives in server.cpp/client.cpp.
+//
+// Robustness contract: every syscall in this layer retries EINTR (a
+// stray signal must never read as a dead peer), a kernel-level send
+// deadline (set_io_timeouts) turns a stalled reader into a clean false
+// from send_line instead of a wedged writer, and read_line caps the
+// frame length so a hostile or broken peer cannot grow the buffer
+// without bound.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
@@ -16,18 +24,35 @@ namespace hwst::serve {
 /// constructors throw common::ToolchainError otherwise.
 bool serving_supported();
 
+/// Longest accepted wire frame. A line that exceeds it is a protocol
+/// violation: read_line gives up on the connection (8 MiB comfortably
+/// holds the largest finished event a real grid produces).
+inline constexpr std::size_t kMaxLineBytes = 8u << 20;
+
 /// Serialize `v` compactly and write it + '\n' to `fd`, retrying short
-/// writes. Returns false on a closed or failed peer (SIGPIPE is
-/// suppressed; a dropped client must never kill the server).
+/// writes and EINTR. Returns false on a closed or failed peer — or on
+/// an expired send deadline (set_io_timeouts), in which case errno is
+/// EAGAIN/EWOULDBLOCK so the caller can account the slow client.
+/// SIGPIPE is suppressed; a dropped client must never kill the server.
 bool send_line(int fd, const exec::json::Value& v);
+
+/// Write raw bytes to `fd` with the same retry/EINTR/SIGPIPE contract
+/// as send_line — the building block of the wire fuzzers, which need
+/// to put torn and malformed frames on a socket that the JSON-typed
+/// API refuses to produce.
+bool send_raw(int fd, const std::string& bytes);
 
 /// Incremental line reader over a blocking fd.
 class LineReader {
 public:
-    explicit LineReader(int fd) : fd_{fd} {}
+    explicit LineReader(int fd, std::size_t max_line = kMaxLineBytes)
+        : fd_{fd}, max_line_{max_line}
+    {
+    }
 
     /// The next complete line (without the '\n'), or nullopt on EOF /
-    /// error. Blocks until one arrives.
+    /// error / an expired receive deadline / an over-long frame.
+    /// Blocks until one arrives; EINTR is retried.
     std::optional<std::string> read_line();
 
     /// read_line + parse. nullopt on EOF; a line that is not valid
@@ -35,16 +60,39 @@ public:
     /// malformed client cannot take a handler down.
     std::optional<exec::json::Value> read_json();
 
+    /// True when the last read_line failure was an over-long frame —
+    /// a protocol violation, not a benign EOF.
+    bool overflowed() const { return overflowed_; }
+
 private:
     int fd_;
+    std::size_t max_line_;
+    bool overflowed_ = false;
     std::string buf_;
 };
 
 /// Connect to the Unix socket at `path`. Returns -1 on failure.
-int connect_unix(const std::string& path);
+/// timeout_ms > 0 bounds the connect itself (non-blocking connect +
+/// poll); <= 0 blocks like plain connect(2).
+int connect_unix(const std::string& path, int timeout_ms = -1);
 
 /// Bind + listen on `path` (unlinking a stale socket first).
 /// Returns -1 on failure.
 int listen_unix(const std::string& path, int backlog = 64);
+
+/// Kernel-level IO deadlines (SO_RCVTIMEO / SO_SNDTIMEO; 0 leaves a
+/// side unbounded). A blocking read/write past its deadline fails with
+/// EAGAIN, which this layer reports as a failed peer — the policy the
+/// server's slow-client write deadline and the client's read timeout
+/// both build on.
+void set_io_timeouts(int fd, unsigned recv_ms, unsigned send_ms);
+
+/// Shrink the kernel send buffer (chaos-testing knob: makes a stalled
+/// reader hit the write deadline with small payloads). 0 is a no-op.
+void set_sndbuf(int fd, int bytes);
+
+/// close(2) for callers outside this layer (the fuzzers drive raw fds
+/// without a Client). No-op on a negative fd or a non-POSIX host.
+void close_fd(int fd);
 
 } // namespace hwst::serve

@@ -1,0 +1,389 @@
+// Chaos harness for the serving layer (docs/serving.md, "Surviving
+// failure"): fault injection at every seam the ISSUE's taxonomy names —
+// torn wire frames, slow-loris writers, mid-stream disconnects, EINTR
+// storms, and a SIGKILL of the server binary mid-campaign followed by
+// --recover. The standing claims: the server never crashes, the cache
+// never corrupts, and every recovered campaign's records are equivalent
+// to an uninterrupted run once host-side fields are stripped (the
+// json_check --equiv projection).
+//
+// The SIGKILL exercise fork+execs the real hwst_serve binary (path
+// injected by CMake as HWST_SERVE_BIN), because an in-process Server
+// cannot be SIGKILLed without taking the test down with it.
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.hpp"
+#include "exec/journal.hpp"
+#include "exec/report.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HWST_CHAOS_POSIX 1
+#include <csignal>
+#include <pthread.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace hwst;
+using common::u64;
+using exec::Job;
+using exec::JobOutcome;
+using exec::JobStatus;
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+namespace {
+
+std::string fresh_dir(const std::string& name)
+{
+    const fs::path p = fs::temp_directory_path() / name;
+    fs::remove_all(p);
+    return p.string();
+}
+
+std::string sock_path(const std::string& name)
+{
+    const auto p = fs::temp_directory_path() / (name + ".sock");
+    fs::remove(p);
+    return p.string();
+}
+
+serve::GridSpec slow_spec()
+{
+    serve::GridSpec spec;
+    spec.workloads = {"milc", "lbm", "sphinx3", "sjeng"};
+    spec.schemes = {"sbcets", "hwst128_tchk"};
+    return spec;
+}
+
+exec::json::Value submit_req(const serve::GridSpec& spec)
+{
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "submit";
+    req["grid"] = spec.to_json();
+    return req;
+}
+
+exec::json::Value wait_req(const std::string& id)
+{
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "wait";
+    req["id"] = id;
+    return req;
+}
+
+std::string stripped_records(const exec::json::Value& finished)
+{
+    return exec::strip_host_fields(finished.at("records")).dump();
+}
+
+std::string local_stripped_records(const serve::GridSpec& spec)
+{
+    const std::vector<Job> jobs = spec.jobs();
+    exec::EngineOptions opts;
+    opts.jobs = 1;
+    const auto outcomes = exec::Engine{opts}.run(jobs);
+    exec::json::Value records = exec::json::Value::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        records.push_back(
+            exec::outcome_to_record(jobs[i].key, outcomes[i]));
+    return exec::strip_host_fields(records).dump();
+}
+
+/// An in-process server with chaos-friendly defaults.
+struct ChaosServer {
+    std::string socket;
+    std::unique_ptr<serve::Server> server;
+
+    explicit ChaosServer(const std::string& name, unsigned jobs = 1)
+    {
+        socket = sock_path(name);
+        serve::ServerOptions opts;
+        opts.socket_path = socket;
+        opts.engine.jobs = jobs;
+        server = std::make_unique<serve::Server>(std::move(opts));
+        server->start();
+    }
+    ~ChaosServer()
+    {
+        if (server) server->stop();
+    }
+};
+
+bool ping_ok(const std::string& socket)
+{
+    serve::Client client{socket, 2000, 5000};
+    exec::json::Value ping = exec::json::Value::object();
+    ping["op"] = "ping";
+    return client.rpc(ping).at("ok").as_bool();
+}
+
+} // namespace
+
+// ---- wire-level faults -----------------------------------------------
+
+TEST(ServeChaos, TornAndMalformedFramesNeverKillTheServer)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ChaosServer f{"chaos_torn"};
+
+    const std::vector<std::string> frames = {
+        "\x00\x01\x02\xff\xfe garbage\n",         // binary noise
+        "{\"op\":\"submit\",\"grid\":{\"ben",     // torn mid-key, EOF
+        "{\"op\":12345}\n",                       // wrong-typed op
+        "[1,2,3]\n",                              // not an object
+        "{}\n",                                   // no op at all
+        "{\"op\":\"submit\"}\n",                  // submit without grid
+        "{\"op\":\"wait\"}\n",                    // wait without id
+        std::string(64 * 1024, 'x') + "\n",       // a very long line
+    };
+    for (const auto& frame : frames) {
+        const int fd = serve::connect_unix(f.socket, 2000);
+        ASSERT_GE(fd, 0);
+        (void)serve::send_raw(fd, frame);
+        serve::close_fd(fd);
+    }
+    // An over-long frame must trip the cap, not the heap: stream just
+    // past kMaxLineBytes without a newline.
+    {
+        const int fd = serve::connect_unix(f.socket, 2000);
+        ASSERT_GE(fd, 0);
+        const std::string chunk(1 << 20, 'y');
+        for (std::size_t sent = 0; sent <= serve::kMaxLineBytes;
+             sent += chunk.size())
+            if (!serve::send_raw(fd, chunk)) break;
+        serve::close_fd(fd);
+    }
+    EXPECT_TRUE(ping_ok(f.socket));
+}
+
+TEST(ServeChaos, SlowLorisWriterStillGetsServed)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ChaosServer f{"chaos_loris"};
+
+    // One byte at a time with pauses: the framing layer must assemble
+    // the request across dozens of reads and answer it normally.
+    const int fd = serve::connect_unix(f.socket, 2000);
+    ASSERT_GE(fd, 0);
+    const std::string req = "{\"op\":\"ping\"}\n";
+    for (const char c : req) {
+        ASSERT_TRUE(serve::send_raw(fd, std::string(1, c)));
+        std::this_thread::sleep_for(2ms);
+    }
+    serve::LineReader reader{fd};
+    const auto reply = reader.read_json();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_TRUE(reply->at("ok").as_bool());
+    serve::close_fd(fd);
+}
+
+TEST(ServeChaos, MidStreamDisconnectLeavesCampaignWaitable)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ChaosServer f{"chaos_disconnect"};
+
+    // Submit, start streaming, then yank the connection mid-wait. The
+    // campaign must keep running and a fresh connection must be able to
+    // re-wait it to completion by id.
+    std::string id;
+    {
+        serve::Client client{f.socket};
+        const auto reply = client.rpc(submit_req(slow_spec()));
+        id = reply.at("id").as_string();
+        ASSERT_TRUE(client.send(wait_req(id)));
+        const auto first = client.recv(); // at least one progress event
+        ASSERT_TRUE(first.has_value());
+        // ~client closes the socket abruptly, progress unread.
+    }
+    serve::ClientOptions copts;
+    copts.socket_path = f.socket;
+    serve::ResilientClient client{copts};
+    const auto finished = client.wait(id, nullptr);
+    EXPECT_EQ(finished.at("id").as_string(), id);
+    EXPECT_EQ(finished.at("records").items().size(),
+              slow_spec().jobs().size());
+}
+
+#ifdef HWST_CHAOS_POSIX
+
+namespace {
+
+std::atomic<unsigned> g_usr1_count{0};
+
+void usr1_handler(int)
+{
+    g_usr1_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+TEST(ServeChaos, EintrStormDuringSubmitAndWait)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ChaosServer f{"chaos_eintr", 2};
+
+    // A no-SA_RESTART handler makes every interrupted syscall surface
+    // EINTR instead of restarting transparently — the storm below then
+    // hammers the client thread while it drives a full submit + wait.
+    struct sigaction sa{};
+    sa.sa_handler = usr1_handler;
+    sa.sa_flags = 0; // deliberately no SA_RESTART
+    struct sigaction old{};
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    std::atomic<bool> done{false};
+    const pthread_t victim = ::pthread_self();
+    std::thread storm{[&] {
+        while (!done.load(std::memory_order_relaxed)) {
+            ::pthread_kill(victim, SIGUSR1);
+            std::this_thread::sleep_for(1ms);
+        }
+    }};
+
+    serve::GridSpec spec;
+    spec.workloads = {"crc32", "treeadd"};
+    spec.schemes = {"none", "hwst128_tchk"};
+    serve::ClientOptions copts;
+    copts.socket_path = f.socket;
+    serve::ResilientClient client{copts};
+    const auto reply = client.submit(spec.to_json());
+    const auto finished =
+        client.wait(reply.at("id").as_string(), nullptr);
+
+    done.store(true);
+    storm.join();
+    ::sigaction(SIGUSR1, &old, nullptr);
+
+    EXPECT_GT(g_usr1_count.load(), 0u);
+    const auto& records = finished.at("records").items();
+    ASSERT_EQ(records.size(), spec.jobs().size());
+    for (const auto& rec : records) {
+        const auto [key, outcome] = exec::outcome_from_record(rec);
+        EXPECT_EQ(outcome.status, JobStatus::Ok) << key;
+    }
+}
+
+// ---- SIGKILL + --recover against the real binary ---------------------
+
+namespace {
+
+/// fork+exec hwst_serve with the given extra flags; returns the pid.
+pid_t spawn_server(const std::string& socket, const std::string& state,
+                   const std::string& cache, bool recover)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    std::vector<std::string> args = {
+        HWST_SERVE_BIN, "--socket", socket, "--state", state,
+        "--cache",      cache,      "--jobs",  "1",
+    };
+    if (recover) args.emplace_back("--recover");
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(HWST_SERVE_BIN, argv.data());
+    ::_exit(127);
+}
+
+/// Poll until the server's socket answers a ping (or time out).
+bool await_server(const std::string& socket, std::chrono::seconds limit)
+{
+    const auto deadline = std::chrono::steady_clock::now() + limit;
+    while (std::chrono::steady_clock::now() < deadline) {
+        try {
+            if (ping_ok(socket)) return true;
+        } catch (const common::ToolchainError&) {
+        }
+        std::this_thread::sleep_for(50ms);
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(ServeChaos, SigkilledServerRecoversBitIdentically)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const std::string socket = sock_path("chaos_kill");
+    const std::string state = fresh_dir("chaos_kill_state");
+    const std::string cache = fresh_dir("chaos_kill_cache");
+    const serve::GridSpec spec = slow_spec();
+
+    // Cold server, real binary, one worker so the campaign is still
+    // mid-flight when the axe falls.
+    pid_t pid = spawn_server(socket, state, cache, /*recover=*/false);
+    ASSERT_GT(pid, 0);
+    ASSERT_TRUE(await_server(socket, 30s));
+
+    // Submit and watch until at least one cell has been journaled.
+    std::string id;
+    {
+        serve::Client client{socket};
+        const auto reply = client.rpc(submit_req(spec));
+        id = reply.at("id").as_string();
+        ASSERT_TRUE(client.send(wait_req(id)));
+        for (;;) {
+            const auto ev = client.recv();
+            ASSERT_TRUE(ev.has_value());
+            if (ev->find("event") &&
+                ev->at("event").as_string() == "progress" &&
+                ev->at("finished").as_int() >= 1)
+                break;
+        }
+    }
+
+    // SIGKILL: no drain, no destructors, no fsync beyond what already
+    // happened. The hardest crash the OS can deliver.
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+
+    // Restart with --recover over the same state directory; the old
+    // campaign id must resume and finish every cell.
+    pid = spawn_server(socket, state, cache, /*recover=*/true);
+    ASSERT_GT(pid, 0);
+    ASSERT_TRUE(await_server(socket, 30s));
+
+    serve::ClientOptions copts;
+    copts.socket_path = socket;
+    serve::ResilientClient client{copts};
+    const auto finished = client.wait(id, nullptr);
+    EXPECT_TRUE(finished.at("recovered").as_bool());
+    const auto& records = finished.at("records").items();
+    ASSERT_EQ(records.size(), spec.jobs().size());
+    for (const auto& rec : records) {
+        const auto [key, outcome] = exec::outcome_from_record(rec);
+        EXPECT_EQ(outcome.status, JobStatus::Ok) << key;
+    }
+
+    // The acceptance bar: equivalent to an uninterrupted local run of
+    // the same grid modulo host-side fields (--equiv's projection)...
+    EXPECT_EQ(stripped_records(finished), local_stripped_records(spec));
+
+    // ...and the cache the two server generations wrote audits clean.
+    const auto audit = serve::audit_cache(cache);
+    EXPECT_EQ(audit.invalid, 0u);
+    EXPECT_TRUE(audit.ok());
+
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+#endif // HWST_CHAOS_POSIX

@@ -6,8 +6,11 @@
 // same grid get bit-identical records modulo host timing, a graceful
 // stop mid-campaign still delivers a valid (partial) finished event,
 // and malformed requests poison their reply, never the server.
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -305,8 +308,9 @@ struct ServerFixture {
     std::string socket;
     std::unique_ptr<serve::Server> server;
 
-    explicit ServerFixture(const std::string& name, unsigned jobs = 2,
-                           bool cache = true)
+    explicit ServerFixture(
+        const std::string& name, unsigned jobs = 2, bool cache = true,
+        const std::function<void(serve::ServerOptions&)>& tweak = {})
     {
         root = fresh_dir(name + "_cache");
         socket =
@@ -315,6 +319,7 @@ struct ServerFixture {
         opts.socket_path = socket;
         if (cache) opts.cache_root = root;
         opts.engine.jobs = jobs;
+        if (tweak) tweak(opts);
         server = std::make_unique<serve::Server>(std::move(opts));
         server->start();
     }
@@ -528,4 +533,400 @@ TEST(ServeServer, MalformedRequestsPoisonTheReplyNotTheServer)
     spec.schemes = {"none"};
     const auto finished = submit_and_wait(f.socket, spec);
     EXPECT_EQ(finished.at("cells").as_int(), 1);
+}
+
+// ---- admission control + backpressure --------------------------------
+
+namespace {
+
+/// The 8-cell grid of slower workloads the load/drain/recovery tests
+/// use — big enough that one worker is still busy when a second
+/// request lands.
+serve::GridSpec slow_spec()
+{
+    serve::GridSpec spec;
+    spec.workloads = {"milc", "lbm", "sphinx3", "sjeng"};
+    spec.schemes = {"sbcets", "hwst128_tchk"};
+    return spec;
+}
+
+/// Raw send + recv (no throw-on-refusal), for inspecting error replies.
+exec::json::Value raw_rpc(serve::Client& client,
+                          const exec::json::Value& req)
+{
+    EXPECT_TRUE(client.send(req));
+    auto reply = client.recv();
+    EXPECT_TRUE(reply.has_value());
+    return reply ? *reply : exec::json::Value::object();
+}
+
+} // namespace
+
+TEST(ServeAdmission, QueueBoundShedsSubmitsWithRetryAfter)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{
+        "serve_admission", 1, /*cache=*/false,
+        [](serve::ServerOptions& o) { o.max_queued_cells = 4; }};
+
+    serve::Client client{f.socket};
+    const auto accepted = raw_rpc(client, submit_req(slow_spec()));
+    ASSERT_TRUE(accepted.at("ok").as_bool());
+
+    // The worker holds cell 0; at least 4 cells still sit in the queue,
+    // so the very next submit must shed with a structured reply.
+    const auto shed = raw_rpc(client, submit_req(test_spec()));
+    ASSERT_FALSE(shed.at("ok").as_bool());
+    EXPECT_EQ(shed.at("error").as_string(), "overloaded");
+    EXPECT_EQ(shed.at("reason").as_string(), "queue");
+    EXPECT_GT(shed.at("retry_after_ms").as_int(), 0);
+    EXPECT_EQ(f.server->stats().overloaded, 1u);
+
+    // The accepted campaign is unharmed: wait it out.
+    EXPECT_TRUE(client.send(wait_req(accepted.at("id"))));
+    const auto finished = read_finished(client);
+    EXPECT_EQ(finished.at("cells").as_int(), 8);
+}
+
+TEST(ServeAdmission, PerClientInflightCapShedsOnlyTheGreedyClient)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{
+        "serve_inflight", 1, /*cache=*/false,
+        [](serve::ServerOptions& o) { o.max_client_inflight = 1; }};
+
+    serve::Client greedy{f.socket};
+    const auto first = raw_rpc(greedy, submit_req(slow_spec()));
+    ASSERT_TRUE(first.at("ok").as_bool());
+    const auto second = raw_rpc(greedy, submit_req(test_spec()));
+    ASSERT_FALSE(second.at("ok").as_bool());
+    EXPECT_EQ(second.at("error").as_string(), "overloaded");
+    EXPECT_EQ(second.at("reason").as_string(), "client_inflight");
+
+    // The cap is per connection: another client still gets in.
+    serve::Client other{f.socket};
+    const auto ok = raw_rpc(other, submit_req(test_spec()));
+    EXPECT_TRUE(ok.at("ok").as_bool());
+}
+
+TEST(ServeAdmission, DedupedResubmitLandsOnTheLiveCampaign)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_dedup", 1, /*cache=*/false};
+
+    serve::Client a{f.socket};
+    const auto first = raw_rpc(a, submit_req(slow_spec()));
+    ASSERT_TRUE(first.at("ok").as_bool());
+
+    // A retried submit (reply lost, client resends with dedup) must be
+    // answered with the live campaign, not double-run.
+    serve::Client b{f.socket};
+    exec::json::Value retry = submit_req(slow_spec());
+    retry["dedup"] = true;
+    const auto deduped = raw_rpc(b, retry);
+    ASSERT_TRUE(deduped.at("ok").as_bool());
+    EXPECT_TRUE(deduped.at("deduped").as_bool());
+    EXPECT_EQ(deduped.at("id").as_string(), first.at("id").as_string());
+    const serve::ServerStats stats = f.server->stats();
+    EXPECT_EQ(stats.campaigns, 1u);
+    EXPECT_EQ(stats.deduped, 1u);
+
+    // Without the flag, identical submits stay separate campaigns
+    // (ConcurrentClientsGetEquivalentRecords depends on it).
+    const auto fresh = raw_rpc(b, submit_req(slow_spec()));
+    ASSERT_TRUE(fresh.at("ok").as_bool());
+    EXPECT_FALSE(fresh.at("deduped").as_bool());
+    EXPECT_NE(fresh.at("id").as_string(), first.at("id").as_string());
+}
+
+TEST(ServeAdmission, UnknownCampaignReplyIsStructuredAndRecoverable)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_unknown", 1, /*cache=*/false};
+
+    serve::Client client{f.socket};
+    exec::json::Value poll = exec::json::Value::object();
+    poll["op"] = "poll";
+    poll["id"] = "c404";
+    const auto reply = raw_rpc(client, poll);
+    ASSERT_FALSE(reply.at("ok").as_bool());
+    EXPECT_EQ(reply.at("error").as_string(), "unknown_campaign");
+    EXPECT_TRUE(reply.at("recoverable").as_bool());
+    EXPECT_EQ(reply.at("id").as_string(), "c404");
+
+    // Same contract on the wait path — and the connection stays usable,
+    // so a resilient client can resubmit on it.
+    const auto wreply = raw_rpc(client, wait_req(poll.at("id")));
+    ASSERT_FALSE(wreply.at("ok").as_bool());
+    EXPECT_EQ(wreply.at("error").as_string(), "unknown_campaign");
+    EXPECT_TRUE(wreply.at("recoverable").as_bool());
+    exec::json::Value ping = exec::json::Value::object();
+    ping["op"] = "ping";
+    EXPECT_TRUE(raw_rpc(client, ping).at("ok").as_bool());
+}
+
+// ---- crash recovery --------------------------------------------------
+
+TEST(ServeRecovery, ReplaysJournaledCellsAndRerunsTheRest)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const std::string state = fresh_dir("serve_recover_state");
+    const std::string socket =
+        (fs::temp_directory_path() / "serve_recover.sock").string();
+    const serve::GridSpec spec = slow_spec();
+    const std::vector<Job> jobs = spec.jobs();
+
+    serve::ServerOptions opts;
+    opts.socket_path = socket;
+    opts.state_root = state;
+    opts.engine.jobs = 1;
+
+    // Phase 1: submit, let at least one cell land in the journal, then
+    // stop the server mid-campaign (the graceful twin of the SIGKILL
+    // exercise in serve_chaos_test).
+    std::string id;
+    {
+        serve::Server server{opts};
+        server.start();
+        serve::Client client{socket};
+        const auto reply = client.rpc(submit_req(spec));
+        id = reply.at("id").as_string();
+        ASSERT_TRUE(client.send(wait_req(reply.at("id"))));
+        for (;;) {
+            const auto ev = client.recv();
+            ASSERT_TRUE(ev.has_value());
+            if (ev->find("event") &&
+                ev->at("event").as_string() == "progress" &&
+                ev->at("finished").as_int() >= 1)
+                break;
+        }
+        server.stop();
+    }
+
+    // Phase 2: a fresh server over the same state directory resumes the
+    // campaign — journaled cells replay, unstarted cells re-run — and a
+    // re-wait by the old id completes it.
+    opts.recover = true;
+    serve::Server server{opts};
+    server.start();
+    const serve::ServerStats stats = server.stats();
+    EXPECT_EQ(stats.recovered, 1u);
+    EXPECT_GE(stats.replayed, 1u);
+
+    serve::Client client{socket};
+    ASSERT_TRUE(client.send(wait_req(exec::json::Value{id})));
+    const auto finished = read_finished(client);
+    EXPECT_TRUE(finished.at("recovered").as_bool());
+    EXPECT_FALSE(finished.at("drained").as_bool());
+
+    // Every slot resolved — nothing left Skipped — and the records are
+    // equivalent to an uninterrupted local run of the same grid.
+    const auto& records = finished.at("records").items();
+    ASSERT_EQ(records.size(), jobs.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        auto [key, outcome] = exec::outcome_from_record(records[i]);
+        EXPECT_EQ(key, jobs[i].key);
+        EXPECT_EQ(outcome.status, JobStatus::Ok);
+    }
+    EngineOptions local;
+    local.jobs = 1;
+    EXPECT_EQ(stripped(finished.at("records")),
+              stripped(records_json(jobs, Engine{local}.run(jobs))));
+    server.stop();
+}
+
+TEST(ServeRecovery, CorruptStateFileIsSkippedNotFatal)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const std::string state = fresh_dir("serve_recover_corrupt");
+    fs::create_directories(state);
+    std::ofstream{fs::path{state} / "c1.grid.json"} << "{\"torn\":";
+    std::ofstream{fs::path{state} / "c2.grid.json"}
+        << "{\"state_version\":999,\"id\":\"c2\"}";
+
+    serve::ServerOptions opts;
+    opts.socket_path =
+        (fs::temp_directory_path() / "serve_corrupt.sock").string();
+    opts.state_root = state;
+    opts.recover = true;
+    opts.engine.jobs = 1;
+    serve::Server server{opts};
+    server.start(); // must not throw; both campaigns warn and skip
+    EXPECT_EQ(server.stats().recovered, 0u);
+
+    // And the id allocator was untouched by the skipped files: a new
+    // submit gets a fresh id and runs normally.
+    serve::Client client{opts.socket_path};
+    serve::GridSpec spec;
+    spec.workloads = {"crc32"};
+    spec.schemes = {"none"};
+    const auto reply = client.rpc(submit_req(spec));
+    EXPECT_TRUE(reply.at("ok").as_bool());
+    server.stop();
+}
+
+// ---- slow clients ----------------------------------------------------
+
+TEST(ServeBackpressure, SlowClientIsDroppedNotWedged)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_slow", 1, /*cache=*/false,
+                          [](serve::ServerOptions& o) {
+                              o.write_deadline_ms = 200;
+                              o.sndbuf_bytes = 2048;
+                          }};
+    const auto finished = submit_and_wait(f.socket, test_spec());
+    const std::string id = finished.at("id").as_string();
+
+    // A reader that never drains: repeated waits on the finished
+    // campaign stream full record payloads into a tiny send buffer
+    // until the write deadline trips and the server sheds the
+    // connection instead of wedging the handler.
+    const int fd = serve::connect_unix(f.socket);
+    ASSERT_GE(fd, 0);
+    exec::json::Value req = exec::json::Value::object();
+    req["op"] = "wait";
+    req["id"] = id;
+    std::string line = req.dump(0);
+    line.push_back('\n');
+    std::string burst;
+    for (int i = 0; i < 32; ++i) burst += line;
+    (void)serve::send_raw(fd, burst);
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds{10};
+    while (f.server->stats().slow_client_drops == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    EXPECT_GE(f.server->stats().slow_client_drops, 1u);
+    serve::close_fd(fd);
+
+    // The server is unharmed: a well-behaved client is still served.
+    serve::Client client{f.socket};
+    exec::json::Value ping = exec::json::Value::object();
+    ping["op"] = "ping";
+    EXPECT_TRUE(client.rpc(ping).at("ok").as_bool());
+}
+
+// ---- the resilient client --------------------------------------------
+
+TEST(ServeResilientClient, ConnectsOnceTheServerArrives)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    // The fixture below binds temp/serve_resilient.sock; the client
+    // starts hammering that path before the server exists.
+    serve::ClientOptions copts;
+    copts.socket_path =
+        (fs::temp_directory_path() / "serve_resilient.sock").string();
+    fs::remove(copts.socket_path);
+    copts.connect_timeout_ms = 200;
+    copts.max_attempts = 50;
+    copts.backoff_base_ms = 10;
+    copts.backoff_cap_ms = 50;
+    copts.jitter_seed = 1;
+
+    std::unique_ptr<ServerFixture> f;
+    std::thread starter{[&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds{300});
+        f = std::make_unique<ServerFixture>("serve_resilient", 1,
+                                            /*cache=*/false);
+    }};
+    serve::ResilientClient client{copts};
+    exec::json::Value ping = exec::json::Value::object();
+    ping["op"] = "ping";
+    const auto reply = client.rpc(ping);
+    starter.join();
+    EXPECT_TRUE(reply.at("ok").as_bool());
+    EXPECT_GE(client.reconnects(), 1u);
+}
+
+TEST(ServeResilientClient, UnknownCampaignSurfacesAsTypedError)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_rc_unknown", 1, /*cache=*/false};
+    serve::ClientOptions copts;
+    copts.socket_path = f.socket;
+    copts.max_attempts = 2;
+    serve::ResilientClient client{copts};
+    EXPECT_THROW((void)client.wait("c404", nullptr),
+                 serve::UnknownCampaign);
+}
+
+TEST(ServeResilientClient, SubmitAndWaitEndToEnd)
+{
+    if (!serve::serving_supported()) GTEST_SKIP();
+    const ServerFixture f{"serve_rc_e2e", 2};
+    serve::ClientOptions copts;
+    copts.socket_path = f.socket;
+    serve::ResilientClient client{copts};
+
+    const serve::GridSpec spec = test_spec();
+    const auto reply = client.submit(spec.to_json());
+    ASSERT_TRUE(reply.at("ok").as_bool());
+    std::size_t progress_events = 0;
+    const auto finished =
+        client.wait(reply.at("id").as_string(),
+                    [&](const exec::json::Value&) { ++progress_events; });
+    EXPECT_GE(progress_events, 1u);
+    const auto& records = finished.at("records").items();
+    ASSERT_EQ(records.size(), spec.jobs().size());
+    ASSERT_TRUE(finished.find("grid"));
+    EXPECT_EQ(serve::GridSpec::from_json(finished.at("grid"))
+                  .fingerprint(),
+              spec.fingerprint());
+}
+
+// ---- cache eviction racing a concurrent publish ----------------------
+
+TEST(ServeCache, EvictionRacingConcurrentPublishStaysAuditClean)
+{
+    const std::string root = fresh_dir("serve_cache_race");
+    // One real Ok outcome to publish under many synthetic keys.
+    EngineOptions one;
+    one.jobs = 1;
+    const std::vector<Job> seed_jobs{small_grid()[0]};
+    const auto outcome = Engine{one}.run(seed_jobs)[0];
+    ASSERT_EQ(outcome.status, JobStatus::Ok);
+
+    // A budget small enough that eviction fires constantly while four
+    // publishers hammer write-temp+rename — the mtime-LRU sweep must
+    // never observe (or leave behind) a torn cell.
+    auto cache = std::make_shared<serve::ResultCache>(
+        cache_opts(root, "rev1", 8 * 1024));
+    std::atomic<bool> done{false};
+    std::thread evictor{[&] {
+        while (!done.load()) {
+            cache->evict_over_budget();
+            std::this_thread::sleep_for(std::chrono::milliseconds{1});
+        }
+    }};
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 32;
+    std::vector<std::thread> publishers;
+    publishers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        publishers.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const serve::CellKey key{
+                    "race", "0xabc",
+                    "k" + std::to_string(t) + "_" + std::to_string(i),
+                    7, "rev1"};
+                cache->store(key, outcome);
+                (void)cache->load(key); // mtime refresh races too
+            }
+        });
+    }
+    for (auto& th : publishers) th.join();
+    done.store(true);
+    evictor.join();
+
+    EXPECT_EQ(cache->stores(),
+              static_cast<u64>(kThreads) * kPerThread);
+    EXPECT_GT(cache->evictions(), 0u);
+    // The audit contract: whatever survived the race parses, addresses
+    // and round-trips — no invalid, no stale (dangling temps are legal).
+    const auto audit = serve::audit_cache(root, "rev1");
+    EXPECT_EQ(audit.invalid, 0u);
+    EXPECT_EQ(audit.stale, 0u);
+    EXPECT_TRUE(audit.ok());
 }
