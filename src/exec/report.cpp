@@ -83,17 +83,18 @@ json::Value outcome_json(const Job& job, const JobOutcome& outcome)
 bool is_host_field(std::string_view key)
 {
     // wall_ms/run_ms/mips/geo_mean_mips: host timing. git_rev/jobs:
-    // provenance. dbt/dbt_enabled: the superblock tier's host-side
-    // counters — DBT-on and DBT-off envelopes must compare equal once
-    // stripped (the tier may change host speed, never simulated
-    // numbers). cache/cached: result-cache hit statistics — a warm
-    // campaign must compare equal to a cold one (docs/serving.md).
+    // provenance. tier/dbt/dbt_enabled/jit: the execution-tier choice
+    // and the tiers' host-side counters — interp/dbt/jit envelopes must
+    // compare equal once stripped (a tier may change host speed, never
+    // simulated numbers). cache/cached: result-cache hit statistics — a
+    // warm campaign must compare equal to a cold one (docs/serving.md).
     // recovered/deduped: serving-layer delivery provenance — a campaign
     // resumed across a server crash (or answered by a deduplicated
     // submit) must compare equal to an uninterrupted one.
     return key == "wall_ms" || key == "run_ms" || key == "mips" ||
            key == "geo_mean_mips" || key == "git_rev" || key == "jobs" ||
-           key == "dbt" || key == "dbt_enabled" || key == "cache" ||
+           key == "tier" || key == "dbt" || key == "dbt_enabled" ||
+           key == "jit" || key == "repeat" || key == "cache" ||
            key == "cached" || key == "recovered" || key == "deduped";
 }
 

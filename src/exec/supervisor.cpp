@@ -149,9 +149,14 @@ bool sentinel_sampled(const Job& job, unsigned sentinel)
 JobOutcome sentinel_check(const Job& job, unsigned attempt,
                           const SuperviseOptions& opts, JobOutcome primary)
 {
-    // With the DBT tier forced off globally both runs would use the
-    // interpreter: nothing to cross-check.
+    // With the accelerated tiers forced off globally (HWST_DBT=0 or
+    // HWST_TIER=interp) both runs would use the interpreter: nothing to
+    // cross-check.
     if (common::env_flag("HWST_DBT") == std::optional<bool>{false})
+        return primary;
+    if (common::env_choice("HWST_TIER",
+                           {"auto", "interp", "dbt", "jit"}) ==
+        std::optional<unsigned>{1})
         return primary;
 
     // The sibling runs the identical attempt (same attempt-indexed
@@ -189,9 +194,11 @@ JobOutcome sentinel_check(const Job& job, unsigned attempt,
         return primary;
     }
 
-    // Divergence: the superblock tier broke the determinism contract
-    // for this job. Degrade gracefully — the interpreter result is
-    // ground truth — and journal a full divergence report.
+    // Divergence: the accelerated tier (superblock dispatcher or the
+    // tier-2 JIT, whichever the primary resolved to) broke the
+    // determinism contract for this job. Degrade gracefully — the
+    // interpreter result is ground truth — and journal a full
+    // divergence report.
     note["verdict"] = "divergence";
     note["dbt_result"] = result_to_json(primary.result);
     note["interpreter_result"] = result_to_json(reference.result);
@@ -201,7 +208,7 @@ JobOutcome sentinel_check(const Job& job, unsigned attempt,
         static std::mutex mutex;
         const std::lock_guard lock{mutex};
         std::cerr << "[sentinel] " << job.name
-                  << ": DBT tier diverged from the interpreter; "
+                  << ": accelerated tier diverged from the interpreter; "
                      "degraded to the interpreter result (divergence "
                      "report journaled)\n";
     }

@@ -766,13 +766,17 @@ bool run_superblocks(Machine& m, const std::function<bool()>* cancel,
                     m.srf_.clear(RD_REG);
                 }
                 m.pc_ = target;
-                // One-entry inline cache on the dynamic target.
-                if (op->jalr_target != target) {
-                    op->jalr_target = target;
-                    op->edge_taken = nullptr;
+                // 2-way inline cache on the dynamic target (shared
+                // structure with the JIT tier — docs/performance.md).
+                int w = op->jalr.lookup(target);
+                if (w >= 0) {
+                    ++st.jalr_hits;
+                } else {
+                    ++st.jalr_misses;
+                    w = static_cast<int>(op->jalr.insert(target));
                 }
+                CHAIN(op->jalr.way[w]);
             }
-            CHAIN(op->edge_taken);
         L_InterpOne:
             PRO();
             APPLY_BATCH();

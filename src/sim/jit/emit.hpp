@@ -1,0 +1,520 @@
+// Minimal x86-64 encoder for the tier-2 template JIT (docs/
+// performance.md "Tier-2 JIT"). Emits into a byte vector that the code
+// cache copies into its executable region; rel32 label fixups are
+// resolved by finish(). Only the handful of forms the per-op templates
+// need are implemented. Memory operands pick the shortest mod form
+// (disp0/disp8/disp32): emitted-code footprint is the JIT's main
+// throughput lever — the hot loops must stay inside L1i.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace hwst::sim::jit {
+
+using common::i32;
+using common::i64;
+using common::u32;
+using common::u64;
+using common::u8;
+
+// Register numbers in hardware encoding order.
+enum Gpr : u8 {
+    RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6,
+    RDI = 7, R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13,
+    R14 = 14, R15 = 15,
+};
+
+/// Condition codes (tttn field of Jcc/SETcc).
+enum Cond : u8 {
+    CC_B = 0x2,  ///< unsigned <
+    CC_AE = 0x3, ///< unsigned >=
+    CC_E = 0x4,
+    CC_NE = 0x5,
+    CC_BE = 0x6, ///< unsigned <=
+    CC_A = 0x7,  ///< unsigned >
+    CC_L = 0xC,  ///< signed <
+    CC_GE = 0xD,
+    CC_LE = 0xE,
+    CC_G = 0xF,
+};
+
+/// ALU /n selectors shared by the 81 /n (imm) forms; the register forms
+/// derive their opcodes from the same index.
+enum AluOp : u8 {
+    ALU_ADD = 0,
+    ALU_OR = 1,
+    ALU_AND = 4,
+    ALU_SUB = 5,
+    ALU_XOR = 6,
+    ALU_CMP = 7,
+};
+
+enum ShiftOp : u8 { SH_SHL = 4, SH_SHR = 5, SH_SAR = 7 };
+
+class Asm {
+public:
+    std::vector<u8> out;
+
+    // Emission is byte-at-a-time push_back; pre-size the buffers so a
+    // typical block (a few KB) never reallocates mid-emit. Compile time
+    // is part of every run's fixed cost on short workloads.
+    Asm()
+    {
+        out.reserve(1u << 14);
+        labels_.reserve(64);
+        fixups_.reserve(128);
+    }
+
+    u64 size() const { return out.size(); }
+
+    // ---- labels ------------------------------------------------------
+    int label()
+    {
+        labels_.push_back(-1);
+        return static_cast<int>(labels_.size()) - 1;
+    }
+    void bind(int l) { labels_[static_cast<unsigned>(l)] = static_cast<i64>(out.size()); }
+
+    /// Patch every rel32 that referenced a label. Must run exactly once,
+    /// after all code is emitted.
+    void finish()
+    {
+        for (const Fixup& f : fixups_) {
+            const i64 target = labels_[static_cast<unsigned>(f.lab)];
+            if (target < 0) throw common::SimError{"jit: unbound label"};
+            const i64 rel = target - static_cast<i64>(f.off) - 4;
+            patch32(f.off, static_cast<u32>(static_cast<i32>(rel)));
+        }
+    }
+
+    void patch32(u64 off, u32 v)
+    {
+        out[off] = static_cast<u8>(v);
+        out[off + 1] = static_cast<u8>(v >> 8);
+        out[off + 2] = static_cast<u8>(v >> 16);
+        out[off + 3] = static_cast<u8>(v >> 24);
+    }
+
+    // ---- raw emission ------------------------------------------------
+    void b(int v) { out.push_back(static_cast<u8>(v)); }
+    void d32(u32 v)
+    {
+        b(static_cast<int>(v & 0xFF));
+        b(static_cast<int>((v >> 8) & 0xFF));
+        b(static_cast<int>((v >> 16) & 0xFF));
+        b(static_cast<int>((v >> 24) & 0xFF));
+    }
+    void d64(u64 v)
+    {
+        d32(static_cast<u32>(v));
+        d32(static_cast<u32>(v >> 32));
+    }
+
+    // ---- moves -------------------------------------------------------
+    /// mov r64, imm (shortest encoding; movabs when it must be).
+    /// Returns the offset of the immediate when the 8-byte form was
+    /// used, ~0 otherwise (patch sites force the long form via
+    /// mov_ri64).
+    void mov_ri(Gpr r, u64 imm)
+    {
+        if (imm <= 0xFFFFFFFFull) {
+            if (r >= 8) b(0x41);
+            b(0xB8 + (r & 7));
+            d32(static_cast<u32>(imm));
+        } else if (static_cast<i64>(imm) == static_cast<i64>(static_cast<i32>(imm))) {
+            rex(1, 0, r);
+            b(0xC7);
+            modrm_reg(0, r);
+            d32(static_cast<u32>(imm));
+        } else {
+            mov_ri64(r, imm);
+        }
+    }
+    /// movabs r64, imm64 — always the 10-byte form; returns the offset
+    /// of the imm64 (patchable).
+    u64 mov_ri64(Gpr r, u64 imm)
+    {
+        rex(1, 0, r);
+        b(0xB8 + (r & 7));
+        const u64 off = out.size();
+        d64(imm);
+        return off;
+    }
+    void mov_rr(Gpr d, Gpr s)
+    {
+        rex(1, s, d);
+        b(0x89);
+        modrm_reg(s, d);
+    }
+    /// mov r64, [base + disp]
+    void mov_rm(Gpr d, Gpr base, i32 disp)
+    {
+        rex(1, d, base);
+        b(0x8B);
+        modrm_mem(d, base, disp);
+    }
+    /// mov [base + disp], r64
+    void mov_mr(Gpr base, i32 disp, Gpr s)
+    {
+        rex(1, s, base);
+        b(0x89);
+        modrm_mem(s, base, disp);
+    }
+    /// mov qword [base + disp], imm32 (sign-extended)
+    void mov_mi32(Gpr base, i32 disp, i32 imm)
+    {
+        rex(1, 0, base);
+        b(0xC7);
+        modrm_mem(0, base, disp);
+        d32(static_cast<u32>(imm));
+    }
+    /// mov dword [base + disp], imm32
+    void mov_mi32_32(Gpr base, i32 disp, i32 imm)
+    {
+        rex(0, 0, base);
+        b(0xC7);
+        modrm_mem(0, base, disp);
+        d32(static_cast<u32>(imm));
+    }
+    /// mov byte [base + disp], imm8
+    void mov_mi8(Gpr base, i32 disp, u8 imm)
+    {
+        rex(0, 0, base);
+        b(0xC6);
+        modrm_mem(0, base, disp);
+        b(imm);
+    }
+
+    /// Zero/sign-extending load of `width` bytes into a full r64.
+    void load_mem(Gpr d, Gpr base, i32 disp, unsigned width, bool sx)
+    {
+        switch (width) {
+        case 1:
+            rex(1, d, base);
+            b(0x0F);
+            b(sx ? 0xBE : 0xB6);
+            break;
+        case 2:
+            rex(1, d, base);
+            b(0x0F);
+            b(sx ? 0xBF : 0xB7);
+            break;
+        case 4:
+            if (sx) {
+                rex(1, d, base);
+                b(0x63); // movsxd
+            } else {
+                rex(0, d, base);
+                b(0x8B); // mov r32 zero-extends
+            }
+            break;
+        default:
+            rex(1, d, base);
+            b(0x8B);
+            break;
+        }
+        modrm_mem(d, base, disp);
+    }
+    /// Store the low `width` bytes of `s`.
+    void store_mem(Gpr base, i32 disp, Gpr s, unsigned width)
+    {
+        switch (width) {
+        case 1:
+            // rax..rbx low bytes need no REX; force one for SPL-class
+            // or extended registers.
+            if (s >= 4 || base >= 8) rex_raw(0, s, base, true);
+            b(0x88);
+            break;
+        case 2:
+            b(0x66);
+            rex(0, s, base);
+            b(0x89);
+            break;
+        case 4:
+            rex(0, s, base);
+            b(0x89);
+            break;
+        default:
+            rex(1, s, base);
+            b(0x89);
+            break;
+        }
+        modrm_mem(s, base, disp);
+    }
+
+    // ---- ALU ---------------------------------------------------------
+    void alu_rr(AluOp op, Gpr d, Gpr s) // d = d OP s
+    {
+        rex(1, d, s);
+        b(op * 8 + 3);
+        modrm_reg(d, s);
+    }
+    void alu_rm(AluOp op, Gpr d, Gpr base, i32 disp) // d = d OP [m]
+    {
+        rex(1, d, base);
+        b(op * 8 + 3);
+        modrm_mem(d, base, disp);
+    }
+    void alu_mr(AluOp op, Gpr base, i32 disp, Gpr s) // [m] = [m] OP s
+    {
+        rex(1, s, base);
+        b(op * 8 + 1);
+        modrm_mem(s, base, disp);
+    }
+    void alu_ri(AluOp op, Gpr r, i32 imm)
+    {
+        rex(1, 0, r);
+        if (imm >= -128 && imm <= 127) {
+            b(0x83);
+            modrm_reg(static_cast<Gpr>(op), r);
+            b(static_cast<u8>(imm));
+        } else {
+            b(0x81);
+            modrm_reg(static_cast<Gpr>(op), r);
+            d32(static_cast<u32>(imm));
+        }
+    }
+    void alu_ri32(AluOp op, Gpr r, i32 imm) // 32-bit form (clears upper)
+    {
+        rex(0, 0, r);
+        if (imm >= -128 && imm <= 127) {
+            b(0x83);
+            modrm_reg(static_cast<Gpr>(op), r);
+            b(static_cast<u8>(imm));
+        } else {
+            b(0x81);
+            modrm_reg(static_cast<Gpr>(op), r);
+            d32(static_cast<u32>(imm));
+        }
+    }
+    void alu_mi(AluOp op, Gpr base, i32 disp, i32 imm) // qword [m] OP= imm
+    {
+        rex(1, 0, base);
+        if (imm >= -128 && imm <= 127) {
+            b(0x83);
+            modrm_mem(static_cast<Gpr>(op), base, disp);
+            b(static_cast<u8>(imm));
+        } else {
+            b(0x81);
+            modrm_mem(static_cast<Gpr>(op), base, disp);
+            d32(static_cast<u32>(imm));
+        }
+    }
+    void alu_rr32(AluOp op, Gpr d, Gpr s) // 32-bit, clears upper
+    {
+        rex(0, d, s);
+        b(op * 8 + 3);
+        modrm_reg(d, s);
+    }
+    void test_rr(Gpr a, Gpr bq)
+    {
+        rex(1, bq, a);
+        b(0x85);
+        modrm_reg(bq, a);
+    }
+    void test_rr32(Gpr a, Gpr bq)
+    {
+        rex(0, bq, a);
+        b(0x85);
+        modrm_reg(bq, a);
+    }
+    void test_rr8(Gpr a, Gpr bq) // low bytes; REX forced for SPL-class
+    {
+        rex_raw(0, bq, a, a >= 4 || bq >= 4);
+        b(0x84);
+        modrm_reg(bq, a);
+    }
+    void test_mi8(Gpr base, i32 disp, u8 imm) // test byte [m], imm8
+    {
+        rex(0, 0, base);
+        b(0xF6);
+        modrm_mem(0, base, disp);
+        b(imm);
+    }
+    void alu_mi8(AluOp op, Gpr base, i32 disp, u8 imm) // byte [m] OP imm8
+    {
+        rex(0, 0, base);
+        b(0x80);
+        modrm_mem(op, base, disp);
+        b(imm);
+    }
+    void imul_rr(Gpr d, Gpr s)
+    {
+        rex(1, d, s);
+        b(0x0F);
+        b(0xAF);
+        modrm_reg(d, s);
+    }
+    void shift_ri(ShiftOp op, Gpr r, u8 imm)
+    {
+        rex(1, 0, r);
+        b(0xC1);
+        modrm_reg(static_cast<Gpr>(op), r);
+        b(imm);
+    }
+    void shift_ri32(ShiftOp op, Gpr r, u8 imm)
+    {
+        rex(0, 0, r);
+        b(0xC1);
+        modrm_reg(static_cast<Gpr>(op), r);
+        b(imm);
+    }
+    void shift_cl(ShiftOp op, Gpr r)
+    {
+        rex(1, 0, r);
+        b(0xD3);
+        modrm_reg(static_cast<Gpr>(op), r);
+    }
+    void shift_cl32(ShiftOp op, Gpr r)
+    {
+        rex(0, 0, r);
+        b(0xD3);
+        modrm_reg(static_cast<Gpr>(op), r);
+    }
+    /// lea d, [base + index*scale + disp] (scale 1/2/4/8)
+    void lea(Gpr d, Gpr base, Gpr index, unsigned scale, i32 disp)
+    {
+        unsigned ss = scale == 8 ? 3 : scale == 4 ? 2 : scale == 2 ? 1 : 0;
+        rex_raw(1, d, base, false, index);
+        b(0x8D);
+        b(0x80 | ((d & 7) << 3) | 4); // mod=10, rm=SIB
+        b(static_cast<int>((ss << 6) | ((index & 7) << 3) | (base & 7)));
+        d32(static_cast<u32>(disp));
+    }
+    void cdqe() // rax = sign-extended eax
+    {
+        b(0x48);
+        b(0x98);
+    }
+    void setcc(Cond c, Gpr r8) // low byte of r8 (use RAX..RBX)
+    {
+        b(0x0F);
+        b(0x90 + c);
+        modrm_reg(0, r8);
+    }
+    void movzx8_32(Gpr d, Gpr s8) // d32 = zero-extend low byte
+    {
+        rex(0, d, s8);
+        b(0x0F);
+        b(0xB6);
+        modrm_reg(d, s8);
+    }
+    void cmov(Cond c, Gpr d, Gpr s)
+    {
+        rex(1, d, s);
+        b(0x0F);
+        b(0x40 + c);
+        modrm_reg(d, s);
+    }
+
+    // ---- control flow ------------------------------------------------
+    void jcc(Cond c, int lab)
+    {
+        b(0x0F);
+        b(0x80 + c);
+        fixups_.push_back({out.size(), lab});
+        d32(0);
+    }
+    void jmp(int lab)
+    {
+        b(0xE9);
+        fixups_.push_back({out.size(), lab});
+        d32(0);
+    }
+    /// jmp rel32 with a caller-computed displacement (targets outside
+    /// this assembly unit, e.g. the shared epilogue). Returns the offset
+    /// of the rel32 for later patching.
+    u64 jmp_rel32(i32 rel)
+    {
+        b(0xE9);
+        const u64 off = out.size();
+        d32(static_cast<u32>(rel));
+        return off;
+    }
+    /// call rel32 with a caller-computed displacement (the shared
+    /// runtime routines live outside this assembly unit).
+    u64 call_rel32(i32 rel)
+    {
+        b(0xE8);
+        const u64 off = out.size();
+        d32(static_cast<u32>(rel));
+        return off;
+    }
+    void call_r(Gpr r)
+    {
+        if (r >= 8) b(0x41);
+        b(0xFF);
+        modrm_reg(2, r);
+    }
+    void jmp_r(Gpr r)
+    {
+        if (r >= 8) b(0x41);
+        b(0xFF);
+        modrm_reg(4, r);
+    }
+    void push(Gpr r)
+    {
+        if (r >= 8) b(0x41);
+        b(0x50 + (r & 7));
+    }
+    void pop(Gpr r)
+    {
+        if (r >= 8) b(0x41);
+        b(0x58 + (r & 7));
+    }
+    void ret() { b(0xC3); }
+
+    // ---- composite helpers -------------------------------------------
+    /// r = m.regs_[idx] style absolute-address access: point `scratch`
+    /// at `addr` (movabs), leaving [scratch + 0] addressable.
+    void abs(Gpr scratch, const void* addr)
+    {
+        mov_ri64(scratch, reinterpret_cast<u64>(addr));
+    }
+
+private:
+    struct Fixup {
+        u64 off;
+        int lab;
+    };
+    std::vector<i64> labels_;
+    std::vector<Fixup> fixups_;
+
+    void rex(int w, unsigned reg, unsigned rm)
+    {
+        rex_raw(w, reg, rm, false);
+    }
+    /// REX with explicit force (byte-register ops) and optional index.
+    void rex_raw(int w, unsigned reg, unsigned rm, bool force,
+                 unsigned index = 0)
+    {
+        const u8 r = static_cast<u8>(
+            0x40 | (w << 3) | ((reg >= 8) << 2) | ((index >= 8) << 1) |
+            (rm >= 8));
+        if (r != 0x40 || force) b(r);
+    }
+    void modrm_reg(unsigned reg, unsigned rm)
+    {
+        b(static_cast<int>(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+    }
+    /// [base + disp] with the shortest mod form: no displacement byte
+    /// when disp == 0 (except rbp/r13, whose mod=00 means rip-relative),
+    /// disp8 when it fits, disp32 otherwise (SIB for rsp/r12).
+    void modrm_mem(unsigned reg, unsigned base, i32 disp)
+    {
+        const unsigned rm = (base & 7) == 4 ? 4 : (base & 7);
+        const int mod = (disp == 0 && (base & 7) != 5) ? 0x00
+                        : (disp >= -128 && disp <= 127) ? 0x40
+                                                        : 0x80;
+        b(mod | static_cast<int>(((reg & 7) << 3) | rm));
+        if ((base & 7) == 4) b(0x24);
+        if (mod == 0x40) b(static_cast<int>(static_cast<u8>(disp)));
+        else if (mod == 0x80) d32(static_cast<u32>(disp));
+    }
+};
+
+} // namespace hwst::sim::jit
